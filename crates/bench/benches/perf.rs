@@ -1,0 +1,132 @@
+//! Criterion performance benchmarks for the simulation kernels: the
+//! per-cycle costs that determine how long the figure regeneration runs
+//! take.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vs_circuit::{AcAnalysis, Integration, Netlist, Transient};
+use vs_control::{ControllerConfig, VoltageController};
+use vs_core::{PdsKind, PdsRig};
+use vs_gpu::{benchmark, build_kernel, Gpu, GpuConfig, SchedulerKind};
+use vs_num::{eigenvalues, expm, LuFactors, Matrix};
+use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
+
+fn bench_circuit(c: &mut Criterion) {
+    let params = PdnParams::default();
+    let am = AreaModel::default();
+    let crivr = CrIvrConfig::cross_layer_default(&am);
+    let pdn = StackedPdn::build(&params, Some((&crivr, &am)));
+    let (v0, g2) = pdn.balanced_initial_state();
+    let mut sim = Transient::with_initial_state(
+        &pdn.netlist,
+        1.0 / 700e6,
+        Integration::Trapezoidal,
+        &v0,
+        &g2,
+    )
+    .unwrap();
+    for layer in 0..4 {
+        for col in 0..4 {
+            sim.set_control(pdn.sm_load[layer][col], 8.0);
+        }
+    }
+    c.bench_function("stacked_pdn_transient_step", |b| {
+        b.iter(|| {
+            sim.step().unwrap();
+            black_box(sim.voltage(pdn.die_top));
+        });
+    });
+
+    let ac = AcAnalysis::new(&pdn.netlist).unwrap();
+    c.bench_function("stacked_pdn_ac_solve", |b| {
+        b.iter(|| {
+            black_box(
+                ac.impedance(black_box(70e6), pdn.sm_top[1][0], pdn.sm_bottom[1][0])
+                    .unwrap(),
+            );
+        });
+    });
+}
+
+fn bench_numerics(c: &mut Criterion) {
+    let n = 8;
+    let mut a = Matrix::zeros(n, n);
+    let mut seed = 0x12345u64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    };
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = next();
+        }
+    }
+    c.bench_function("expm_8x8", |b| b.iter(|| black_box(expm(&a))));
+    c.bench_function("eigenvalues_8x8", |b| b.iter(|| black_box(eigenvalues(&a))));
+
+    let m = 48;
+    let mut big = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            big[(i, j)] = next();
+        }
+        big[(i, i)] += 10.0;
+    }
+    let lu = LuFactors::factor(&big).unwrap();
+    let rhs = vec![1.0; m];
+    c.bench_function("lu_solve_48", |b| b.iter(|| black_box(lu.solve(&rhs))));
+
+    let mut net = Netlist::new();
+    let top = net.node("n");
+    net.voltage_source(top, Netlist::GROUND, 1.0);
+    net.resistor(top, Netlist::GROUND, 1.0);
+    let _ = net;
+}
+
+fn bench_gpu(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let kernel = build_kernel(&benchmark("heartwall").unwrap(), &cfg, 1);
+    let mut gpu = Gpu::new(&cfg, &kernel, SchedulerKind::Gto);
+    c.bench_function("gpu_tick_16_sms", |b| {
+        b.iter(|| {
+            black_box(gpu.tick());
+        });
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut ctrl = VoltageController::new(ControllerConfig::default());
+    let mut voltages = vec![1.0; 16];
+    voltages[5] = 0.85;
+    c.bench_function("controller_update", |b| {
+        b.iter(|| {
+            black_box(ctrl.update(black_box(&voltages)));
+        });
+    });
+}
+
+fn bench_rig(c: &mut Criterion) {
+    let mut rig = PdsRig::new(
+        PdsKind::VsCrossLayer { area_mult: 0.2 },
+        1.0 / 700e6,
+        0.08,
+    );
+    let p = vec![8.0; 16];
+    let z = vec![0.0; 16];
+    c.bench_function("pds_rig_step", |b| {
+        b.iter(|| {
+            rig.step(black_box(&p), &z, &z);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_circuit,
+    bench_numerics,
+    bench_gpu,
+    bench_controller,
+    bench_rig
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Runs every table/figure binary's logic in sequence. Equivalent to
+//! invoking each `--bin figN` / `--bin tableN` by hand.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "fig3",
+        "fig5",
+        "fig9",
+        "fig10",
+        "fig8",
+        "table3",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "ablation_detector",
+        "ablation_crivr",
+        "ablation_stack",
+        "ablation_integration",
+        "ablation_bode",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,204 @@
+//! # vs-bench — table/figure regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation section (run
+//! `cargo run --release -p vs-bench --bin <id>`; `--bin all` runs the whole
+//! set). This library holds the shared machinery: run settings, suite
+//! drivers, and plain-text table formatting.
+//!
+//! Figure runs honour two environment variables:
+//!
+//! * `VS_BENCH_SCALE` — kernel-iteration scale factor (default 0.15; the
+//!   paper-length runs use 1.0 and take correspondingly longer),
+//! * `VS_BENCH_MAX_CYCLES` — per-run cycle cap (default 1,200,000).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+use vs_core::{CosimConfig, CosimReport, PdsKind, PowerManagement};
+use vs_gpu::all_benchmarks;
+
+/// Benchmark names in the paper's presentation order.
+pub fn benchmark_names() -> Vec<String> {
+    all_benchmarks().into_iter().map(|b| b.name).collect()
+}
+
+/// Run settings shared by every figure binary.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSettings {
+    /// Kernel-iteration scale.
+    pub workload_scale: f64,
+    /// Cycle cap per run.
+    pub max_cycles: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunSettings {
+    /// Reads settings from the environment (see crate docs).
+    pub fn from_env() -> Self {
+        let workload_scale = std::env::var("VS_BENCH_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.15);
+        let max_cycles = std::env::var("VS_BENCH_MAX_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_200_000);
+        RunSettings {
+            workload_scale,
+            max_cycles,
+            seed: 42,
+        }
+    }
+
+    /// Builds a co-sim config for a PDS kind under these settings.
+    pub fn config(&self, pds: PdsKind) -> CosimConfig {
+        CosimConfig {
+            pds,
+            workload_scale: self.workload_scale,
+            max_cycles: self.max_cycles,
+            seed: self.seed,
+            ..CosimConfig::default()
+        }
+    }
+}
+
+/// The four PDS configurations in Table III order.
+pub fn pds_configs() -> [PdsKind; 4] {
+    [
+        PdsKind::ConventionalVrm,
+        PdsKind::SingleLayerIvr,
+        PdsKind::VsCircuitOnly { area_mult: 1.72 },
+        PdsKind::VsCrossLayer { area_mult: 0.2 },
+    ]
+}
+
+/// Runs every benchmark under `cfg`, in order; reports progress on stderr.
+pub fn run_suite(cfg: &CosimConfig) -> Vec<CosimReport> {
+    run_suite_with_pm(cfg, &PowerManagement::default())
+}
+
+/// Runs every benchmark under `cfg` with power management enabled.
+pub fn run_suite_with_pm(cfg: &CosimConfig, pm: &PowerManagement) -> Vec<CosimReport> {
+    all_benchmarks()
+        .iter()
+        .map(|profile| {
+            eprintln!("  running {} under {} ...", profile.name, cfg.pds.label());
+            vs_core::Cosim::with_power_management(cfg, profile, pm.clone()).run()
+        })
+        .collect()
+}
+
+/// Runs one benchmark under `cfg` with power management.
+pub fn run_one_with_pm(cfg: &CosimConfig, name: &str, pm: &PowerManagement) -> CosimReport {
+    let profile = vs_gpu::benchmark(name).expect("known benchmark");
+    vs_core::Cosim::with_power_management(cfg, &profile, pm.clone()).run()
+}
+
+/// Baseline cache: conventional-PDS runs per benchmark, used to normalize
+/// performance penalties and energy savings.
+pub struct BaselineCache {
+    runs: HashMap<String, CosimReport>,
+}
+
+impl BaselineCache {
+    /// Runs the conventional baseline for all benchmarks.
+    pub fn build(settings: &RunSettings) -> Self {
+        let cfg = settings.config(PdsKind::ConventionalVrm);
+        let runs = run_suite(&cfg)
+            .into_iter()
+            .map(|r| (r.benchmark.clone(), r))
+            .collect();
+        BaselineCache { runs }
+    }
+
+    /// The baseline run for a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark was not in the suite.
+    pub fn get(&self, name: &str) -> &CosimReport {
+        &self.runs[name]
+    }
+
+    /// Performance penalty of `run` vs its baseline (fraction; 0.03 = 3 %).
+    pub fn perf_penalty(&self, run: &CosimReport) -> f64 {
+        let base = self.get(&run.benchmark);
+        run.cycles as f64 / base.cycles as f64 - 1.0
+    }
+
+    /// Net energy saving of `run` vs its baseline (fraction), comparing
+    /// total board input energy for the same work.
+    pub fn net_energy_saving(&self, run: &CosimReport) -> f64 {
+        let base = self.get(&run.benchmark);
+        1.0 - run.ledger.board_input_j / base.ledger.board_input_j
+    }
+}
+
+/// Prints a plain-text table: header row plus aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats volts with three decimals.
+pub fn volts(x: f64) -> String {
+    format!("{x:.3} V")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_names_in_order() {
+        let n = benchmark_names();
+        assert_eq!(n.len(), 12);
+        assert_eq!(n[0], "backprop");
+    }
+
+    #[test]
+    fn settings_produce_config() {
+        let s = RunSettings {
+            workload_scale: 0.1,
+            max_cycles: 1000,
+            seed: 7,
+        };
+        let c = s.config(PdsKind::ConventionalVrm);
+        assert_eq!(c.max_cycles, 1000);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.923), "92.3%");
+        assert_eq!(volts(0.8), "0.800 V");
+    }
+}

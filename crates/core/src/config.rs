@@ -1,0 +1,131 @@
+//! Co-simulation configuration: which PDS is under test and how the
+//! cross-layer machinery is parameterized.
+
+use serde::{Deserialize, Serialize};
+use vs_control::{ActuatorWeights, DetectorKind};
+
+/// The four power-delivery-subsystem configurations compared in the paper
+/// (Table III / Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PdsKind {
+    /// Conventional single-layer PDS with a board-level step-down VRM.
+    ConventionalVrm,
+    /// Single-layer PDS with an on-chip IVR (power crosses the PDN at a
+    /// higher voltage, conversion happens at the point of load).
+    SingleLayerIvr,
+    /// Voltage stacking with a CR-IVR sized to handle the worst case alone.
+    VsCircuitOnly {
+        /// CR-IVR area as a multiple of the GPU die (paper: 1.72x needed).
+        area_mult: f64,
+    },
+    /// The paper's cross-layer design: a small CR-IVR plus the
+    /// control-theory voltage-smoothing loop.
+    VsCrossLayer {
+        /// CR-IVR area as a multiple of the GPU die (paper: 0.2x).
+        area_mult: f64,
+    },
+}
+
+impl PdsKind {
+    /// True for the two voltage-stacked variants.
+    pub fn is_stacked(&self) -> bool {
+        matches!(self, PdsKind::VsCircuitOnly { .. } | PdsKind::VsCrossLayer { .. })
+    }
+
+    /// True when the architecture-level voltage-smoothing loop is active.
+    pub fn has_controller(&self) -> bool {
+        matches!(self, PdsKind::VsCrossLayer { .. })
+    }
+
+    /// Display name matching the paper's labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PdsKind::ConventionalVrm => "single-layer VRM",
+            PdsKind::SingleLayerIvr => "single-layer IVR",
+            PdsKind::VsCircuitOnly { .. } => "VS circuit-only",
+            PdsKind::VsCrossLayer { .. } => "VS cross-layer",
+        }
+    }
+}
+
+/// Full co-simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CosimConfig {
+    /// PDS configuration under test.
+    pub pds: PdsKind,
+    /// Voltage-smoothing trigger threshold, volts (Fig. 12 sweeps this).
+    pub v_threshold: f64,
+    /// Actuator weight vector (Fig. 13 sweeps this).
+    pub weights: ActuatorWeights,
+    /// Total control-loop latency in cycles (Fig. 10 sweeps this).
+    pub latency_cycles: u32,
+    /// Voltage detector option (Table II).
+    pub detector: DetectorKind,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Hard cycle cap for a run.
+    pub max_cycles: u64,
+    /// Scale factor on kernel iterations (<1 shortens runs for tests).
+    pub workload_scale: f64,
+    /// Couple SM power to the instantaneous layer voltage (`P ∝ V²`)
+    /// instead of treating SMs as constant-power loads.
+    pub voltage_scaled_power: bool,
+    /// Record per-SM voltage traces (costs memory; figures need it).
+    pub record_traces: bool,
+    /// Record every Nth cycle when tracing (1 = every cycle).
+    pub trace_stride: u32,
+}
+
+impl Default for CosimConfig {
+    fn default() -> Self {
+        CosimConfig {
+            pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+            v_threshold: 0.9,
+            weights: ActuatorWeights::DIWS_ONLY,
+            latency_cycles: 60,
+            detector: DetectorKind::Oddd,
+            seed: 42,
+            max_cycles: 3_000_000,
+            workload_scale: 1.0,
+            voltage_scaled_power: false,
+            record_traces: false,
+            trace_stride: 8,
+        }
+    }
+}
+
+impl CosimConfig {
+    /// The conventional baseline against which penalties and savings are
+    /// normalized.
+    pub fn conventional_baseline() -> Self {
+        CosimConfig {
+            pds: PdsKind::ConventionalVrm,
+            ..CosimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!PdsKind::ConventionalVrm.is_stacked());
+        assert!(PdsKind::VsCircuitOnly { area_mult: 1.72 }.is_stacked());
+        assert!(!PdsKind::VsCircuitOnly { area_mult: 1.72 }.has_controller());
+        assert!(PdsKind::VsCrossLayer { area_mult: 0.2 }.has_controller());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            PdsKind::ConventionalVrm.label(),
+            PdsKind::SingleLayerIvr.label(),
+            PdsKind::VsCircuitOnly { area_mult: 1.0 }.label(),
+            PdsKind::VsCrossLayer { area_mult: 0.2 }.label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

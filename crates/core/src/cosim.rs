@@ -1,0 +1,411 @@
+//! The integrated hybrid co-simulation (paper Section V).
+//!
+//! Reproduces the paper's GPGPU-Sim + GPUWattch + SPICE loop in lock step:
+//! every GPU cycle the timing simulator produces microarchitectural events,
+//! the power model turns them into per-SM watts, the circuit solver steps
+//! the PDS with those loads (SMs as time-varying ideal current sources,
+//! the paper's convention), the
+//! detectors sample the resulting layer voltages, and the voltage-smoothing
+//! controller's (latency-delayed) commands feed back into the next cycle's
+//! issue widths, fake-instruction rates, and DCC ballast currents.
+
+use vs_control::{ControllerConfig, VoltageController};
+use vs_gpu::{build_kernel, Gpu, GpuConfig, SchedulerKind, WorkloadProfile};
+use vs_hypervisor::{DfsConfig, DfsGovernor, GatingAccountant, PgConfig, VsAwareHypervisor};
+use vs_power::{PowerModel, SmPower};
+
+use crate::config::{CosimConfig, PdsKind};
+use crate::imbalance::ImbalanceHistogram;
+use crate::rig::{EnergyLedger, PdsRig};
+
+/// Optional higher-level power management active during a run.
+#[derive(Debug, Clone, Default)]
+pub struct PowerManagement {
+    /// DFS with the given performance goal.
+    pub dfs: Option<DfsConfig>,
+    /// Execution-unit power gating.
+    pub pg: Option<PgConfig>,
+    /// Route commands through the VS-aware hypervisor (Algorithm 2).
+    pub use_hypervisor: bool,
+    /// Hypervisor configuration override (None = defaults).
+    pub hypervisor_config: Option<vs_hypervisor::HypervisorConfig>,
+}
+
+/// Result of one co-simulated benchmark run.
+#[derive(Debug, Clone)]
+pub struct CosimReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// PDS configuration.
+    pub pds: PdsKind,
+    /// Cycles to kernel completion (or the cap).
+    pub cycles: u64,
+    /// Whether the kernel retired completely.
+    pub completed: bool,
+    /// Real instructions retired.
+    pub instructions: u64,
+    /// Energy ledger.
+    pub ledger: EnergyLedger,
+    /// Minimum SM supply voltage observed, volts.
+    pub min_sm_voltage: f64,
+    /// Maximum SM supply voltage observed, volts.
+    pub max_sm_voltage: f64,
+    /// Per-SM voltage summaries (only when traces were recorded).
+    pub sm_voltage_summaries: Vec<vs_circuit::TraceSummary>,
+    /// Fraction of SM-cycles perturbed by voltage smoothing.
+    pub throttle_fraction: f64,
+    /// Normalized inter-layer current-imbalance histogram (Fig. 17 bins).
+    pub imbalance: ImbalanceHistogram,
+    /// Average per-SM frequency scale over the run (1.0 without DFS).
+    pub avg_freq_scale: f64,
+    /// Net gating energy saved, joules (0 without PG).
+    pub gating_saved_j: f64,
+}
+
+impl CosimReport {
+    /// System-level power delivery efficiency.
+    pub fn pde(&self) -> f64 {
+        self.ledger.pde()
+    }
+}
+
+/// Runs one benchmark under one configuration.
+pub struct Cosim {
+    cfg: CosimConfig,
+    pm: PowerManagement,
+    gpu: Gpu,
+    power: PowerModel,
+    rig: PdsRig,
+    controller: Option<VoltageController>,
+    dfs: Option<DfsGovernor>,
+    hypervisor: Option<VsAwareHypervisor>,
+    gating_acc: GatingAccountant,
+    benchmark: String,
+}
+
+impl Cosim {
+    /// Prepares a run of `profile` under `cfg` with no higher-level power
+    /// management.
+    pub fn new(cfg: &CosimConfig, profile: &WorkloadProfile) -> Self {
+        Self::with_power_management(cfg, profile, PowerManagement::default())
+    }
+
+    /// Prepares a run with DFS / PG / hypervisor options.
+    pub fn with_power_management(
+        cfg: &CosimConfig,
+        profile: &WorkloadProfile,
+        pm: PowerManagement,
+    ) -> Self {
+        let gpu_config = GpuConfig::default();
+        let mut kernel = build_kernel(profile, &gpu_config, cfg.seed);
+        if cfg.workload_scale < 1.0 {
+            kernel.iterations =
+                ((f64::from(kernel.iterations) * cfg.workload_scale).round() as u32).max(1);
+        }
+        let scheduler = if pm.pg.is_some_and(|p| p.gates_scheduler) {
+            SchedulerKind::TwoLevelGates
+        } else {
+            SchedulerKind::Gto
+        };
+        let gpu = Gpu::new(&gpu_config, &kernel, scheduler);
+        let power = PowerModel::fermi_40nm();
+        let controller_cfg = ControllerConfig {
+            v_threshold: cfg.v_threshold,
+            weights: cfg.weights,
+            latency_cycles: cfg.latency_cycles,
+            detector: cfg.detector,
+            ..ControllerConfig::default()
+        };
+        let overhead_w = controller_cfg.controller_power_w
+            + cfg.detector.power_w() * gpu_config.n_sms as f64;
+        let rig = PdsRig::new(cfg.pds, gpu_config.clock_period_s(), overhead_w);
+        let controller = cfg
+            .pds
+            .has_controller()
+            .then(|| VoltageController::new(controller_cfg));
+        let dfs = pm
+            .dfs
+            .map(|d| DfsGovernor::new(d, gpu_config.n_sms));
+        let hypervisor = pm.use_hypervisor.then(|| {
+            VsAwareHypervisor::new(
+                pm.hypervisor_config
+                    .unwrap_or_default(),
+            )
+        });
+        Cosim {
+            cfg: cfg.clone(),
+            pm,
+            gpu,
+            power,
+            rig,
+            controller,
+            dfs,
+            hypervisor,
+            gating_acc: GatingAccountant::new(),
+            benchmark: profile.name.clone(),
+        }
+    }
+
+    /// Runs to kernel completion (or the cycle cap) and reports.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(mut self) -> CosimReport {
+        let n_sms = self.rig.n_sms();
+        let dt = 1.0 / self.power.clock_hz();
+        let v_nominal = self.power.v_nominal();
+        let mut dcc_power = vec![0.0; n_sms];
+        let mut min_v = f64::INFINITY;
+        let mut max_v = f64::NEG_INFINITY;
+        let mut traces: Vec<vs_circuit::Trace> = if self.cfg.record_traces {
+            (0..n_sms)
+                .map(|i| vs_circuit::Trace::new(format!("v(sm{i})")))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut histogram = ImbalanceHistogram::new(self.rig.topology());
+        let mut freq_scale_acc = 0.0f64;
+        let mut epoch_instr_base: Vec<u64> = vec![0; n_sms];
+        let epoch_cycles = self.pm.dfs.map_or(4096, |d| d.epoch_cycles);
+
+        // Enable gating up front if requested.
+        if self.pm.pg.is_some_and(|p| p.enabled) {
+            for sm in 0..n_sms {
+                let mut c = self.gpu.sm_control(sm);
+                c.unit_gating = true;
+                self.gpu.set_sm_control(sm, c);
+            }
+        }
+
+        let mut powers: Vec<SmPower> = vec![SmPower::default(); n_sms];
+        let mut sm_watts = vec![0.0; n_sms];
+        let mut fake_watts = vec![0.0; n_sms];
+        let table_fake = self.power.table().e_fake;
+
+        while !self.gpu.done() && self.gpu.cycle() < self.cfg.max_cycles {
+            let events = self.gpu.tick();
+            let voltages = self.rig.sm_voltages();
+
+            for sm in 0..n_sms {
+                let s = &events.per_sm[sm];
+                let mut p = self.power.sm_power_w(s);
+                if self.cfg.voltage_scaled_power {
+                    p = self.power.voltage_scaled(p, voltages[sm]);
+                }
+                powers[sm] = p;
+                sm_watts[sm] = p.total();
+                fake_watts[sm] = table_fake * f64::from(s.issued_fake) * self.power.clock_hz();
+                if self.pm.pg.is_some() {
+                    self.gating_acc.record(s);
+                }
+            }
+
+            self.rig.step(&sm_watts, &dcc_power, &fake_watts);
+            let voltages = self.rig.sm_voltages();
+            let stride = u64::from(self.cfg.trace_stride.max(1));
+            for (sm, v) in voltages.iter().enumerate() {
+                min_v = min_v.min(*v);
+                max_v = max_v.max(*v);
+                if self.cfg.record_traces && self.gpu.cycle().is_multiple_of(stride) {
+                    traces[sm].push(self.rig.time(), *v);
+                }
+            }
+            histogram.record(&sm_watts, &voltages, v_nominal);
+
+            // Architecture-level voltage smoothing.
+            if let Some(ctrl) = self.controller.as_mut() {
+                let commands = ctrl.update(&voltages).to_vec();
+                for (sm, cmd) in commands.iter().enumerate() {
+                    let mut c = self.gpu.sm_control(sm);
+                    c.issue_width = cmd.issue_width;
+                    c.fake_rate = cmd.fake_rate;
+                    self.gpu.set_sm_control(sm, c);
+                    dcc_power[sm] = cmd.dcc_power_w;
+                }
+            }
+
+            // Higher-level power management on epoch boundaries.
+            if self.gpu.cycle().is_multiple_of(epoch_cycles) {
+                if let Some(gov) = self.dfs.as_mut() {
+                    let stats = self.gpu.sm_stats();
+                    let instr: Vec<u64> = (0..n_sms)
+                        .map(|i| stats[i].instructions - epoch_instr_base[i])
+                        .collect();
+                    for (base, s) in epoch_instr_base.iter_mut().zip(&stats) {
+                        *base = s.instructions;
+                    }
+                    gov.on_epoch(&instr);
+                    let mut freqs: Vec<f64> = gov.frequencies_hz().to_vec();
+                    let mut gates = vec![self.pm.pg.is_some_and(|p| p.enabled); n_sms];
+                    if let Some(hv) = self.hypervisor.as_mut() {
+                        if let Some(ctrl) = self.controller.as_ref() {
+                            hv.observe_throttle_fraction(ctrl.throttle_fraction());
+                        }
+                        if self.rig.is_stacked() {
+                            hv.map_commands(&mut freqs, &mut gates);
+                        }
+                    }
+                    for sm in 0..n_sms {
+                        gov.set_frequency(sm, freqs[sm]);
+                        let mut c = self.gpu.sm_control(sm);
+                        c.freq_scale = freqs[sm] / gov.config().base_hz;
+                        c.unit_gating = gates[sm];
+                        self.gpu.set_sm_control(sm, c);
+                    }
+                } else if let Some(hv) = self.hypervisor.as_mut() {
+                    if let Some(ctrl) = self.controller.as_ref() {
+                        hv.observe_throttle_fraction(ctrl.throttle_fraction());
+                    }
+                    if self.rig.is_stacked() && self.pm.pg.is_some_and(|p| p.enabled) {
+                        let mut freqs = vec![700e6; n_sms];
+                        let mut gates = vec![true; n_sms];
+                        hv.map_commands(&mut freqs, &mut gates);
+                        for sm in 0..n_sms {
+                            let mut c = self.gpu.sm_control(sm);
+                            c.unit_gating = gates[sm];
+                            self.gpu.set_sm_control(sm, c);
+                        }
+                    }
+                }
+            }
+            freq_scale_acc += (0..n_sms)
+                .map(|i| self.gpu.sm_control(i).freq_scale)
+                .sum::<f64>()
+                / n_sms as f64;
+        }
+
+        let cycles = self.gpu.cycle();
+        let completed = self.gpu.done();
+        let ledger = self.rig.ledger();
+        let gating_saved_j = if self.pm.pg.is_some() {
+            self.gating_acc.net_energy_saved_j(&self.power)
+        } else {
+            0.0
+        };
+        let _ = dt;
+        CosimReport {
+            benchmark: self.benchmark,
+            pds: self.cfg.pds,
+            cycles,
+            completed,
+            instructions: self.gpu.total_instructions(),
+            ledger,
+            min_sm_voltage: min_v,
+            max_sm_voltage: max_v,
+            sm_voltage_summaries: traces.iter().map(vs_circuit::Trace::summary).collect(),
+            throttle_fraction: self
+                .controller
+                .as_ref()
+                .map_or(0.0, VoltageController::throttle_fraction),
+            imbalance: histogram,
+            avg_freq_scale: if cycles == 0 {
+                1.0
+            } else {
+                freq_scale_acc / cycles as f64
+            },
+            gating_saved_j,
+        }
+    }
+}
+
+/// Convenience: run one benchmark by name under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the twelve benchmarks.
+pub fn run_benchmark(cfg: &CosimConfig, name: &str) -> CosimReport {
+    let profile = vs_gpu::benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    Cosim::new(cfg, &profile).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(pds: PdsKind) -> CosimConfig {
+        CosimConfig {
+            pds,
+            workload_scale: 0.1,
+            max_cycles: 400_000,
+            ..CosimConfig::default()
+        }
+    }
+
+    #[test]
+    fn cross_layer_run_completes_with_high_pde() {
+        let r = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "heartwall");
+        assert!(r.completed, "kernel must finish ({} cycles)", r.cycles);
+        let pde = r.pde();
+        assert!((0.87..=0.97).contains(&pde), "PDE {pde}");
+        assert!(r.min_sm_voltage > 0.8, "min V {}", r.min_sm_voltage);
+    }
+
+    #[test]
+    fn conventional_run_has_lower_pde() {
+        let vs = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "hotspot");
+        let conv = run_benchmark(&quick(PdsKind::ConventionalVrm), "hotspot");
+        assert!(conv.completed && vs.completed);
+        assert!(
+            vs.pde() > conv.pde() + 0.05,
+            "VS {} vs conventional {}",
+            vs.pde(),
+            conv.pde()
+        );
+    }
+
+    #[test]
+    fn throttling_costs_few_cycles() {
+        let base = run_benchmark(&quick(PdsKind::ConventionalVrm), "srad");
+        let vs = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "srad");
+        assert!(base.completed && vs.completed);
+        let penalty = vs.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(
+            (-0.02..=0.15).contains(&penalty),
+            "performance penalty {penalty}"
+        );
+    }
+
+    #[test]
+    fn imbalance_histogram_mostly_balanced() {
+        let r = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "heartwall");
+        let f = r.imbalance.fractions();
+        // Paper Fig. 17: >= 50% of cycles under 10% normalized imbalance.
+        assert!(f[0] > 0.5, "balanced fraction {:?}", f);
+    }
+
+    #[test]
+    fn dfs_reduces_average_frequency() {
+        let cfg = CosimConfig {
+            pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+            workload_scale: 0.5,
+            max_cycles: 1_500_000,
+            ..CosimConfig::default()
+        };
+        let profile = vs_gpu::benchmark("bfs").unwrap();
+        let pm = PowerManagement {
+            dfs: Some(DfsConfig::with_goal(0.5)),
+            ..PowerManagement::default()
+        };
+        let r = Cosim::with_power_management(&cfg, &profile, pm).run();
+        assert!(
+            r.avg_freq_scale < 0.9,
+            "DFS should lower clocks: {}",
+            r.avg_freq_scale
+        );
+    }
+
+    #[test]
+    fn pg_saves_energy_on_unbalanced_units() {
+        // bfs stalls on memory for long stretches: its idle windows beat the
+        // break-even threshold comfortably (compute-dense benchmarks can net
+        // negative savings from wake thrash, as Warped Gates reports).
+        let cfg = quick(PdsKind::ConventionalVrm);
+        let profile = vs_gpu::benchmark("bfs").unwrap();
+        let pm = PowerManagement {
+            pg: Some(PgConfig::default()),
+            ..PowerManagement::default()
+        };
+        let r = Cosim::with_power_management(&cfg, &profile, pm).run();
+        assert!(r.completed);
+        assert!(r.gating_saved_j > 0.0, "saved {}", r.gating_saved_j);
+    }
+}

@@ -1,0 +1,161 @@
+//! Inter-layer current-imbalance statistics (paper Fig. 17).
+//!
+//! For every cycle, the magnitude of the current difference between each
+//! pair of vertically stacked SMs (adjacent layers, same column) is
+//! normalized by the peak SM current and binned into the paper's four
+//! buckets: 0–10 %, 10–20 %, 20–40 %, > 40 %.
+
+use serde::{Deserialize, Serialize};
+
+/// Normalization reference: a compute-dense SM peaks near this current at
+/// 1 V (see the power model calibration).
+const PEAK_SM_CURRENT_A: f64 = 14.0;
+
+/// Histogram of normalized vertical current imbalance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ImbalanceHistogram {
+    n_layers: usize,
+    n_columns: usize,
+    /// Counts for the bins 0–10 %, 10–20 %, 20–40 %, > 40 %.
+    bins: [u64; 4],
+    /// Largest normalized imbalance observed.
+    peak_observed: f64,
+}
+
+impl ImbalanceHistogram {
+    /// Creates an empty histogram for a `(layers, columns)` topology.
+    pub fn new(topology: (usize, usize)) -> Self {
+        ImbalanceHistogram {
+            n_layers: topology.0,
+            n_columns: topology.1,
+            bins: [0; 4],
+            peak_observed: 0.0,
+        }
+    }
+
+    /// Records one cycle: `sm_power_w` layer-major, `voltages` the per-SM
+    /// supply voltages (for current conversion).
+    pub fn record(&mut self, sm_power_w: &[f64], voltages: &[f64], v_nominal: f64) {
+        if self.n_layers < 2 {
+            return; // single-layer PDS has no vertical pairs
+        }
+        for col in 0..self.n_columns {
+            for layer in 0..self.n_layers - 1 {
+                let a = layer * self.n_columns + col;
+                let b = (layer + 1) * self.n_columns + col;
+                let ia = sm_power_w[a] / voltages[a].max(0.4 * v_nominal);
+                let ib = sm_power_w[b] / voltages[b].max(0.4 * v_nominal);
+                let norm = (ia - ib).abs() / PEAK_SM_CURRENT_A;
+                self.peak_observed = self.peak_observed.max(norm);
+                let bin = if norm < 0.10 {
+                    0
+                } else if norm < 0.20 {
+                    1
+                } else if norm < 0.40 {
+                    2
+                } else {
+                    3
+                };
+                self.bins[bin] += 1;
+            }
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> [u64; 4] {
+        self.bins
+    }
+
+    /// Bin fractions summing to 1 (all zeros when empty).
+    pub fn fractions(&self) -> [f64; 4] {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let t = total as f64;
+        [
+            self.bins[0] as f64 / t,
+            self.bins[1] as f64 / t,
+            self.bins[2] as f64 / t,
+            self.bins[3] as f64 / t,
+        ]
+    }
+
+    /// Largest normalized imbalance seen.
+    pub fn peak_observed(&self) -> f64 {
+        self.peak_observed
+    }
+
+    /// Merges another histogram (for suite-level averages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topologies differ.
+    pub fn merge(&mut self, other: &ImbalanceHistogram) {
+        assert_eq!(
+            (self.n_layers, self.n_columns),
+            (other.n_layers, other.n_columns)
+        );
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += *b;
+        }
+        self.peak_observed = self.peak_observed.max(other.peak_observed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_power_lands_in_first_bin() {
+        let mut h = ImbalanceHistogram::new((4, 4));
+        let p = vec![8.0; 16];
+        let v = vec![1.0; 16];
+        h.record(&p, &v, 1.0);
+        let f = h.fractions();
+        assert_eq!(f[0], 1.0);
+        assert_eq!(h.bins().iter().sum::<u64>(), 12); // 3 pairs x 4 columns
+    }
+
+    #[test]
+    fn gated_layer_lands_in_top_bin() {
+        let mut h = ImbalanceHistogram::new((4, 4));
+        let mut p = vec![8.0; 16];
+        for col in 0..4 {
+            p[col] = 0.0; // layer 0 off
+        }
+        let v = vec![1.0; 16];
+        h.record(&p, &v, 1.0);
+        let f = h.fractions();
+        // 4 of the 12 pairs straddle the gated layer: 8/14 ≈ 0.57 > 40%.
+        assert!(f[3] > 0.3, "{f:?}");
+        assert!(h.peak_observed() > 0.4);
+    }
+
+    #[test]
+    fn moderate_imbalance_in_middle_bins() {
+        let mut h = ImbalanceHistogram::new((2, 1));
+        h.record(&[8.0, 6.0], &[1.0, 1.0], 1.0); // 2 A / 14 A ≈ 14%
+        assert_eq!(h.bins()[1], 1);
+    }
+
+    #[test]
+    fn single_layer_records_nothing() {
+        let mut h = ImbalanceHistogram::new((1, 16));
+        h.record(&vec![8.0; 16], &vec![1.0; 16], 1.0);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+        assert_eq!(h.fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ImbalanceHistogram::new((2, 1));
+        let mut b = ImbalanceHistogram::new((2, 1));
+        a.record(&[8.0, 8.0], &[1.0, 1.0], 1.0);
+        b.record(&[8.0, 0.0], &[1.0, 1.0], 1.0);
+        a.merge(&b);
+        assert_eq!(a.bins()[0], 1);
+        assert_eq!(a.bins()[3], 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # vs-core — the cross-layer voltage-stacked GPU system
+//!
+//! The paper's primary contribution, assembled from the workspace's
+//! substrates: a lock-step co-simulation of the GPU timing simulator
+//! (`vs-gpu`), the power model (`vs-power`), the power-delivery-network
+//! circuit solver (`vs-circuit` + `vs-pds`), the control-theory voltage
+//! smoothing loop (`vs-control`), and the collaborative power-management
+//! hypervisor (`vs-hypervisor`).
+//!
+//! Entry points:
+//!
+//! * [`CosimConfig`] + [`run_benchmark`] / [`Cosim`] — run one of the twelve
+//!   benchmarks under any of the four PDS configurations and get a
+//!   [`CosimReport`] with PDE, loss breakdown, supply-noise statistics, and
+//!   imbalance histograms.
+//! * [`run_worst_case`] — the synthetic worst-case imbalance scenario
+//!   behind the paper's reliability guarantee (Figs. 9–10).
+//! * [`PowerManagement`] — bolt on DFS, power gating, and the VS-aware
+//!   hypervisor for the collaborative-power-management studies
+//!   (Figs. 15–17).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use vs_core::{run_benchmark, CosimConfig, PdsKind};
+//!
+//! let cfg = CosimConfig {
+//!     pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+//!     ..CosimConfig::default()
+//! };
+//! let report = run_benchmark(&cfg, "hotspot");
+//! println!("PDE = {:.1}%", 100.0 * report.pde());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod cosim;
+mod imbalance;
+mod rig;
+mod scenarios;
+
+pub use config::{CosimConfig, PdsKind};
+pub use cosim::{run_benchmark, Cosim, CosimReport, PowerManagement};
+pub use imbalance::ImbalanceHistogram;
+pub use rig::{EnergyLedger, PdsRig};
+pub use scenarios::{run_worst_case, worst_voltage_for, WorstCaseConfig, WorstCaseResult};

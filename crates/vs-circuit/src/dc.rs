@@ -1,0 +1,255 @@
+//! DC operating-point analysis.
+//!
+//! Capacitors are treated as open circuits and inductors as ideal shorts
+//! (with their branch current retained as an unknown). The result is used to
+//! initialize transient runs at equilibrium so start-up transients do not
+//! pollute supply-noise statistics.
+
+use vs_num::{LuFactors, Matrix};
+use crate::netlist::{Element, Netlist, NetlistError, NodeId};
+
+/// Solution of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    pub(crate) node_voltages: Vec<f64>,
+    pub(crate) group2_currents: Vec<f64>,
+    pub(crate) group2_elements: Vec<usize>,
+}
+
+impl DcSolution {
+    /// Voltage of `node` relative to ground.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            self.node_voltages[node.index() - 1]
+        }
+    }
+
+    /// Branch current of a group-2 element (voltage source or inductor),
+    /// flowing from its first terminal to its second through the element.
+    /// Returns `None` for other element kinds.
+    pub fn branch_current(&self, element: crate::ElementId) -> Option<f64> {
+        self.group2_elements
+            .iter()
+            .position(|&e| e == element.index())
+            .map(|k| self.group2_currents[k])
+    }
+}
+
+impl Netlist {
+    /// Computes the DC operating point with all controlled sources at zero
+    /// amperes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if the netlist is malformed or the system is
+    /// singular (e.g. a node with no DC path to ground).
+    pub fn dc_operating_point(&self) -> Result<DcSolution, NetlistError> {
+        self.dc_operating_point_with_controls(&vec![0.0; self.n_controls()])
+    }
+
+    /// Computes the DC operating point with explicit control values for
+    /// controlled current sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if the netlist is malformed or the system is
+    /// singular.
+    pub fn dc_operating_point_with_controls(
+        &self,
+        controls: &[f64],
+    ) -> Result<DcSolution, NetlistError> {
+        self.validate()?;
+        let group2 = self.group2_elements();
+        let n_nodes = self.n_nodes() - 1;
+        let dim = self.system_dim();
+        let mut a = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+
+        let stamp_conductance = |a: &mut Matrix<f64>, na: NodeId, nb: NodeId, g: f64| {
+            if let Some(i) = self.node_var(na) {
+                a[(i, i)] += g;
+            }
+            if let Some(j) = self.node_var(nb) {
+                a[(j, j)] += g;
+            }
+            if let (Some(i), Some(j)) = (self.node_var(na), self.node_var(nb)) {
+                a[(i, j)] -= g;
+                a[(j, i)] -= g;
+            }
+        };
+
+        for (idx, e) in self.elements().iter().enumerate() {
+            match *e {
+                Element::Resistor { a: na, b: nb, ohms } => {
+                    stamp_conductance(&mut a, na, nb, 1.0 / ohms);
+                }
+                Element::Switch {
+                    a: na,
+                    b: nb,
+                    r_on,
+                    r_off,
+                    closed,
+                } => {
+                    let r = if closed { r_on } else { r_off };
+                    stamp_conductance(&mut a, na, nb, 1.0 / r);
+                }
+                Element::Capacitor { .. } => {} // open at DC
+                Element::Inductor { a: na, b: nb, .. } => {
+                    // Short at DC: V(a) - V(b) = 0, branch current unknown.
+                    let k = n_nodes + group2.iter().position(|&g| g == idx).unwrap();
+                    if let Some(i) = self.node_var(na) {
+                        a[(k, i)] += 1.0;
+                        a[(i, k)] += 1.0;
+                    }
+                    if let Some(j) = self.node_var(nb) {
+                        a[(k, j)] -= 1.0;
+                        a[(j, k)] -= 1.0;
+                    }
+                }
+                Element::VoltageSource { pos, neg, volts } => {
+                    let k = n_nodes + group2.iter().position(|&g| g == idx).unwrap();
+                    if let Some(i) = self.node_var(pos) {
+                        a[(k, i)] += 1.0;
+                        a[(i, k)] += 1.0;
+                    }
+                    if let Some(j) = self.node_var(neg) {
+                        a[(k, j)] -= 1.0;
+                        a[(j, k)] -= 1.0;
+                    }
+                    rhs[k] = volts;
+                }
+                Element::ChargeRecycler {
+                    top,
+                    mid,
+                    bottom,
+                    siemens,
+                } => {
+                    let g = siemens;
+                    let entries = [
+                        (top, top, g),
+                        (top, mid, -2.0 * g),
+                        (top, bottom, g),
+                        (mid, top, -2.0 * g),
+                        (mid, mid, 4.0 * g),
+                        (mid, bottom, -2.0 * g),
+                        (bottom, top, g),
+                        (bottom, mid, -2.0 * g),
+                        (bottom, bottom, g),
+                    ];
+                    for (r, c, v) in entries {
+                        if let (Some(i), Some(j)) = (self.node_var(r), self.node_var(c)) {
+                            a[(i, j)] += v;
+                        }
+                    }
+                }
+                Element::CurrentSource {
+                    a: na,
+                    b: nb,
+                    waveform,
+                } => {
+                    let i_val = waveform.value_at(0.0, controls);
+                    if let Some(i) = self.node_var(na) {
+                        rhs[i] -= i_val;
+                    }
+                    if let Some(j) = self.node_var(nb) {
+                        rhs[j] += i_val;
+                    }
+                }
+            }
+        }
+
+        let lu = LuFactors::factor(&a).map_err(|_| NetlistError::Singular)?;
+        let x = lu.solve(&rhs);
+        Ok(DcSolution {
+            node_voltages: x[..n_nodes].to_vec(),
+            group2_currents: x[n_nodes..].to_vec(),
+            group2_elements: group2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn voltage_divider() {
+        let mut n = Netlist::new();
+        let vin = n.node("vin");
+        let mid = n.node("mid");
+        n.voltage_source(vin, Netlist::GROUND, 4.0);
+        n.resistor(vin, mid, 3.0);
+        n.resistor(mid, Netlist::GROUND, 1.0);
+        let dc = n.dc_operating_point().unwrap();
+        assert!((dc.voltage(vin) - 4.0).abs() < 1e-12);
+        assert!((dc.voltage(mid) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.voltage_source(a, Netlist::GROUND, 1.0);
+        let l = n.inductor(a, b, 1e-6);
+        n.resistor(b, Netlist::GROUND, 2.0);
+        let dc = n.dc_operating_point().unwrap();
+        assert!((dc.voltage(b) - 1.0).abs() < 1e-12);
+        assert!((dc.branch_current(l).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.voltage_source(a, Netlist::GROUND, 1.0);
+        n.resistor(a, b, 1.0);
+        n.capacitor(b, Netlist::GROUND, 1e-9);
+        // With the cap open, no current flows, so V(b) = V(a).
+        // A bleed resistor keeps the system nonsingular.
+        n.resistor(b, Netlist::GROUND, 1e9);
+        let dc = n.dc_operating_point().unwrap();
+        assert!((dc.voltage(b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_direction() {
+        // 1 A drawn from node a to ground through the source, into a 2-ohm
+        // resistor from a supply: models a load.
+        let mut n = Netlist::new();
+        let vin = n.node("vin");
+        let a = n.node("a");
+        n.voltage_source(vin, Netlist::GROUND, 5.0);
+        n.resistor(vin, a, 2.0);
+        n.current_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        let dc = n.dc_operating_point().unwrap();
+        // Load current of 1 A drops 2 V across the resistor.
+        assert!((dc.voltage(a) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.resistor(a, b, 1.0); // neither node tied to anything else
+        assert_eq!(n.dc_operating_point().unwrap_err(), NetlistError::Singular);
+    }
+
+    #[test]
+    fn controlled_source_in_dc() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.voltage_source(a, Netlist::GROUND, 1.0);
+        let r = n.node("r");
+        n.resistor(a, r, 1.0);
+        let (_e, c) = n.controlled_current_source(r, Netlist::GROUND);
+        let dc = n.dc_operating_point_with_controls(&[0.25]).unwrap();
+        assert_eq!(c.index(), 0);
+        assert!((dc.voltage(r) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Time-series recording and summary statistics for simulation waveforms.
+
+use serde::{Deserialize, Serialize};
+
+/// A recorded waveform: monotonically increasing sample times plus values.
+///
+/// # Examples
+///
+/// ```
+/// use vs_circuit::Trace;
+///
+/// let mut t = Trace::new("v(out)");
+/// t.push(0.0, 1.0);
+/// t.push(1e-9, 0.8);
+/// t.push(2e-9, 1.1);
+/// assert_eq!(t.min(), 0.8);
+/// assert_eq!(t.max(), 1.1);
+/// assert_eq!(t.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Display name of the trace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Times should be non-decreasing; this is not
+    /// enforced but quantile helpers assume it.
+    pub fn push(&mut self, time_s: f64, value: f64) {
+        self.times.push(time_s);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample times, seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Last recorded value, or `None` when empty.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Minimum value; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum value; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Standard deviation (population); 0.0 when fewer than 2 samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Value quantile in `[0, 1]` using nearest-rank on a sorted copy;
+    /// 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in trace"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Five-number summary plus mean, handy for box plots (Fig. 11).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            min: self.min(),
+            q1: self.quantile(0.25),
+            median: self.quantile(0.5),
+            q3: self.quantile(0.75),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+impl Extend<(f64, f64)> for Trace {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+/// Box-plot-style summary of a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        let mut t = Trace::new("ramp");
+        for i in 0..101 {
+            t.push(i as f64, i as f64);
+        }
+        t
+    }
+
+    #[test]
+    fn stats_on_ramp() {
+        let t = ramp();
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 100.0);
+        assert_eq!(t.mean(), 50.0);
+        assert_eq!(t.quantile(0.5), 50.0);
+        assert_eq!(t.quantile(0.0), 0.0);
+        assert_eq!(t.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.std_dev(), 0.0);
+        assert_eq!(t.last(), None);
+    }
+
+    #[test]
+    fn summary_orders() {
+        let s = ramp().summary();
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new("x");
+        t.extend([(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last(), Some(2.0));
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        let mut t = Trace::new("c");
+        for i in 0..10 {
+            t.push(i as f64, 3.0);
+        }
+        assert!(t.std_dev().abs() < 1e-12);
+    }
+}

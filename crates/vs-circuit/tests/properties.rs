@@ -1,0 +1,154 @@
+//! Property-based tests for the circuit solver: invariants that must hold
+//! for any passive network, not just hand-picked examples.
+
+use proptest::prelude::*;
+use vs_circuit::{AcAnalysis, Integration, Netlist, NodeId, Transient, Waveform};
+
+/// Builds a random ladder network: a supply at the top, `n` rungs of series
+/// resistance to ground-terminated RC sections, optional load currents.
+fn ladder(
+    rungs: usize,
+    series_ohms: &[f64],
+    shunt_ohms: &[f64],
+    shunt_farads: &[f64],
+    loads: &[f64],
+    volts: f64,
+) -> (Netlist, Vec<NodeId>) {
+    let mut net = Netlist::new();
+    let top = net.node("top");
+    net.voltage_source(top, Netlist::GROUND, volts);
+    let mut prev = top;
+    let mut nodes = Vec::new();
+    for i in 0..rungs {
+        let n = net.node(format!("n{i}"));
+        net.resistor(prev, n, series_ohms[i]);
+        net.resistor(n, Netlist::GROUND, shunt_ohms[i]);
+        net.capacitor(n, Netlist::GROUND, shunt_farads[i]);
+        net.current_source(n, Netlist::GROUND, Waveform::Dc(loads[i]));
+        nodes.push(n);
+        prev = n;
+    }
+    (net, nodes)
+}
+
+fn rung_count() -> impl Strategy<Value = usize> {
+    1usize..6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without load currents, every node of a resistive-capacitive divider
+    /// network sits between 0 and the supply voltage at DC.
+    #[test]
+    fn dc_voltages_bounded_by_supply(
+        rungs in rung_count(),
+        seed in any::<u64>(),
+        volts in 0.5f64..5.0,
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let series: Vec<f64> = (0..rungs).map(|_| 0.1 + next() * 10.0).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| 1.0 + next() * 100.0).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| 1e-12 + next() * 1e-9).collect();
+        let loads = vec![0.0; rungs];
+        let (net, nodes) = ladder(rungs, &series, &shunt, &caps, &loads, volts);
+        let dc = net.dc_operating_point().unwrap();
+        for n in nodes {
+            let v = dc.voltage(n);
+            prop_assert!(v >= -1e-9 && v <= volts + 1e-9, "v = {v}");
+        }
+    }
+
+    /// Tellegen's theorem (sum of branch powers = 0) holds at every accepted
+    /// transient step of any ladder, for both integration methods.
+    #[test]
+    fn tellegen_holds_along_transient(
+        rungs in rung_count(),
+        seed in any::<u64>(),
+        be in any::<bool>(),
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let series: Vec<f64> = (0..rungs).map(|_| 0.1 + next() * 10.0).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| 1.0 + next() * 100.0).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| 1e-12 + next() * 1e-9).collect();
+        let loads: Vec<f64> = (0..rungs).map(|_| next() * 0.2).collect();
+        let (net, _) = ladder(rungs, &series, &shunt, &caps, &loads, 1.0);
+        let method = if be { Integration::BackwardEuler } else { Integration::Trapezoidal };
+        let mut sim = Transient::new(&net, 1e-10, method).unwrap();
+        for _ in 0..50 {
+            sim.step().unwrap();
+            prop_assert!(sim.tellegen_residual_w().abs() < 1e-8,
+                "residual {}", sim.tellegen_residual_w());
+        }
+    }
+
+    /// Energy conservation: source energy equals resistive loss plus load
+    /// energy plus the change in stored capacitor energy (within integration
+    /// tolerance).
+    #[test]
+    fn energy_balance_on_ladders(
+        rungs in rung_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let series: Vec<f64> = (0..rungs).map(|_| 0.5 + next() * 5.0).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| 5.0 + next() * 50.0).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| 1e-12 + next() * 1e-10).collect();
+        let loads: Vec<f64> = (0..rungs).map(|_| next() * 0.1).collect();
+        let (net, _) = ladder(rungs, &series, &shunt, &caps, &loads, 2.0);
+        // Start from DC equilibrium: stored energy change is ~zero, so
+        // source = loss + load.
+        let mut sim = Transient::new(&net, 1e-10, Integration::Trapezoidal).unwrap();
+        sim.run(100).unwrap();
+        let e = sim.energy();
+        let residual = e.source_delivered_j - e.resistive_loss_j - e.load_absorbed_j;
+        let scale = e.source_delivered_j.abs().max(1e-15);
+        prop_assert!(residual.abs() / scale < 1e-6, "residual {residual}, scale {scale}");
+        prop_assert!(e.resistive_loss_j >= 0.0);
+    }
+
+    /// Driving-point impedance magnitude of an RC (no inductor) one-port is
+    /// non-increasing in frequency.
+    #[test]
+    fn rc_impedance_monotone_in_frequency(
+        rungs in rung_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        // Pure RC ladder one-port (no source).
+        let mut net = Netlist::new();
+        let port = net.node("port");
+        let mut prev = port;
+        for i in 0..rungs {
+            let n = net.node(format!("n{i}"));
+            net.resistor(prev, n, 0.5 + next() * 5.0);
+            net.capacitor(n, Netlist::GROUND, 1e-12 + next() * 1e-9);
+            net.resistor(n, Netlist::GROUND, 10.0 + next() * 100.0);
+            prev = n;
+        }
+        let ac = AcAnalysis::new(&net).unwrap();
+        let freqs = vs_circuit::log_space(1e3, 1e9, 25);
+        let mut prev_mag = f64::INFINITY;
+        for f in freqs {
+            let z = ac.impedance(f, port, Netlist::GROUND).unwrap().abs();
+            prop_assert!(z <= prev_mag * (1.0 + 1e-9), "|Z| rose: {z} > {prev_mag} at {f} Hz");
+            prev_mag = z;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Front-end voltage detectors (paper Table II) and the anti-alias RC
+//! filter placed in front of them.
+//!
+//! Three sensing options are modeled: on-die droop detectors (ODDD),
+//! critical-path monitors (CPM), and ADC-based sensing. They differ in
+//! latency, power, and resolution; all are compatible with the voltage
+//! smoothing controller and the co-simulation lets any of them be selected.
+
+use serde::{Deserialize, Serialize};
+
+/// Voltage sensing options from the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// On-die droop detector: 1–2 cycle latency, 0–10 mW, 10–20 mV
+    /// resolution, emits a droop indicator.
+    Oddd,
+    /// Critical-path monitor: 10–100 cycle latency, 30–60 mW, 10–100 mV
+    /// resolution, reports timing variation.
+    Cpm,
+    /// N-bit ADC: 1–10 cycle latency, 10–100 mW, full-scale/2^N resolution.
+    Adc {
+        /// Resolution in bits.
+        bits: u32,
+    },
+}
+
+impl DetectorKind {
+    /// Typical sensing latency in GPU clock cycles (midpoint of the Table II
+    /// range).
+    pub fn latency_cycles(self) -> u32 {
+        match self {
+            DetectorKind::Oddd => 2,
+            DetectorKind::Cpm => 50,
+            DetectorKind::Adc { .. } => 5,
+        }
+    }
+
+    /// Typical power draw in watts.
+    pub fn power_w(self) -> f64 {
+        match self {
+            DetectorKind::Oddd => 5e-3,
+            DetectorKind::Cpm => 45e-3,
+            DetectorKind::Adc { .. } => 50e-3,
+        }
+    }
+
+    /// Voltage resolution in volts for a given full-scale range.
+    pub fn resolution_v(self, full_scale_v: f64) -> f64 {
+        match self {
+            DetectorKind::Oddd => 15e-3,
+            DetectorKind::Cpm => 50e-3,
+            DetectorKind::Adc { bits } => full_scale_v / f64::from(2u32.pow(bits.min(24))),
+        }
+    }
+}
+
+/// Single-pole RC low-pass filter, discretized with the bilinear-free
+/// forward integration that a real RC presents to a sampled system:
+/// `y += alpha (x - y)`, `alpha = dt / (RC + dt)`.
+///
+/// The paper places a 50 MHz-cutoff filter (10 kΩ, 2 pF) before each
+/// detector to strip noise above what the architecture loop can act on.
+#[derive(Debug, Clone, Copy)]
+pub struct LowPassFilter {
+    alpha: f64,
+    state: f64,
+}
+
+impl LowPassFilter {
+    /// Creates a filter with cutoff `f_cutoff_hz`, sampled every `dt_s`,
+    /// initialized to `initial` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutoff or timestep is not positive.
+    pub fn new(f_cutoff_hz: f64, dt_s: f64, initial: f64) -> Self {
+        assert!(f_cutoff_hz > 0.0 && dt_s > 0.0);
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * f_cutoff_hz);
+        LowPassFilter {
+            alpha: dt_s / (rc + dt_s),
+            state: initial,
+        }
+    }
+
+    /// Feeds one sample and returns the filtered value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        self.state += self.alpha * (x - self.state);
+        self.state
+    }
+
+    /// Current filter output.
+    pub fn output(&self) -> f64 {
+        self.state
+    }
+}
+
+/// A complete sensing chain: RC filter → quantizing detector.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    kind: DetectorKind,
+    filter: LowPassFilter,
+    resolution_v: f64,
+}
+
+impl Detector {
+    /// Builds a detector of `kind` sampling every `dt_s` with the paper's
+    /// 50 MHz anti-alias cutoff, quantizing over `full_scale_v`.
+    pub fn new(kind: DetectorKind, dt_s: f64, full_scale_v: f64, initial_v: f64) -> Self {
+        Detector {
+            kind,
+            filter: LowPassFilter::new(50e6, dt_s, initial_v),
+            resolution_v: kind.resolution_v(full_scale_v),
+        }
+    }
+
+    /// The detector kind.
+    pub fn kind(&self) -> DetectorKind {
+        self.kind
+    }
+
+    /// Feeds the instantaneous node voltage; returns the filtered, quantized
+    /// measurement.
+    pub fn sample(&mut self, v: f64) -> f64 {
+        let filtered = self.filter.update(v);
+        (filtered / self.resolution_v).round() * self.resolution_v
+    }
+
+    /// Sensing latency contribution in cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.kind.latency_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(DetectorKind::Oddd.latency_cycles(), 2);
+        assert_eq!(DetectorKind::Cpm.latency_cycles(), 50);
+        assert_eq!(DetectorKind::Adc { bits: 8 }.latency_cycles(), 5);
+        let r = DetectorKind::Adc { bits: 8 }.resolution_v(1.28);
+        assert!((r - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_settles_to_dc() {
+        let mut f = LowPassFilter::new(50e6, 1.0 / 700e6, 0.0);
+        for _ in 0..5_000 {
+            f.update(1.0);
+        }
+        assert!((f.output() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequency() {
+        // 350 MHz square-ish toggling at the 700 MHz sample rate should be
+        // strongly attenuated by a 50 MHz filter.
+        let dt = 1.0 / 700e6;
+        let mut f = LowPassFilter::new(50e6, dt, 0.5);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..10_000 {
+            let x = if i % 2 == 0 { 1.0 } else { 0.0 };
+            let y = f.update(x);
+            if i > 1_000 {
+                min = min.min(y);
+                max = max.max(y);
+            }
+        }
+        assert!(max - min < 0.4, "ripple {}", max - min);
+        assert!((0.5 - (max + min) / 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn detector_quantizes() {
+        let mut d = Detector::new(DetectorKind::Adc { bits: 4 }, 1e-9, 1.6, 1.0);
+        // Resolution = 0.1 V: outputs are multiples of 0.1.
+        let v = d.sample(1.0);
+        assert!((v / 0.1 - (v / 0.1).round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oddd_is_fastest() {
+        assert!(DetectorKind::Oddd.latency_cycles() < DetectorKind::Adc { bits: 8 }.latency_cycles());
+        assert!(
+            DetectorKind::Adc { bits: 8 }.latency_cycles() < DetectorKind::Cpm.latency_cycles()
+        );
+    }
+}

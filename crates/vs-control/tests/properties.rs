@@ -1,0 +1,104 @@
+//! Property-based tests for the control toolkit.
+
+use proptest::prelude::*;
+use vs_control::{
+    quantize_issue_width, ActuatorWeights, ControllerConfig, StackModel, VoltageController,
+};
+use vs_num::Matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stability is monotone in the gain for the sampled proportional loop:
+    /// any gain below a stable gain is also stable.
+    #[test]
+    fn gain_stability_is_monotone(
+        layers in 2usize..8,
+        latency_cycles in 10u32..500,
+        frac in 0.01f64..0.99,
+    ) {
+        let m = StackModel::new(layers, 1e-6, 1.025 * layers as f64);
+        let t = f64::from(latency_cycles) / 700e6;
+        let k_max = m.max_stable_gain(t);
+        prop_assert!(k_max > 0.0);
+        prop_assert!(m.sampled_closed_loop(frac * k_max, t).is_stable());
+    }
+
+    /// The stability limit shrinks as latency grows.
+    #[test]
+    fn stability_limit_shrinks_with_latency(
+        layers in 2usize..6,
+        l1 in 10u32..200,
+    ) {
+        let m = StackModel::new(layers, 1e-6, 1.025 * layers as f64);
+        let t1 = f64::from(l1) / 700e6;
+        let t2 = f64::from(l1 * 4) / 700e6;
+        prop_assert!(m.max_stable_gain(t1) > m.max_stable_gain(t2));
+    }
+
+    /// Discretizing a continuous first-order stable system preserves
+    /// stability for any positive sampling period.
+    #[test]
+    fn c2d_preserves_first_order_stability(
+        pole in 0.1f64..50.0,
+        dt in 1e-9f64..1.0,
+    ) {
+        let mut a = Matrix::zeros(1, 1);
+        a[(0, 0)] = -pole;
+        let ss = vs_control::StateSpace::new(a, Matrix::identity(1));
+        prop_assert!(ss.c2d(dt).is_stable());
+    }
+
+    /// Issue-width quantization stays within the window and is monotone.
+    #[test]
+    fn issue_quantization_bounds(
+        w1 in 0.0f64..2.0,
+        w2 in 0.0f64..2.0,
+        window in 1u32..64,
+    ) {
+        let q1 = quantize_issue_width(w1, window);
+        let q2 = quantize_issue_width(w2, window);
+        prop_assert!(q1 <= 2 * window + 1);
+        if w1 <= w2 {
+            prop_assert!(q1 <= q2 + 1); // rounding can flip by at most one
+        }
+    }
+
+    /// Normalized weights always sum to one.
+    #[test]
+    fn weights_normalize_to_one(
+        a in 0.0f64..10.0,
+        b in 0.0f64..10.0,
+        c in 0.001f64..10.0,
+    ) {
+        let w = ActuatorWeights::new(a, b, c).normalized();
+        prop_assert!((w.diws + w.fii + w.dcc - 1.0).abs() < 1e-12);
+    }
+
+    /// Controller commands are always within physical actuator ranges, for
+    /// arbitrary voltage inputs.
+    #[test]
+    fn controller_commands_always_bounded(
+        voltages in proptest::collection::vec(0.0f64..1.5, 16),
+        k in 0.5f64..50.0,
+    ) {
+        let mut c = VoltageController::new(ControllerConfig {
+            weights: ActuatorWeights::new(1.0, 1.0, 1.0),
+            k1: k,
+            k2: k,
+            k3: k,
+            latency_cycles: 2,
+            ..ControllerConfig::default()
+        });
+        let dcc_max = c.config().dcc.max_power_w();
+        for _ in 0..8 {
+            let cmds = c.update(&voltages);
+            for cmd in cmds {
+                prop_assert!(cmd.issue_width >= 0.0 && cmd.issue_width <= 2.0);
+                prop_assert!(cmd.fake_rate >= 0.0 && cmd.fake_rate <= 2.0);
+                prop_assert!(cmd.dcc_power_w >= 0.0);
+                prop_assert!(cmd.dcc_power_w <= dcc_max + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Set-associative cache with true-LRU replacement, used for both the
+//! per-SM L1 data caches and the banked shared L2.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn n_sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0);
+        assert!(self.ways > 0);
+        let lines = self.bytes / self.line_bytes;
+        assert!(
+            lines.is_multiple_of(self.ways) && lines > 0,
+            "capacity must be a whole number of sets"
+        );
+        lines / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been allocated (reads) or bypassed (writes with
+    /// `allocate_on_write = false`). `writeback` reports whether a dirty
+    /// victim was evicted.
+    Miss {
+        /// A dirty line was evicted and must be written downstream.
+        writeback: bool,
+    },
+}
+
+/// Running hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, true-LRU cache model (tags only; no data storage).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    allocate_on_write: bool,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache. `allocate_on_write` selects write-allocate (L2
+    /// style) or write-no-allocate (L1 write-through style).
+    pub fn new(config: CacheConfig, allocate_on_write: bool) -> Self {
+        let n_sets = config.n_sets();
+        Cache {
+            config,
+            sets: vec![vec![Line::default(); config.ways]; n_sets],
+            clock: 0,
+            allocate_on_write,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses the line containing `line_addr` (already line-granular).
+    pub fn access(&mut self, line_addr: u64, is_write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let n_sets = self.sets.len() as u64;
+        let set_idx = (line_addr % n_sets) as usize;
+        let tag = line_addr / n_sets;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_used = self.clock;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+        self.stats.misses += 1;
+
+        if is_write && !self.allocate_on_write {
+            // Write-through no-allocate: pass downstream without caching.
+            return CacheOutcome::Miss { writeback: false };
+        }
+
+        // Allocate into the LRU way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+            .expect("ways >= 1");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_used: self.clock,
+        };
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// True when the line is currently resident (no LRU update).
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let n_sets = self.sets.len() as u64;
+        let set_idx = (line_addr % n_sets) as usize;
+        let tag = line_addr / n_sets;
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Hit/miss statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 128 B lines = 1 KiB.
+        Cache::new(
+            CacheConfig {
+                bytes: 1024,
+                ways: 2,
+                line_bytes: 128,
+            },
+            true,
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().n_sets(), 4);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert_eq!(c.access(10, false), CacheOutcome::Miss { writeback: false });
+        assert_eq!(c.access(10, false), CacheOutcome::Hit);
+        assert!(c.probe(10));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Lines 0, 4, 8 map to set 0 (4 sets). Two ways: 8 evicts 0.
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 0 is now MRU
+        c.access(8, false); // evicts 4
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, true); // dirty
+        c.access(4, false);
+        let out = c.access(8, false); // evicts dirty 0
+        assert_eq!(out, CacheOutcome::Miss { writeback: true });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_no_allocate_bypasses() {
+        let mut c = Cache::new(
+            CacheConfig {
+                bytes: 1024,
+                ways: 2,
+                line_bytes: 128,
+            },
+            false,
+        );
+        assert_eq!(c.access(3, true), CacheOutcome::Miss { writeback: false });
+        assert!(!c.probe(3), "write must not allocate");
+        // But a read allocates.
+        c.access(3, false);
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn hit_rate_accumulates() {
+        let mut c = small();
+        c.access(1, false);
+        c.access(1, false);
+        c.access(1, false);
+        c.access(2, false);
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

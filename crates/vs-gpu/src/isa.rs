@@ -1,0 +1,239 @@
+//! A compact SASS-like instruction set for synthetic GPU kernels.
+//!
+//! The simulator does not execute real CUDA binaries (see DESIGN.md's
+//! substitution table); kernels are sequences of these instructions with
+//! explicit register dependences, which is everything the timing and power
+//! models observe.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural register within a warp's slice of the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of registers addressable per warp in the synthetic ISA.
+    pub const COUNT: usize = 32;
+}
+
+/// Memory space targeted by a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Off-chip global memory through L1/L2/DRAM.
+    Global,
+    /// On-chip software-managed shared memory.
+    Shared,
+}
+
+/// How a warp's 32 lanes spread their addresses for a global access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// All lanes fall in `n_lines` consecutive cache lines (1 = perfectly
+    /// coalesced).
+    Coalesced {
+        /// Distinct lines touched (1..=32).
+        n_lines: u8,
+    },
+    /// Lanes stride across memory, touching `n_lines` distinct lines spread
+    /// over the working set.
+    Strided {
+        /// Distinct lines touched (1..=32).
+        n_lines: u8,
+        /// Stride between consecutive lanes, in lines.
+        stride_lines: u32,
+    },
+    /// Lanes hash across the working set (graph workloads such as `bfs`).
+    Random {
+        /// Distinct lines touched (1..=32).
+        n_lines: u8,
+    },
+}
+
+impl AccessPattern {
+    /// Number of memory transactions (distinct lines) this pattern costs.
+    pub fn transactions(&self) -> u32 {
+        let n = match *self {
+            AccessPattern::Coalesced { n_lines }
+            | AccessPattern::Strided { n_lines, .. }
+            | AccessPattern::Random { n_lines } => n_lines,
+        };
+        u32::from(n.clamp(1, 32))
+    }
+}
+
+/// Special-function-unit operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SfuOp {
+    /// Reciprocal / reciprocal square root.
+    Rcp,
+    /// Transcendental (sin, cos, exp, log).
+    Transcendental,
+}
+
+/// One warp-level instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Integer ALU op on the SP pipeline.
+    IAlu,
+    /// Single-precision floating add/mul on the SP pipeline.
+    FAlu,
+    /// Fused multiply-add on the SP pipeline (reads three sources).
+    Ffma,
+    /// Special-function op on the SFU pipeline.
+    Sfu(SfuOp),
+    /// Load from memory via the LSU.
+    Ld(MemSpace),
+    /// Store to memory via the LSU (fire-and-forget in the timing model).
+    St(MemSpace),
+    /// Atomic read-modify-write at the L2 (serializing).
+    Atom,
+    /// CTA-wide barrier.
+    Bar,
+    /// End of the kernel body for this warp iteration.
+    Exit,
+}
+
+/// A decoded instruction with register dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Destination register, if any (None for stores/barriers).
+    pub dst: Option<Reg>,
+    /// Source registers (unused slots are None).
+    pub srcs: [Option<Reg>; 3],
+    /// Address pattern for global loads/stores; ignored otherwise.
+    pub pattern: Option<AccessPattern>,
+}
+
+impl Instruction {
+    /// Builds an ALU-style instruction.
+    pub fn alu(opcode: Opcode, dst: Reg, srcs: &[Reg]) -> Self {
+        let mut s = [None; 3];
+        for (i, r) in srcs.iter().take(3).enumerate() {
+            s[i] = Some(*r);
+        }
+        Instruction {
+            opcode,
+            dst: Some(dst),
+            srcs: s,
+            pattern: None,
+        }
+    }
+
+    /// Builds a global load.
+    pub fn load_global(dst: Reg, addr_src: Reg, pattern: AccessPattern) -> Self {
+        Instruction {
+            opcode: Opcode::Ld(MemSpace::Global),
+            dst: Some(dst),
+            srcs: [Some(addr_src), None, None],
+            pattern: Some(pattern),
+        }
+    }
+
+    /// Builds a shared-memory load.
+    pub fn load_shared(dst: Reg, addr_src: Reg) -> Self {
+        Instruction {
+            opcode: Opcode::Ld(MemSpace::Shared),
+            dst: Some(dst),
+            srcs: [Some(addr_src), None, None],
+            pattern: None,
+        }
+    }
+
+    /// Builds a global store.
+    pub fn store_global(data: Reg, addr_src: Reg, pattern: AccessPattern) -> Self {
+        Instruction {
+            opcode: Opcode::St(MemSpace::Global),
+            dst: None,
+            srcs: [Some(data), Some(addr_src), None],
+            pattern: Some(pattern),
+        }
+    }
+
+    /// Builds an atomic op.
+    pub fn atomic(dst: Reg, addr_src: Reg) -> Self {
+        Instruction {
+            opcode: Opcode::Atom,
+            dst: Some(dst),
+            srcs: [Some(addr_src), None, None],
+            pattern: Some(AccessPattern::Random { n_lines: 4 }),
+        }
+    }
+
+    /// Builds a barrier.
+    pub fn barrier() -> Self {
+        Instruction {
+            opcode: Opcode::Bar,
+            dst: None,
+            srcs: [None; 3],
+            pattern: None,
+        }
+    }
+
+    /// Builds the kernel-body terminator.
+    pub fn exit() -> Self {
+        Instruction {
+            opcode: Opcode::Exit,
+            dst: None,
+            srcs: [None; 3],
+            pattern: None,
+        }
+    }
+
+    /// Execution-unit class this instruction issues to.
+    pub fn unit(&self) -> ExecUnit {
+        match self.opcode {
+            Opcode::IAlu | Opcode::FAlu | Opcode::Ffma => ExecUnit::Sp,
+            Opcode::Sfu(_) => ExecUnit::Sfu,
+            Opcode::Ld(_) | Opcode::St(_) | Opcode::Atom => ExecUnit::Lsu,
+            Opcode::Bar | Opcode::Exit => ExecUnit::None,
+        }
+    }
+}
+
+/// Execution-unit classes inside an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecUnit {
+    /// Shader cores (two 16-wide blocks).
+    Sp,
+    /// Special-function units.
+    Sfu,
+    /// Load/store units.
+    Lsu,
+    /// No unit (control instructions).
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_classification() {
+        assert_eq!(Instruction::alu(Opcode::Ffma, Reg(0), &[Reg(1), Reg(2), Reg(3)]).unit(), ExecUnit::Sp);
+        assert_eq!(
+            Instruction::alu(Opcode::Sfu(SfuOp::Rcp), Reg(0), &[Reg(1)]).unit(),
+            ExecUnit::Sfu
+        );
+        assert_eq!(
+            Instruction::load_global(Reg(0), Reg(1), AccessPattern::Coalesced { n_lines: 1 }).unit(),
+            ExecUnit::Lsu
+        );
+        assert_eq!(Instruction::barrier().unit(), ExecUnit::None);
+    }
+
+    #[test]
+    fn pattern_transaction_counts() {
+        assert_eq!(AccessPattern::Coalesced { n_lines: 1 }.transactions(), 1);
+        assert_eq!(AccessPattern::Random { n_lines: 32 }.transactions(), 32);
+        assert_eq!(AccessPattern::Strided { n_lines: 0, stride_lines: 1 }.transactions(), 1);
+        assert_eq!(AccessPattern::Random { n_lines: 40 }.transactions(), 32);
+    }
+
+    #[test]
+    fn alu_sources_are_truncated() {
+        let i = Instruction::alu(Opcode::IAlu, Reg(0), &[Reg(1), Reg(2), Reg(3)]);
+        assert_eq!(i.srcs, [Some(Reg(1)), Some(Reg(2)), Some(Reg(3))]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # vs-gpu — cycle-level GPU timing simulator
+//!
+//! The architecture-level substrate of the voltage-stacked-GPU reproduction
+//! (MICRO 2018): a Fermi-class manycore simulator standing in for
+//! GPGPU-Sim 3.1.1. It models the paper's Table I configuration — 16 SMs at
+//! 700 MHz, 48 resident warps each, dual issue under a GTO scheduler, SP /
+//! SFU / LSU pipelines, per-SM L1s, a banked shared L2, and FR-FCFS DRAM
+//! channels — and executes deterministic synthetic kernels whose statistics
+//! mirror the twelve Rodinia / CUDA-SDK benchmarks the paper evaluates (see
+//! DESIGN.md for the substitution argument).
+//!
+//! The simulator exposes exactly the hooks the cross-layer voltage-stacking
+//! scheme needs:
+//!
+//! * per-cycle, per-SM microarchitectural event counts
+//!   ([`SmCycleStats`]) that the power model converts to watts;
+//! * per-SM control inputs ([`SmControl`]): fractional issue width (DIWS),
+//!   fake-instruction rate (FII), DFS frequency scaling, whole-SM gating,
+//!   and execution-unit power gating.
+//!
+//! # Examples
+//!
+//! ```
+//! use vs_gpu::{Gpu, GpuConfig, SchedulerKind, benchmark, build_kernel};
+//!
+//! let config = GpuConfig::default();
+//! let profile = benchmark("hotspot").expect("known benchmark");
+//! let kernel = build_kernel(&profile, &config, 42);
+//! let mut gpu = Gpu::new(&config, &kernel, SchedulerKind::Gto);
+//! let events = gpu.tick();
+//! assert_eq!(events.per_sm.len(), config.n_sms);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod config;
+mod dram;
+mod gpu;
+mod isa;
+mod mem;
+mod sm;
+mod workload;
+
+pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
+pub use config::GpuConfig;
+pub use dram::{DramChannel, DramConfig, DramRequest, DramStats};
+pub use gpu::{Gpu, GpuCycleEvents};
+pub use isa::{AccessPattern, ExecUnit, Instruction, MemSpace, Opcode, Reg, SfuOp};
+pub use mem::{MemRequest, MemResponse, MemStats, MemorySystem, ReqKind};
+pub use sm::{SchedulerKind, Sm, SmControl, SmCycleStats, SmStats, WorkPool};
+pub use workload::{all_benchmarks, benchmark, build_kernel, Kernel, WorkloadProfile};

@@ -1,0 +1,555 @@
+//! Synthetic workload generator standing in for the paper's Rodinia 2.0 and
+//! NVIDIA CUDA SDK benchmarks.
+//!
+//! The co-simulation consumes *per-SM per-cycle power traces*; what must be
+//! faithful is their statistical structure — average issue rate (the paper
+//! reports 0.8–1.8 warps/cycle), memory intensity, phase behaviour, and
+//! inter-SM imbalance (Fig. 17: ≥50 % of cycles below 10 % normalized
+//! imbalance) — not the kernels' arithmetic results. Each of the twelve
+//! benchmarks is therefore described by a [`WorkloadProfile`] and expanded
+//! into a deterministic instruction stream by [`build_kernel`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::isa::{AccessPattern, Instruction, Opcode, Reg, SfuOp};
+
+/// Statistical description of a benchmark's kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name (matches the paper's figures).
+    pub name: String,
+    /// Instructions per kernel-body compute block.
+    pub body_compute: usize,
+    /// Global loads per body.
+    pub body_loads: usize,
+    /// Global stores per body.
+    pub body_stores: usize,
+    /// Shared-memory accesses per body.
+    pub body_shared: usize,
+    /// SFU instructions per body.
+    pub body_sfu: usize,
+    /// Atomic operations per body.
+    pub body_atomics: usize,
+    /// Fraction of compute that is FFMA (vs simpler ALU).
+    pub ffma_frac: f64,
+    /// Probability that an instruction depends on one of the last two
+    /// results (longer chains = lower ILP = lower issue rate).
+    pub dep_chain: f64,
+    /// Average distinct cache lines per global warp access (1 = coalesced,
+    /// 32 = fully diverged).
+    pub coalescing_lines: u8,
+    /// True when accesses hash randomly over the working set (graph codes).
+    pub random_access: bool,
+    /// Barrier at the end of each body?
+    pub barrier: bool,
+    /// Resident warps per SM (occupancy).
+    pub warps_per_sm: usize,
+    /// Kernel-body iterations per warp.
+    pub iterations: u32,
+    /// Inter-SM work imbalance: fractional spread of per-SM iteration counts
+    /// (0 = perfectly uniform; the paper's most imbalanced benchmark is
+    /// `backprop`, its most uniform `heartwall`).
+    pub sm_imbalance: f64,
+    /// Number of alternating compute/memory phases per body (>=1); higher
+    /// values give the low-frequency power swings of `fastwalsh` and
+    /// `pathfinder`.
+    pub phases: usize,
+}
+
+/// A fully-expanded kernel ready to run on the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Benchmark name.
+    pub name: String,
+    /// The kernel body executed `iterations` times by every warp.
+    pub body: Vec<Instruction>,
+    /// Warps resident per SM.
+    pub warps_per_sm: usize,
+    /// Baseline iterations per warp.
+    pub iterations: u32,
+    /// Per-SM iteration multiplier realizing inter-SM imbalance
+    /// (length = number of SMs).
+    pub sm_iteration_scale: Vec<f64>,
+}
+
+impl Kernel {
+    /// Iterations a warp on `sm` runs.
+    pub fn iterations_for_sm(&self, sm: usize) -> u32 {
+        let scale = self.sm_iteration_scale.get(sm).copied().unwrap_or(1.0);
+        ((f64::from(self.iterations) * scale).round() as u32).max(1)
+    }
+}
+
+/// The twelve benchmarks evaluated in the paper: six from Rodinia 2.0 and
+/// six from the NVIDIA CUDA SDK.
+pub fn all_benchmarks() -> Vec<WorkloadProfile> {
+    vec![
+        // ---- Rodinia 2.0 ----
+        WorkloadProfile {
+            // Back-propagation: dense FFMA layers with shared-memory staging
+            // and barriers; the paper's most SM-imbalanced benchmark.
+            name: "backprop".into(),
+            body_compute: 48,
+            body_loads: 6,
+            body_stores: 2,
+            body_shared: 8,
+            body_sfu: 2,
+            body_atomics: 0,
+            ffma_frac: 0.8,
+            dep_chain: 0.35,
+            coalescing_lines: 2,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 32,
+            iterations: 40,
+            sm_imbalance: 0.35,
+            phases: 2,
+        },
+        WorkloadProfile {
+            // Breadth-first search: pointer chasing, little compute, heavy
+            // divergence.
+            name: "bfs".into(),
+            body_compute: 10,
+            body_loads: 10,
+            body_stores: 3,
+            body_shared: 0,
+            body_sfu: 0,
+            body_atomics: 1,
+            ffma_frac: 0.1,
+            dep_chain: 0.6,
+            coalescing_lines: 16,
+            random_access: true,
+            barrier: false,
+            warps_per_sm: 40,
+            iterations: 30,
+            sm_imbalance: 0.25,
+            phases: 1,
+        },
+        WorkloadProfile {
+            // Heartwall tracking: the paper's most uniform benchmark —
+            // long, regular FFMA streams.
+            name: "heartwall".into(),
+            body_compute: 64,
+            body_loads: 4,
+            body_stores: 1,
+            body_shared: 4,
+            body_sfu: 4,
+            body_atomics: 0,
+            ffma_frac: 0.75,
+            dep_chain: 0.25,
+            coalescing_lines: 1,
+            random_access: false,
+            barrier: false,
+            warps_per_sm: 36,
+            iterations: 40,
+            sm_imbalance: 0.03,
+            phases: 1,
+        },
+        WorkloadProfile {
+            // Hotspot thermal stencil: coalesced neighbour loads + FFMA +
+            // per-tile barriers.
+            name: "hotspot".into(),
+            body_compute: 36,
+            body_loads: 6,
+            body_stores: 2,
+            body_shared: 6,
+            body_sfu: 0,
+            body_atomics: 0,
+            ffma_frac: 0.7,
+            dep_chain: 0.3,
+            coalescing_lines: 2,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 32,
+            iterations: 36,
+            sm_imbalance: 0.12,
+            phases: 1,
+        },
+        WorkloadProfile {
+            // Pathfinder dynamic programming: short rows with barriers and
+            // shared memory; strong phase transitions (a Fig. 11 outlier).
+            name: "pathfinder".into(),
+            body_compute: 20,
+            body_loads: 4,
+            body_stores: 2,
+            body_shared: 10,
+            body_sfu: 0,
+            body_atomics: 0,
+            ffma_frac: 0.3,
+            dep_chain: 0.5,
+            coalescing_lines: 2,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 24,
+            iterations: 48,
+            sm_imbalance: 0.18,
+            phases: 4,
+        },
+        WorkloadProfile {
+            // SRAD image despeckling: FFMA plus exponentials on the SFU.
+            name: "srad".into(),
+            body_compute: 40,
+            body_loads: 6,
+            body_stores: 2,
+            body_shared: 0,
+            body_sfu: 8,
+            body_atomics: 0,
+            ffma_frac: 0.65,
+            dep_chain: 0.3,
+            coalescing_lines: 2,
+            random_access: false,
+            barrier: false,
+            warps_per_sm: 36,
+            iterations: 36,
+            sm_imbalance: 0.10,
+            phases: 1,
+        },
+        // ---- NVIDIA CUDA SDK ----
+        WorkloadProfile {
+            // Black-Scholes option pricing: streaming loads, FFMA and
+            // transcendental-heavy.
+            name: "blackscholes".into(),
+            body_compute: 44,
+            body_loads: 5,
+            body_stores: 2,
+            body_shared: 0,
+            body_sfu: 12,
+            body_atomics: 0,
+            ffma_frac: 0.7,
+            dep_chain: 0.3,
+            coalescing_lines: 1,
+            random_access: false,
+            barrier: false,
+            warps_per_sm: 40,
+            iterations: 36,
+            sm_imbalance: 0.06,
+            phases: 1,
+        },
+        WorkloadProfile {
+            // Scalar product: streaming FFMA with shared-memory reduction
+            // trees and barriers.
+            name: "scalarprod".into(),
+            body_compute: 32,
+            body_loads: 8,
+            body_stores: 1,
+            body_shared: 6,
+            body_sfu: 0,
+            body_atomics: 0,
+            ffma_frac: 0.8,
+            dep_chain: 0.35,
+            coalescing_lines: 1,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 40,
+            iterations: 40,
+            sm_imbalance: 0.08,
+            phases: 1,
+        },
+        WorkloadProfile {
+            // Bitonic sorting network: shared-memory swaps with barriers and
+            // stride phases.
+            name: "sortingnet".into(),
+            body_compute: 24,
+            body_loads: 4,
+            body_stores: 4,
+            body_shared: 12,
+            body_sfu: 0,
+            body_atomics: 0,
+            ffma_frac: 0.15,
+            dep_chain: 0.45,
+            coalescing_lines: 4,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 32,
+            iterations: 44,
+            sm_imbalance: 0.10,
+            phases: 3,
+        },
+        WorkloadProfile {
+            // Face-detection style convolution: coalesced loads + FFMA with
+            // shared staging.
+            name: "simpleface".into(),
+            body_compute: 40,
+            body_loads: 6,
+            body_stores: 2,
+            body_shared: 8,
+            body_sfu: 2,
+            body_atomics: 0,
+            ffma_frac: 0.7,
+            dep_chain: 0.3,
+            coalescing_lines: 2,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 36,
+            iterations: 36,
+            sm_imbalance: 0.08,
+            phases: 1,
+        },
+        WorkloadProfile {
+            // Fast Walsh transform: butterfly phases alternating strided and
+            // coalesced access (a Fig. 11 outlier).
+            name: "fastwalsh".into(),
+            body_compute: 24,
+            body_loads: 8,
+            body_stores: 8,
+            body_shared: 8,
+            body_sfu: 0,
+            body_atomics: 0,
+            ffma_frac: 0.4,
+            dep_chain: 0.4,
+            coalescing_lines: 8,
+            random_access: false,
+            barrier: true,
+            warps_per_sm: 32,
+            iterations: 40,
+            sm_imbalance: 0.15,
+            phases: 4,
+        },
+        WorkloadProfile {
+            // Atomic-intensive microbenchmark: L2 atomics serialize warps (a
+            // Fig. 11 / Fig. 17 outlier).
+            name: "simpleatomic".into(),
+            body_compute: 12,
+            body_loads: 3,
+            body_stores: 1,
+            body_shared: 0,
+            body_sfu: 0,
+            body_atomics: 6,
+            ffma_frac: 0.2,
+            dep_chain: 0.5,
+            coalescing_lines: 8,
+            random_access: true,
+            barrier: false,
+            warps_per_sm: 32,
+            iterations: 32,
+            sm_imbalance: 0.22,
+            phases: 1,
+        },
+    ]
+}
+
+/// Looks up one of the twelve benchmarks by name.
+pub fn benchmark(name: &str) -> Option<WorkloadProfile> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// Expands a profile into a concrete, deterministic kernel for the given
+/// GPU configuration. The same `(profile, seed)` pair always yields the same
+/// kernel.
+pub fn build_kernel(profile: &WorkloadProfile, config: &GpuConfig, seed: u64) -> Kernel {
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&profile.name));
+    let mut body = Vec::new();
+    let phases = profile.phases.max(1);
+
+    // Registers cycle through the warp's architectural set; recent
+    // destinations feed dependence chains.
+    let mut next_reg = 0u8;
+    let mut recent = [Reg(0), Reg(1)];
+    let mut alloc = |recent: &mut [Reg; 2]| {
+        let r = Reg(next_reg % Reg::COUNT as u8);
+        next_reg = next_reg.wrapping_add(1);
+        recent[1] = recent[0];
+        recent[0] = r;
+        r
+    };
+
+    let pattern = |rng: &mut StdRng, profile: &WorkloadProfile| -> AccessPattern {
+        let jitter = rng.gen_range(0..=1u8);
+        let n = profile.coalescing_lines.saturating_add(jitter).clamp(1, 32);
+        if profile.random_access {
+            AccessPattern::Random { n_lines: n }
+        } else if n <= 2 {
+            AccessPattern::Coalesced { n_lines: n }
+        } else {
+            AccessPattern::Strided {
+                n_lines: n,
+                stride_lines: 8,
+            }
+        }
+    };
+
+    for _phase in 0..phases {
+        let loads = profile.body_loads.div_ceil(phases);
+        let computes = profile.body_compute.div_ceil(phases);
+        let shareds = profile.body_shared.div_ceil(phases);
+        let sfus = profile.body_sfu.div_ceil(phases);
+        let stores = profile.body_stores.div_ceil(phases);
+        let atomics = profile.body_atomics.div_ceil(phases);
+
+        // Memory-phase: loads first (they start long-latency misses early,
+        // like a compiler would schedule them).
+        for _ in 0..loads {
+            let addr = recent[rng.gen_range(0..2)];
+            let dst = alloc(&mut recent);
+            body.push(Instruction::load_global(dst, addr, pattern(&mut rng, profile)));
+        }
+        for _ in 0..shareds {
+            let addr = recent[rng.gen_range(0..2)];
+            let dst = alloc(&mut recent);
+            body.push(Instruction::load_shared(dst, addr));
+        }
+        // Compute phase with tunable dependence density.
+        for i in 0..computes {
+            let op = if rng.gen_bool(profile.ffma_frac) {
+                Opcode::Ffma
+            } else if rng.gen_bool(0.5) {
+                Opcode::FAlu
+            } else {
+                Opcode::IAlu
+            };
+            let s0 = if rng.gen_bool(profile.dep_chain) {
+                recent[0]
+            } else {
+                Reg((i % Reg::COUNT) as u8)
+            };
+            let s1 = recent[1];
+            let dst = alloc(&mut recent);
+            body.push(Instruction::alu(op, dst, &[s0, s1, Reg(((i + 7) % Reg::COUNT) as u8)]));
+        }
+        for _ in 0..sfus {
+            let s = recent[0];
+            let dst = alloc(&mut recent);
+            body.push(Instruction::alu(
+                Opcode::Sfu(if rng.gen_bool(0.5) {
+                    SfuOp::Rcp
+                } else {
+                    SfuOp::Transcendental
+                }),
+                dst,
+                &[s],
+            ));
+        }
+        for _ in 0..atomics {
+            let addr = recent[0];
+            let dst = alloc(&mut recent);
+            body.push(Instruction::atomic(dst, addr));
+        }
+        for _ in 0..stores {
+            let data = recent[0];
+            let addr = recent[1];
+            body.push(Instruction::store_global(data, addr, pattern(&mut rng, profile)));
+        }
+        if profile.barrier {
+            body.push(Instruction::barrier());
+        }
+    }
+    body.push(Instruction::exit());
+
+    // Deterministic inter-SM imbalance: a smooth spread of iteration scales
+    // centred on 1.0 with half-range `sm_imbalance`.
+    let n = config.n_sms;
+    let sm_iteration_scale = (0..n)
+        .map(|i| {
+            let x = if n == 1 {
+                0.0
+            } else {
+                (i as f64 / (n - 1) as f64) * 2.0 - 1.0
+            };
+            1.0 + profile.sm_imbalance * x
+        })
+        .collect();
+
+    Kernel {
+        name: profile.name.clone(),
+        body,
+        warps_per_sm: profile.warps_per_sm.min(config.warps_per_sm()),
+        iterations: profile.iterations,
+        sm_iteration_scale,
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_benchmarks() {
+        let b = all_benchmarks();
+        assert_eq!(b.len(), 12);
+        let names: Vec<_> = b.iter().map(|p| p.name.as_str()).collect();
+        for expected in [
+            "backprop",
+            "bfs",
+            "heartwall",
+            "hotspot",
+            "pathfinder",
+            "srad",
+            "blackscholes",
+            "scalarprod",
+            "sortingnet",
+            "simpleface",
+            "fastwalsh",
+            "simpleatomic",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn kernel_generation_is_deterministic() {
+        let cfg = GpuConfig::default();
+        let p = benchmark("hotspot").unwrap();
+        let k1 = build_kernel(&p, &cfg, 42);
+        let k2 = build_kernel(&p, &cfg, 42);
+        assert_eq!(k1, k2);
+        let k3 = build_kernel(&p, &cfg, 43);
+        assert_ne!(k1.body, k3.body);
+    }
+
+    #[test]
+    fn kernel_body_ends_with_exit() {
+        let cfg = GpuConfig::default();
+        for p in all_benchmarks() {
+            let k = build_kernel(&p, &cfg, 1);
+            assert_eq!(k.body.last(), Some(&Instruction::exit()), "{}", p.name);
+            assert!(k.body.len() > 10, "{} body too small", p.name);
+            assert!(k.warps_per_sm <= cfg.warps_per_sm());
+        }
+    }
+
+    #[test]
+    fn imbalance_spreads_iterations() {
+        let cfg = GpuConfig::default();
+        let p = benchmark("backprop").unwrap();
+        let k = build_kernel(&p, &cfg, 7);
+        let lo = k.iterations_for_sm(0);
+        let hi = k.iterations_for_sm(cfg.n_sms - 1);
+        assert!(hi > lo, "backprop must be imbalanced: {lo} vs {hi}");
+        let u = benchmark("heartwall").unwrap();
+        let ku = build_kernel(&u, &cfg, 7);
+        let spread = ku.iterations_for_sm(cfg.n_sms - 1) as i64 - ku.iterations_for_sm(0) as i64;
+        assert!(spread.abs() <= 3, "heartwall nearly uniform, spread {spread}");
+    }
+
+    #[test]
+    fn barrier_benchmarks_contain_barriers() {
+        let cfg = GpuConfig::default();
+        let p = benchmark("pathfinder").unwrap();
+        let k = build_kernel(&p, &cfg, 1);
+        assert!(k.body.iter().any(|i| i.opcode == Opcode::Bar));
+        let q = benchmark("bfs").unwrap();
+        let kq = build_kernel(&q, &cfg, 1);
+        assert!(!kq.body.iter().any(|i| i.opcode == Opcode::Bar));
+    }
+
+    #[test]
+    fn atomic_benchmark_contains_atomics() {
+        let cfg = GpuConfig::default();
+        let k = build_kernel(&benchmark("simpleatomic").unwrap(), &cfg, 1);
+        let n_atoms = k.body.iter().filter(|i| i.opcode == Opcode::Atom).count();
+        assert!(n_atoms >= 4);
+    }
+}

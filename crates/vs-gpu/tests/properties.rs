@@ -1,0 +1,153 @@
+//! Property-based tests for the GPU timing simulator's building blocks.
+
+use proptest::prelude::*;
+use vs_gpu::{
+    all_benchmarks, build_kernel, Cache, CacheConfig, CacheOutcome, DramChannel, DramConfig,
+    DramRequest, Gpu, GpuConfig, SchedulerKind, SmControl,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A line is always resident immediately after a read access (allocate
+    /// on read), and the number of resident lines never exceeds capacity.
+    #[test]
+    fn cache_allocates_reads_and_respects_capacity(
+        addrs in proptest::collection::vec(0u64..4_096, 1..400),
+    ) {
+        let cfg = CacheConfig { bytes: 8 * 1024, ways: 4, line_bytes: 128 };
+        let capacity_lines = cfg.bytes / cfg.line_bytes;
+        let mut cache = Cache::new(cfg, true);
+        let mut inserted = std::collections::HashSet::new();
+        for &a in &addrs {
+            cache.access(a, false);
+            prop_assert!(cache.probe(a), "line {a} must be resident after read");
+            inserted.insert(a);
+        }
+        let resident = inserted.iter().filter(|a| cache.probe(**a)).count();
+        prop_assert!(resident <= capacity_lines, "{resident} > {capacity_lines}");
+    }
+
+    /// Re-accessing the same line is always a hit until capacity pressure
+    /// evicts it; with a working set within one set's ways it never evicts.
+    #[test]
+    fn cache_small_working_set_always_hits(
+        base in 0u64..1_000,
+        repeats in 2usize..20,
+    ) {
+        let cfg = CacheConfig { bytes: 8 * 1024, ways: 4, line_bytes: 128 };
+        let mut cache = Cache::new(cfg, true);
+        // Two lines mapping to different sets: always within associativity.
+        let lines = [base, base + 1];
+        for l in lines {
+            cache.access(l, false);
+        }
+        for _ in 0..repeats {
+            for l in lines {
+                prop_assert_eq!(cache.access(l, false), CacheOutcome::Hit);
+            }
+        }
+    }
+
+    /// Every DRAM request eventually completes, exactly once.
+    #[test]
+    fn dram_completes_every_request_once(
+        addrs in proptest::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let mut ch = DramChannel::new(DramConfig::default());
+        for (i, &a) in addrs.iter().enumerate() {
+            ch.push(DramRequest { line_addr: a, token: i as u64, arrived: 0 });
+        }
+        let mut done = std::collections::HashSet::new();
+        let mut now = 0;
+        while !ch.is_idle() && now < 1_000_000 {
+            for t in ch.tick(now) {
+                prop_assert!(done.insert(t), "token {t} completed twice");
+            }
+            now += 1;
+        }
+        prop_assert_eq!(done.len(), addrs.len());
+    }
+
+    /// Kernel generation is a pure function of (profile, seed).
+    #[test]
+    fn kernel_generation_is_pure(
+        bench_idx in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GpuConfig::default();
+        let profile = &all_benchmarks()[bench_idx];
+        let a = build_kernel(profile, &cfg, seed);
+        let b = build_kernel(profile, &cfg, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The SM never issues more real instructions over a window than the
+    /// commanded issue width allows (the DIWS down-counter contract).
+    #[test]
+    fn issue_width_budget_is_respected(
+        width_tenths in 0u32..=20,
+        bench_idx in 0usize..12,
+    ) {
+        let width = f64::from(width_tenths) / 10.0;
+        let cfg = GpuConfig::default();
+        let mut kernel = build_kernel(&all_benchmarks()[bench_idx], &cfg, 3);
+        kernel.warps_per_sm = 8;
+        kernel.iterations = 50;
+        let mut gpu = Gpu::new(&cfg, &kernel, SchedulerKind::Gto);
+        for sm in 0..cfg.n_sms {
+            gpu.set_sm_control(sm, SmControl { issue_width: width, ..SmControl::default() });
+        }
+        // Let the control take effect, then count issues over windows.
+        for _ in 0..20 {
+            gpu.tick();
+        }
+        let window = 10u64;
+        let budget = (width * window as f64).round() as u32 + 2; // +2: window phase slack
+        let mut in_window = vec![0u32; cfg.n_sms];
+        for step in 0..200u64 {
+            let e = gpu.tick();
+            for (sm, s) in e.per_sm.iter().enumerate() {
+                in_window[sm] += s.issued_total();
+            }
+            if (step + 1) % window == 0 {
+                for (sm, count) in in_window.iter_mut().enumerate() {
+                    prop_assert!(
+                        *count <= budget,
+                        "SM {sm} issued {count} > budget {budget} at width {width}"
+                    );
+                    *count = 0;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_issue_width_freezes_progress() {
+    let cfg = GpuConfig::default();
+    let mut kernel = build_kernel(&all_benchmarks()[2], &cfg, 3);
+    kernel.warps_per_sm = 4;
+    kernel.iterations = 5;
+    let mut gpu = Gpu::new(&cfg, &kernel, SchedulerKind::Gto);
+    for sm in 0..cfg.n_sms {
+        gpu.set_sm_control(
+            sm,
+            SmControl {
+                issue_width: 0.0,
+                ..SmControl::default()
+            },
+        );
+    }
+    // A couple of cycles may drain in-flight state, but instruction count
+    // must stop growing once the zero width takes effect.
+    for _ in 0..30 {
+        gpu.tick();
+    }
+    let before = gpu.total_instructions();
+    for _ in 0..500 {
+        gpu.tick();
+    }
+    assert_eq!(gpu.total_instructions(), before);
+    assert!(!gpu.done());
+}

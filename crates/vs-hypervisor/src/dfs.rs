@@ -1,0 +1,213 @@
+//! Epoch-based per-SM dynamic frequency scaling (a simplified GRAPE
+//! [Santriaji & Hoffmann, MICRO'16], as used in the paper's Section VI-D).
+//!
+//! Every 4096-cycle decision epoch the governor compares each SM's retired
+//! instructions against a performance goal (a fraction of its observed
+//! full-speed throughput) and steps the SM clock up or down in 50 MHz
+//! increments — minimizing clock energy subject to the performance
+//! requirement.
+
+use serde::{Deserialize, Serialize};
+
+/// DFS governor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DfsConfig {
+    /// Base (maximum) clock, hertz (700 MHz).
+    pub base_hz: f64,
+    /// Frequency step, hertz (50 MHz, as in GRAPE).
+    pub step_hz: f64,
+    /// Minimum clock, hertz.
+    pub min_hz: f64,
+    /// Decision period in cycles (4096, as in GRAPE).
+    pub epoch_cycles: u64,
+    /// Performance goal as a fraction of full-speed throughput (Fig. 17
+    /// evaluates 70 %, 50 %, 20 %).
+    pub perf_goal: f64,
+}
+
+impl DfsConfig {
+    /// The paper's experimental setting with a given performance goal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perf_goal` is outside `(0, 1]`.
+    pub fn with_goal(perf_goal: f64) -> Self {
+        assert!(perf_goal > 0.0 && perf_goal <= 1.0);
+        DfsConfig {
+            base_hz: 700e6,
+            step_hz: 50e6,
+            min_hz: 100e6,
+            epoch_cycles: 4096,
+            perf_goal,
+        }
+    }
+}
+
+/// Per-SM DFS state machine.
+#[derive(Debug, Clone)]
+pub struct DfsGovernor {
+    cfg: DfsConfig,
+    freq_hz: Vec<f64>,
+    /// Best observed full-speed-equivalent instruction rate per SM
+    /// (instructions per base-clock cycle).
+    peak_rate: Vec<f64>,
+}
+
+impl DfsGovernor {
+    /// Creates a governor for `n_sms` SMs, all at base frequency.
+    pub fn new(cfg: DfsConfig, n_sms: usize) -> Self {
+        DfsGovernor {
+            cfg,
+            freq_hz: vec![cfg.base_hz; n_sms],
+            peak_rate: vec![0.0; n_sms],
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> DfsConfig {
+        self.cfg
+    }
+
+    /// Current per-SM frequencies, hertz.
+    pub fn frequencies_hz(&self) -> &[f64] {
+        &self.freq_hz
+    }
+
+    /// Current per-SM frequency as a fraction of base clock (feed to
+    /// `SmControl::freq_scale`).
+    pub fn freq_scales(&self) -> Vec<f64> {
+        self.freq_hz.iter().map(|f| f / self.cfg.base_hz).collect()
+    }
+
+    /// Ends an epoch: `instructions` is each SM's retired-instruction count
+    /// over the epoch. Updates and returns the new frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions.len()` differs from the SM count.
+    pub fn on_epoch(&mut self, instructions: &[u64]) -> &[f64] {
+        assert_eq!(instructions.len(), self.freq_hz.len());
+        let epoch = self.cfg.epoch_cycles as f64;
+        for (i, &instr) in instructions.iter().enumerate() {
+            let achieved_rate = instr as f64 / epoch;
+            // Learn the full-speed capability only while actually running at
+            // base clock, and smooth it: bursty benchmarks would otherwise
+            // poison a running max and pin the target unreachably high.
+            if self.freq_hz[i] >= 0.99 * self.cfg.base_hz {
+                if self.peak_rate[i] <= 0.0 {
+                    self.peak_rate[i] = achieved_rate;
+                } else {
+                    self.peak_rate[i] = 0.9 * self.peak_rate[i] + 0.1 * achieved_rate;
+                }
+            }
+            if self.peak_rate[i] <= 0.0 {
+                continue; // idle SM: leave at current frequency
+            }
+            let achieved = achieved_rate;
+            let target = self.cfg.perf_goal * self.peak_rate[i];
+            if achieved < target * 0.98 {
+                self.freq_hz[i] = (self.freq_hz[i] + self.cfg.step_hz).min(self.cfg.base_hz);
+            } else if achieved > target * 1.05 {
+                self.freq_hz[i] = (self.freq_hz[i] - self.cfg.step_hz).max(self.cfg.min_hz);
+            }
+            // Quantize to the step grid.
+            self.freq_hz[i] =
+                (self.freq_hz[i] / self.cfg.step_hz).round() * self.cfg.step_hz;
+        }
+        &self.freq_hz
+    }
+
+    /// Overrides one SM's frequency (used by the VS-aware hypervisor's
+    /// command remapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn set_frequency(&mut self, sm: usize, hz: f64) {
+        self.freq_hz[sm] = hz.clamp(self.cfg.min_hz, self.cfg.base_hz);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates an SM whose throughput is memory-bound above 400 MHz (extra
+    /// clock speed is wasted).
+    fn memory_bound_instr(freq_hz: f64, epoch: u64) -> u64 {
+        let effective = freq_hz.min(400e6);
+        (epoch as f64 * 1.2 * effective / 700e6) as u64
+    }
+
+    #[test]
+    fn governor_converges_below_base_for_memory_bound_sm() {
+        let cfg = DfsConfig::with_goal(0.95);
+        let mut gov = DfsGovernor::new(cfg, 1);
+        for _ in 0..100 {
+            let instr = memory_bound_instr(gov.frequencies_hz()[0], cfg.epoch_cycles);
+            gov.on_epoch(&[instr]);
+        }
+        let f = gov.frequencies_hz()[0];
+        assert!(
+            f < 600e6,
+            "memory-bound SM should settle well below base: {f}"
+        );
+        assert!(f >= 350e6, "but not starve the target: {f}");
+    }
+
+    #[test]
+    fn lower_perf_goal_means_lower_frequency() {
+        let run = |goal: f64| {
+            let cfg = DfsConfig::with_goal(goal);
+            let mut gov = DfsGovernor::new(cfg, 1);
+            for _ in 0..200 {
+                // Compute-bound SM: throughput proportional to frequency.
+                let f = gov.frequencies_hz()[0];
+                let instr = (cfg.epoch_cycles as f64 * 1.5 * f / 700e6) as u64;
+                gov.on_epoch(&[instr]);
+            }
+            gov.frequencies_hz()[0]
+        };
+        let f70 = run(0.7);
+        let f50 = run(0.5);
+        let f20 = run(0.2);
+        assert!(f70 > f50 && f50 > f20, "{f70} {f50} {f20}");
+        // Rough proportionality to the goal for compute-bound code.
+        assert!((f70 / 700e6 - 0.7).abs() < 0.15, "f70 = {f70}");
+        assert!((f20 / 700e6 - 0.2).abs() < 0.15, "f20 = {f20}");
+    }
+
+    #[test]
+    fn frequencies_stay_on_step_grid() {
+        let cfg = DfsConfig::with_goal(0.5);
+        let mut gov = DfsGovernor::new(cfg, 4);
+        for e in 0..50u64 {
+            let instr: Vec<u64> = (0..4).map(|i| 1000 + 100 * i + e).collect();
+            gov.on_epoch(&instr);
+        }
+        for f in gov.frequencies_hz() {
+            let steps = f / cfg.step_hz;
+            assert!((steps - steps.round()).abs() < 1e-9, "{f}");
+        }
+    }
+
+    #[test]
+    fn freq_scale_conversion() {
+        let cfg = DfsConfig::with_goal(1.0);
+        let mut gov = DfsGovernor::new(cfg, 2);
+        gov.set_frequency(0, 350e6);
+        let scales = gov.freq_scales();
+        assert!((scales[0] - 0.5).abs() < 1e-9);
+        assert!((scales[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_sm_keeps_frequency() {
+        let cfg = DfsConfig::with_goal(0.5);
+        let mut gov = DfsGovernor::new(cfg, 1);
+        for _ in 0..10 {
+            gov.on_epoch(&[0]);
+        }
+        assert!((gov.frequencies_hz()[0] - cfg.base_hz).abs() < 1.0);
+    }
+}

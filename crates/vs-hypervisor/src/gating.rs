@@ -1,0 +1,133 @@
+//! Execution-unit power-gating policy (a simplified Warped Gates
+//! [Abdel-Majeed et al., MICRO'13], the paper's Section V PG baseline).
+//!
+//! The gating mechanism itself (idle-detect counters, wake latency, the
+//! GATES two-level scheduler) lives in the SM model (`vs_gpu::Sm`); this
+//! module holds the policy knobs and the break-even accounting that decides
+//! whether gating paid off.
+
+use serde::{Deserialize, Serialize};
+use vs_gpu::SmCycleStats;
+use vs_power::PowerModel;
+
+/// Power-gating policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PgConfig {
+    /// Master enable.
+    pub enabled: bool,
+    /// Idle cycles before a unit is gated (Warped Gates' idle-detect).
+    pub idle_detect_cycles: u32,
+    /// Cycles of saved leakage needed to amortize one wake-up (break-even).
+    pub break_even_cycles: u32,
+    /// Use the gating-aware two-level (GATES) scheduler.
+    pub gates_scheduler: bool,
+}
+
+impl Default for PgConfig {
+    fn default() -> Self {
+        PgConfig {
+            enabled: true,
+            idle_detect_cycles: 5,
+            break_even_cycles: 14,
+            gates_scheduler: true,
+        }
+    }
+}
+
+/// Accumulates gating outcomes over a run.
+#[derive(Debug, Clone, Default)]
+pub struct GatingAccountant {
+    /// Gated unit-cycles observed (one per gated unit per cycle).
+    pub gated_unit_cycles: u64,
+    /// Wake-ups observed.
+    pub wakeups: u64,
+    /// Total cycles observed.
+    pub cycles: u64,
+}
+
+impl GatingAccountant {
+    /// Creates an empty accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one SM-cycle of stats.
+    pub fn record(&mut self, s: &SmCycleStats) {
+        self.cycles += 1;
+        self.gated_unit_cycles += u64::from(s.sp_gated) + u64::from(s.sfu_gated) + u64::from(s.lsu_gated);
+        self.wakeups += u64::from(s.unit_wakeups);
+    }
+
+    /// Net leakage energy saved, joules: leakage avoided while gated minus
+    /// the wake-up costs. Uses the average per-unit leakage share from the
+    /// power model.
+    pub fn net_energy_saved_j(&self, model: &PowerModel) -> f64 {
+        let t = model.table();
+        let avg_unit_leak = (t.p_leak_sp + t.p_leak_sfu + t.p_leak_lsu) / 3.0;
+        let dt = 1.0 / model.clock_hz();
+        let saved = self.gated_unit_cycles as f64 * avg_unit_leak * dt;
+        let cost = self.wakeups as f64 * t.e_wakeup;
+        saved - cost
+    }
+
+    /// Average cycles a unit stays gated per wake-up; gating is profitable
+    /// when this exceeds the break-even threshold.
+    pub fn avg_gated_stretch(&self) -> f64 {
+        if self.wakeups == 0 {
+            self.gated_unit_cycles as f64
+        } else {
+            self.gated_unit_cycles as f64 / self.wakeups as f64
+        }
+    }
+
+    /// True when the observed gating behaviour amortizes its wake-ups.
+    pub fn beats_break_even(&self, cfg: &PgConfig) -> bool {
+        self.avg_gated_stretch() >= f64::from(cfg.break_even_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(gated: bool, wakeups: u8) -> SmCycleStats {
+        SmCycleStats {
+            active: true,
+            sfu_gated: gated,
+            unit_wakeups: wakeups,
+            ..SmCycleStats::default()
+        }
+    }
+
+    #[test]
+    fn long_gated_stretches_save_energy() {
+        let model = PowerModel::fermi_40nm();
+        let mut acc = GatingAccountant::new();
+        // 10_000 gated cycles, 3 wakeups.
+        for i in 0..10_000u32 {
+            acc.record(&stats(true, u8::from(i % 3_333 == 0)));
+        }
+        assert!(acc.net_energy_saved_j(&model) > 0.0);
+        assert!(acc.beats_break_even(&PgConfig::default()));
+    }
+
+    #[test]
+    fn thrashing_wakeups_lose_energy() {
+        let model = PowerModel::fermi_40nm();
+        let mut acc = GatingAccountant::new();
+        // Gated one cycle per wake-up: pure thrash.
+        for _ in 0..1_000 {
+            acc.record(&stats(true, 1));
+        }
+        assert!(acc.net_energy_saved_j(&model) < 0.0);
+        assert!(!acc.beats_break_even(&PgConfig::default()));
+    }
+
+    #[test]
+    fn default_config_matches_warped_gates() {
+        let cfg = PgConfig::default();
+        assert_eq!(cfg.idle_detect_cycles, 5);
+        assert_eq!(cfg.break_even_cycles, 14);
+        assert!(cfg.gates_scheduler);
+    }
+}

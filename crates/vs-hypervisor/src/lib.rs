@@ -1,0 +1,41 @@
+//! # vs-hypervisor — collaborative power management for voltage-stacked GPUs
+//!
+//! The system-level layer of the cross-layer solution (paper Sections IV-D3
+//! and VI-D): higher-level power optimizers were traditionally considered
+//! incompatible with voltage stacking because their per-SM decisions create
+//! inter-layer current imbalance. This crate provides
+//!
+//! * [`DfsGovernor`] — an epoch-based per-SM dynamic-frequency-scaling
+//!   governor in the style of GRAPE (50 MHz steps, 4096-cycle epochs,
+//!   performance-goal tracking),
+//! * [`PgConfig`] / [`GatingAccountant`] — Warped-Gates-style execution-unit
+//!   power gating policy and break-even accounting, and
+//! * [`VsAwareHypervisor`] — the Algorithm-2 command mapper that bounds the
+//!   per-column frequency and leakage imbalance these optimizers may
+//!   introduce, with a budget that adapts to voltage-smoothing throttle
+//!   feedback.
+//!
+//! # Examples
+//!
+//! ```
+//! use vs_hypervisor::{HypervisorConfig, VsAwareHypervisor};
+//!
+//! let hv = VsAwareHypervisor::new(HypervisorConfig::default());
+//! let mut freqs = vec![700e6; 16];
+//! freqs[0] = 200e6; // an OS request that would unbalance column 0
+//! let mut gates = vec![false; 16];
+//! let stats = hv.map_commands(&mut freqs, &mut gates);
+//! assert_eq!(stats.freq_adjustments, 1);
+//! assert!(freqs[0] > 200e6); // raised to respect the imbalance budget
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dfs;
+mod gating;
+mod hypervisor;
+
+pub use dfs::{DfsConfig, DfsGovernor};
+pub use gating::{GatingAccountant, PgConfig};
+pub use hypervisor::{HypervisorConfig, MappingStats, VsAwareHypervisor};

@@ -1,0 +1,298 @@
+//! Minimal complex-number arithmetic used by the AC (frequency-domain)
+//! analysis.
+//!
+//! The workspace deliberately avoids pulling in a numerics crate for a type
+//! this small; the implementation below covers exactly the operations the
+//! modified-nodal-analysis solver needs (field arithmetic, conjugation,
+//! magnitude and phase).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use vs_num::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    #[inline]
+    pub fn from_polar(magnitude: f64, phase_rad: f64) -> Self {
+        Complex::new(magnitude * phase_rad.cos(), magnitude * phase_rad.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude (modulus), computed with `hypot` for robustness.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; cheaper than [`Complex::abs`] when only relative
+    /// comparisons are needed.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns non-finite components when `self` is zero, mirroring `1.0/0.0`
+    /// semantics for `f64`.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+/// Scalar abstraction shared by the real (transient/DC) and complex (AC)
+/// linear solvers.
+///
+/// The trait is sealed in spirit: only `f64` and [`Complex`] implement it and
+/// downstream crates are not expected to add more.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + fmt::Debug
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection.
+    fn magnitude(self) -> f64;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    #[inline]
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::ONE
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.5);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a - a, Complex::ZERO);
+        let i2 = Complex::I * Complex::I;
+        assert!((i2.re + 1.0).abs() < 1e-15 && i2.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-0.5, 2.0);
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_of_zero_is_not_finite() {
+        assert!(!Complex::ZERO.recip().is_finite());
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,304 @@
+//! Eigenvalues of real square matrices via complex shifted-QR iteration on a
+//! Hessenberg reduction.
+//!
+//! The control toolkit needs eigenvalues for two things: testing continuous
+//! stability (real parts) and discrete stability (spectral radius of the
+//! discretized closed loop, paper eq. (8)). A single-shift QR iteration in
+//! complex arithmetic with Wilkinson shifts is compact and, for the tiny
+//! matrices involved (n <= 10), entirely adequate.
+
+use crate::complex::Complex;
+use crate::linalg::Matrix;
+
+/// Computes all eigenvalues of a real square matrix, in descending order of
+/// magnitude.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, contains non-finite entries, or the QR
+/// iteration fails to converge (which does not occur for finite inputs in
+/// practice).
+pub fn eigenvalues(a: &Matrix<f64>) -> Vec<Complex> {
+    assert_eq!(a.n_rows(), a.n_cols(), "eigenvalues requires a square matrix");
+    assert!(a.max_abs().is_finite(), "eigenvalues requires finite entries");
+    let n = a.n_rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Promote to complex.
+    let mut h = Matrix::<Complex>::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, j)] = Complex::from_re(a[(i, j)]);
+        }
+    }
+    hessenberg_in_place(&mut h);
+    let mut eigs = qr_iterate(h);
+    eigs.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).expect("finite eigenvalues"));
+    eigs
+}
+
+/// Largest eigenvalue magnitude of a real square matrix.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`eigenvalues`].
+pub fn spectral_radius(a: &Matrix<f64>) -> f64 {
+    eigenvalues(a).first().map_or(0.0, |e| e.abs())
+}
+
+/// Complex Givens rotation `G = [[c, s], [-conj(s), c]]` (c real) such that
+/// `G * [a; b] = [r; 0]`.
+fn givens(a: Complex, b: Complex) -> (f64, Complex) {
+    let na = a.abs();
+    let nb = b.abs();
+    if nb == 0.0 {
+        return (1.0, Complex::ZERO);
+    }
+    if na == 0.0 {
+        return (0.0, Complex::ONE);
+    }
+    let r = (na * na + nb * nb).sqrt();
+    let c = na / r;
+    // s = c * conj(b) / conj(a) scaled so that c*a + s*b = e^{i arg a} * r.
+    let s = (a / na) * b.conj() / r;
+    (c, s)
+}
+
+/// Reduces a complex matrix to upper Hessenberg form in place using Givens
+/// similarity transforms.
+fn hessenberg_in_place(h: &mut Matrix<Complex>) {
+    let n = h.n_rows();
+    for j in 0..n.saturating_sub(2) {
+        for i in (j + 2)..n {
+            if h[(i, j)].abs() == 0.0 {
+                continue;
+            }
+            let (c, s) = givens(h[(j + 1, j)], h[(i, j)]);
+            apply_givens_rows(h, j + 1, i, c, s, j, n);
+            apply_givens_cols(h, j + 1, i, c, s, 0, n);
+        }
+    }
+}
+
+/// Left-multiplies rows `p`,`q` (columns `col_lo..col_hi`) by the Givens
+/// rotation.
+fn apply_givens_rows(
+    h: &mut Matrix<Complex>,
+    p: usize,
+    q: usize,
+    c: f64,
+    s: Complex,
+    col_lo: usize,
+    col_hi: usize,
+) {
+    for col in col_lo..col_hi {
+        let hp = h[(p, col)];
+        let hq = h[(q, col)];
+        h[(p, col)] = hp * c + s * hq;
+        h[(q, col)] = hq * c - s.conj() * hp;
+    }
+}
+
+/// Right-multiplies columns `p`,`q` (rows `row_lo..row_hi`) by the conjugate
+/// transpose of the rotation (completing the similarity transform).
+fn apply_givens_cols(
+    h: &mut Matrix<Complex>,
+    p: usize,
+    q: usize,
+    c: f64,
+    s: Complex,
+    row_lo: usize,
+    row_hi: usize,
+) {
+    for row in row_lo..row_hi {
+        let hp = h[(row, p)];
+        let hq = h[(row, q)];
+        h[(row, p)] = hp * c + hq * s.conj();
+        h[(row, q)] = hq * c - hp * s;
+    }
+}
+
+/// Shifted-QR iteration on an upper Hessenberg complex matrix; returns the
+/// eigenvalues.
+fn qr_iterate(mut h: Matrix<Complex>) -> Vec<Complex> {
+    let n = h.n_rows();
+    let mut eigs = Vec::with_capacity(n);
+    let mut m = n; // active block is 0..m
+    let mut iterations = 0usize;
+    let max_iterations = 200 * n.max(1);
+    let scale = h.max_abs().max(1.0);
+
+    while m > 0 {
+        if m == 1 {
+            eigs.push(h[(0, 0)]);
+            m = 0;
+            continue;
+        }
+        // Deflate if the last subdiagonal of the active block is negligible.
+        let sub = h[(m - 1, m - 2)].abs();
+        let local = h[(m - 1, m - 1)].abs() + h[(m - 2, m - 2)].abs();
+        if sub <= 1e-14 * (local + scale * 1e-3) {
+            eigs.push(h[(m - 1, m - 1)]);
+            m -= 1;
+            continue;
+        }
+        if m == 2 && iterations > max_iterations / 2 {
+            // Directly solve the trailing 2x2 if convergence is slow.
+            let (l1, l2) = eig2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]);
+            eigs.push(l1);
+            eigs.push(l2);
+            m = 0;
+            continue;
+        }
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "QR iteration failed to converge"
+        );
+
+        // Wilkinson shift from the trailing 2x2 of the active block.
+        let (l1, l2) = eig2(
+            h[(m - 2, m - 2)],
+            h[(m - 2, m - 1)],
+            h[(m - 1, m - 2)],
+            h[(m - 1, m - 1)],
+        );
+        let target = h[(m - 1, m - 1)];
+        let mu = if (l1 - target).abs() <= (l2 - target).abs() {
+            l1
+        } else {
+            l2
+        };
+
+        for i in 0..m {
+            h[(i, i)] -= mu;
+        }
+        // QR by Givens on the Hessenberg band, then RQ.
+        let mut rots = Vec::with_capacity(m - 1);
+        for k in 0..m - 1 {
+            let (c, s) = givens(h[(k, k)], h[(k + 1, k)]);
+            apply_givens_rows(&mut h, k, k + 1, c, s, k, m);
+            rots.push((c, s));
+        }
+        for (k, &(c, s)) in rots.iter().enumerate() {
+            let hi = (k + 2).min(m);
+            apply_givens_cols(&mut h, k, k + 1, c, s, 0, hi);
+        }
+        for i in 0..m {
+            h[(i, i)] += mu;
+        }
+    }
+    eigs
+}
+
+/// Eigenvalues of a complex 2x2 matrix `[[a, b], [c, d]]`.
+fn eig2(a: Complex, b: Complex, c: Complex, d: Complex) -> (Complex, Complex) {
+    let tr_half = (a + d) * 0.5;
+    let det = a * d - b * c;
+    let disc = tr_half * tr_half - det;
+    let root = csqrt(disc);
+    (tr_half + root, tr_half - root)
+}
+
+/// Principal complex square root.
+fn csqrt(z: Complex) -> Complex {
+    Complex::from_polar(z.abs().sqrt(), z.arg() / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_res(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn empty_and_scalar() {
+        assert!(eigenvalues(&Matrix::zeros(0, 0)).is_empty());
+        let mut m = Matrix::zeros(1, 1);
+        m[(0, 0)] = 3.5;
+        let e = eigenvalues(&m);
+        assert!((e[0] - Complex::from_re(3.5)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn triangular_eigs_are_diagonal() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 1.0, -2.0],
+            vec![0.0, -1.0, 5.0],
+            vec![0.0, 0.0, 0.5],
+        ]);
+        let eigs = eigenvalues(&a);
+        let res = sorted_res(eigs.iter().map(|e| e.re).collect());
+        assert!((res[0] + 1.0).abs() < 1e-10);
+        assert!((res[1] - 0.5).abs() < 1e-10);
+        assert!((res[2] - 3.0).abs() < 1e-10);
+        assert!(eigs.iter().all(|e| e.im.abs() < 1e-10));
+    }
+
+    #[test]
+    fn rotation_matrix_has_unit_complex_pair() {
+        let t = 0.9f64;
+        let a = Matrix::from_rows(&[vec![t.cos(), -t.sin()], vec![t.sin(), t.cos()]]);
+        let eigs = eigenvalues(&a);
+        assert_eq!(eigs.len(), 2);
+        for e in &eigs {
+            assert!((e.abs() - 1.0).abs() < 1e-10);
+        }
+        assert!((eigs[0].im.abs() - t.sin()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+        let a = Matrix::from_rows(&[
+            vec![6.0, -11.0, 6.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ]);
+        let eigs = eigenvalues(&a);
+        let res = sorted_res(eigs.iter().map(|e| e.re).collect());
+        assert!((res[0] - 1.0).abs() < 1e-8);
+        assert!((res[1] - 2.0).abs() < 1e-8);
+        assert!((res[2] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace() {
+        let a = Matrix::from_rows(&[
+            vec![0.3, -1.2, 0.5, 2.2],
+            vec![2.0, 0.1, -0.7, 0.3],
+            vec![-0.4, 0.9, -1.5, 1.1],
+            vec![0.6, -0.8, 0.2, 0.4],
+        ]);
+        let eigs = eigenvalues(&a);
+        let sum: Complex = eigs.iter().fold(Complex::ZERO, |acc, &e| acc + e);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        assert!((sum.re - trace).abs() < 1e-8, "sum {} vs trace {}", sum, trace);
+        assert!(sum.im.abs() < 1e-8);
+    }
+
+    #[test]
+    fn spectral_radius_of_contraction() {
+        let a = Matrix::from_rows(&[vec![0.5, 0.1], vec![-0.2, 0.3]]);
+        assert!(spectral_radius(&a) < 1.0);
+    }
+
+    #[test]
+    fn defective_matrix_converges() {
+        // Jordan block: eigenvalue 2 with multiplicity 2.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 2.0]]);
+        let eigs = eigenvalues(&a);
+        for e in eigs {
+            assert!((e - Complex::from_re(2.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        assert_eq!(spectral_radius(&Matrix::zeros(4, 4)), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Matrix exponential by scaling-and-squaring with a diagonal Padé
+//! approximant.
+//!
+//! Used for zero-order-hold discretization of continuous-time state-space
+//! models: `Ad = exp(A*T)`. The [6/6] Padé approximant with scaling keeps the
+//! relative error far below anything the voltage-stacking models can resolve
+//! (their matrices are at most 10x10 with modest norms after scaling).
+
+use crate::linalg::{LuFactors, Matrix};
+
+/// Computes `exp(a)` for a square real matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or contains non-finite entries.
+pub fn expm(a: &Matrix<f64>) -> Matrix<f64> {
+    assert_eq!(a.n_rows(), a.n_cols(), "expm requires a square matrix");
+    assert!(a.max_abs().is_finite(), "expm requires finite entries");
+    let n = a.n_rows();
+    if n == 0 {
+        return Matrix::zeros(0, 0);
+    }
+
+    // Scale so that ||A/2^s||_inf <= 0.5.
+    let norm = a.norm_inf();
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as i32
+    } else {
+        0
+    };
+    let scaled = a.scale(0.5f64.powi(s));
+
+    // [6/6] Padé: p(A) = sum c_k A^k, exp(A) ~= p(A) / p(-A) with the odd
+    // terms negated in the denominator.
+    const C: [f64; 7] = [
+        1.0,
+        1.0 / 2.0,
+        5.0 / 44.0,
+        1.0 / 66.0,
+        1.0 / 792.0,
+        1.0 / 15_840.0,
+        1.0 / 665_280.0,
+    ];
+    let mut pow = Matrix::identity(n);
+    let mut num = Matrix::identity(n); // c0 * I
+    let mut den = Matrix::identity(n);
+    for (k, &c) in C.iter().enumerate().skip(1) {
+        pow = pow.matmul(&scaled);
+        let term = pow.scale(c);
+        num = num.add(&term);
+        if k % 2 == 0 {
+            den = den.add(&term);
+        } else {
+            den = den.sub(&term);
+        }
+    }
+    let lu = LuFactors::factor(&den).expect("Pade denominator is well conditioned");
+    // Solve den * X = num column-wise.
+    let mut result = Matrix::zeros(n, n);
+    let mut col = vec![0.0; n];
+    for j in 0..n {
+        for i in 0..n {
+            col[i] = num[(i, j)];
+        }
+        lu.solve_in_place(&mut col);
+        for i in 0..n {
+            result[(i, j)] = col[i];
+        }
+    }
+
+    // Undo the scaling by repeated squaring.
+    for _ in 0..s {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix<f64>, b: &Matrix<f64>, tol: f64) -> bool {
+        a.sub(b).max_abs() < tol
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(approx_eq(&expm(&z), &Matrix::identity(3), 1e-14));
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let mut d = Matrix::zeros(2, 2);
+        d[(0, 0)] = 1.0;
+        d[(1, 1)] = -2.0;
+        let e = expm(&d);
+        assert!((e[(0, 0)] - 1.0f64.exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-2.0f64).exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14 && e[(1, 0)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_rotation_generator() {
+        // exp([[0,-t],[t,0]]) = [[cos t, -sin t],[sin t, cos t]].
+        let t = 0.7;
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = -t;
+        a[(1, 0)] = t;
+        let e = expm(&a);
+        assert!((e[(0, 0)] - t.cos()).abs() < 1e-12);
+        assert!((e[(0, 1)] + t.sin()).abs() < 1e-12);
+        assert!((e[(1, 0)] - t.sin()).abs() < 1e-12);
+        assert!((e[(1, 1)] - t.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_nilpotent() {
+        // N = [[0,1],[0,0]] => exp(N) = I + N exactly.
+        let mut n = Matrix::zeros(2, 2);
+        n[(0, 1)] = 1.0;
+        let e = expm(&n);
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-14);
+        assert!(e[(1, 0)].abs() < 1e-14);
+        assert!((e[(1, 1)] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_inverse_property() {
+        // exp(A) * exp(-A) = I for any A.
+        let a = Matrix::from_rows(&[
+            vec![0.3, -1.2, 0.5],
+            vec![2.0, 0.1, -0.7],
+            vec![-0.4, 0.9, -1.5],
+        ]);
+        let e = expm(&a);
+        let em = expm(&a.scale(-1.0));
+        assert!(approx_eq(&e.matmul(&em), &Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn large_norm_matrix_scales_correctly() {
+        // exp(diag(10)) via scaling-and-squaring.
+        let mut d = Matrix::zeros(1, 1);
+        d[(0, 0)] = 10.0;
+        let e = expm(&d);
+        assert!((e[(0, 0)] - 10.0f64.exp()).abs() / 10.0f64.exp() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # vs-num — dense numerics shared across the voltage-stacking workspace
+//!
+//! Small, dependency-free numerical kernels used by both the circuit solver
+//! (`vs-circuit`) and the control-theory toolkit (`vs-control`):
+//!
+//! * [`Complex`] arithmetic and the [`Scalar`] abstraction over `f64` /
+//!   [`Complex`],
+//! * a dense [`Matrix`] with LU factorization ([`LuFactors`]) and the usual
+//!   algebra ([`Matrix::matmul`], [`Matrix::transpose`], norms),
+//! * real-matrix eigenvalues via Hessenberg reduction + shifted QR
+//!   ([`eigenvalues`], [`spectral_radius`]),
+//! * the matrix exponential by scaling-and-squaring with a Padé approximant
+//!   ([`expm`]).
+//!
+//! All matrices in this workspace are small (a handful to a few dozen rows),
+//! so the implementations favour clarity and robustness over asymptotics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod complex;
+mod eig;
+mod expm;
+mod linalg;
+
+pub use complex::{Complex, Scalar};
+pub use eig::{eigenvalues, spectral_radius};
+pub use expm::expm;
+pub use linalg::{LuFactors, Matrix, SingularMatrixError};

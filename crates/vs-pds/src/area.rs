@@ -1,0 +1,108 @@
+//! Die-area accounting (paper Table III).
+//!
+//! Regulator capacity is silicon: the CR-IVR's effective conductance scales
+//! linearly with flying-capacitor area. `g_per_mm2` is calibrated so that
+//! suppressing the worst-case imbalance within the 0.2 V guardband by
+//! circuit means alone costs ≈ 912 mm² (1.72x the 529 mm² GPU die), the
+//! paper's circuit-only figure, while the cross-layer design gets away with
+//! 105.8 mm² (0.2x).
+
+use serde::{Deserialize, Serialize};
+
+/// Maps regulator area to capacity and records the Table III constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// GPU die area, mm² (NVIDIA Fermi-class: 529 mm²).
+    pub gpu_die_mm2: f64,
+    /// CR-IVR conductance per mm² of flying capacitance, S/mm².
+    pub g_per_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            gpu_die_mm2: 529.0,
+            g_per_mm2: 0.175,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Table III: die-area overhead of the single-layer IVR PDS, mm².
+    pub const SINGLE_LAYER_IVR_MM2: f64 = 172.3;
+    /// Table III: die-area overhead of the circuit-only VS PDS, mm².
+    pub const CIRCUIT_ONLY_MM2: f64 = 912.0;
+    /// Table III: die-area overhead of the cross-layer VS PDS, mm².
+    pub const CROSS_LAYER_MM2: f64 = 105.8;
+
+    /// Effective CR-IVR conductance bought by `area_mm2`, siemens.
+    pub fn conductance_for_area(&self, area_mm2: f64) -> f64 {
+        self.g_per_mm2 * area_mm2.max(0.0)
+    }
+
+    /// Area needed for a target conductance, mm².
+    pub fn area_for_conductance(&self, siemens: f64) -> f64 {
+        siemens.max(0.0) / self.g_per_mm2
+    }
+
+    /// Area required by a *circuit-only* design to hold the worst-case DC
+    /// imbalance `i_imbalance_a` (amperes, per column) within `droop_v`:
+    /// the imbalance must flow through the ladder with `ΔV ≤ droop_v`, so
+    /// `G_col ≥ I/droop` and the total is `n_columns` times that.
+    pub fn circuit_only_area_mm2(
+        &self,
+        i_imbalance_per_column_a: f64,
+        droop_v: f64,
+        n_columns: usize,
+    ) -> f64 {
+        assert!(droop_v > 0.0);
+        let g_col = i_imbalance_per_column_a / droop_v;
+        self.area_for_conductance(g_col * n_columns as f64)
+    }
+
+    /// Overhead relative to the GPU die (the paper quotes 0.2x, 1.72x, ...).
+    pub fn as_gpu_multiple(&self, area_mm2: f64) -> f64 {
+        area_mm2 / self.gpu_die_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_multiples() {
+        let am = AreaModel::default();
+        let circuit_only = am.as_gpu_multiple(AreaModel::CIRCUIT_ONLY_MM2);
+        assert!((circuit_only - 1.72).abs() < 0.01, "{circuit_only}");
+        let cross = am.as_gpu_multiple(AreaModel::CROSS_LAYER_MM2);
+        assert!((cross - 0.2).abs() < 0.001, "{cross}");
+        let ivr = am.as_gpu_multiple(AreaModel::SINGLE_LAYER_IVR_MM2);
+        assert!((ivr - 0.33).abs() < 0.01, "{ivr}");
+    }
+
+    #[test]
+    fn cross_layer_saves_88_percent() {
+        let saving = 1.0 - AreaModel::CROSS_LAYER_MM2 / AreaModel::CIRCUIT_ONLY_MM2;
+        assert!((saving - 0.88).abs() < 0.005, "saving {saving}");
+    }
+
+    #[test]
+    fn circuit_only_sizing_reproduces_table3() {
+        // Worst case: one layer's 4 SMs gated, ~8 A per column of imbalance,
+        // 0.2 V guardband.
+        let am = AreaModel::default();
+        let area = am.circuit_only_area_mm2(8.0, 0.2, 4);
+        assert!(
+            (area - AreaModel::CIRCUIT_ONLY_MM2).abs() / AreaModel::CIRCUIT_ONLY_MM2 < 0.01,
+            "calibration drifted: {area} mm²"
+        );
+    }
+
+    #[test]
+    fn conductance_roundtrip() {
+        let am = AreaModel::default();
+        let g = am.conductance_for_area(100.0);
+        assert!((am.area_for_conductance(g) - 100.0).abs() < 1e-9);
+    }
+}

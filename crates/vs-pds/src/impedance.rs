@@ -1,0 +1,216 @@
+//! Effective-impedance characterization of the stacked PDN (paper Fig. 3
+//! and Section III-B).
+//!
+//! A load current anywhere in the stack decomposes into three orthogonal
+//! components: a **global** part (even across all SMs), a **stack** part
+//! (even across one column, net of global), and a **residual** part (the
+//! single-SM remainder — the inter-layer imbalance). Each component sees a
+//! different effective impedance; the paper's reliability argument rests on
+//! the residual impedance having by far the largest low-frequency peak,
+//! which the CR-IVR (and, in the cross-layer design, the voltage-smoothing
+//! loop) must suppress.
+
+use vs_circuit::{AcAnalysis, AcStimulus, NetlistError};
+
+use crate::stacked::StackedPdn;
+
+/// Impedance magnitudes over a frequency sweep.
+#[derive(Debug, Clone)]
+pub struct ImpedanceProfile {
+    /// Sweep frequencies, hertz.
+    pub freqs: Vec<f64>,
+    /// Global effective impedance `Z_G`, ohms (response of one SM's layer
+    /// voltage per ampere of total current spread across all SMs).
+    pub z_global: Vec<f64>,
+    /// Stack effective impedance `Z_ST`, ohms (per ampere spread across one
+    /// column).
+    pub z_stack: Vec<f64>,
+    /// Residual impedance measured at a victim SM in the *same layer* as the
+    /// aggressor, ohms.
+    pub z_residual_same_layer: Vec<f64>,
+    /// Residual impedance measured at a victim SM in a *different layer*,
+    /// ohms.
+    pub z_residual_diff_layer: Vec<f64>,
+}
+
+impl ImpedanceProfile {
+    /// Peak of a curve as `(freq_hz, ohms)`.
+    pub fn peak(curve: &[f64], freqs: &[f64]) -> (f64, f64) {
+        let mut best = (0.0, 0.0);
+        for (f, z) in freqs.iter().zip(curve) {
+            if *z > best.1 {
+                best = (*f, *z);
+            }
+        }
+        best
+    }
+}
+
+/// Computes the Fig. 3 impedance curves for a stacked PDN (with or without
+/// CR-IVR, depending on how `pdn` was built) over `points` log-spaced
+/// frequencies in `[f_lo_hz, f_hi_hz]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if an AC solve fails.
+pub fn impedance_profile(
+    pdn: &StackedPdn,
+    f_lo_hz: f64,
+    f_hi_hz: f64,
+    points: usize,
+) -> Result<ImpedanceProfile, NetlistError> {
+    let ac = AcAnalysis::new(&pdn.netlist)?;
+    let nl = pdn.params.n_layers;
+    let nc = pdn.params.n_columns;
+    let n_sms = (nl * nc) as f64;
+
+    // Stimulus helpers: a current of `amps` across SM (layer, col).
+    let sm_stim = |layer: usize, col: usize, amps: f64| AcStimulus {
+        from: pdn.sm_top[layer][col],
+        to: pdn.sm_bottom[layer][col],
+        amps,
+    };
+
+    // Global: 1 A split across all SMs.
+    let global: Vec<AcStimulus> = (0..nl)
+        .flat_map(|l| (0..nc).map(move |c| (l, c)))
+        .map(|(l, c)| sm_stim(l, c, 1.0 / n_sms))
+        .collect();
+    // Stack: 1 A split across column 0, minus the global component.
+    let mut stack: Vec<AcStimulus> = (0..nl).map(|l| sm_stim(l, 0, 1.0 / nl as f64)).collect();
+    for s in &global {
+        stack.push(AcStimulus {
+            from: s.from,
+            to: s.to,
+            amps: -s.amps,
+        });
+    }
+    // Residual: 1 A on SM(1, 0) minus the even column-0 distribution.
+    let aggressor_layer = 1;
+    let mut residual: Vec<AcStimulus> = vec![sm_stim(aggressor_layer, 0, 1.0)];
+    for l in 0..nl {
+        residual.push(AcStimulus {
+            from: pdn.sm_top[l][0],
+            to: pdn.sm_bottom[l][0],
+            amps: -1.0 / nl as f64,
+        });
+    }
+
+    let freqs = vs_circuit::log_space(f_lo_hz, f_hi_hz, points);
+    let mut z_global = Vec::with_capacity(points);
+    let mut z_stack = Vec::with_capacity(points);
+    let mut z_same = Vec::with_capacity(points);
+    let mut z_diff = Vec::with_capacity(points);
+
+    // Victims: the layer voltage across a reference SM.
+    let measure = |sol: &vs_circuit::AcSolution, layer: usize, col: usize| {
+        sol.voltage_between(pdn.sm_top[layer][col], pdn.sm_bottom[layer][col])
+            .abs()
+    };
+
+    for f in &freqs {
+        let sol_g = ac.solve(*f, &global)?;
+        z_global.push(measure(&sol_g, 0, 0));
+        let sol_st = ac.solve(*f, &stack)?;
+        z_stack.push(measure(&sol_st, 0, 0));
+        let sol_r = ac.solve(*f, &residual)?;
+        // Same layer as the aggressor, different column.
+        z_same.push(measure(&sol_r, aggressor_layer, 1));
+        // Different layer, different column.
+        z_diff.push(measure(&sol_r, aggressor_layer + 1, 1));
+    }
+
+    Ok(ImpedanceProfile {
+        freqs,
+        z_global,
+        z_stack,
+        z_residual_same_layer: z_same,
+        z_residual_diff_layer: z_diff,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaModel;
+    use crate::crivr::CrIvrConfig;
+    use crate::params::PdnParams;
+
+    fn profile(crivr_mult: Option<f64>) -> ImpedanceProfile {
+        let params = PdnParams::default();
+        let am = AreaModel::default();
+        let pdn = match crivr_mult {
+            Some(m) => {
+                let cfg = CrIvrConfig::sized_by_gpu_area(m, &am);
+                StackedPdn::build(&params, Some((&cfg, &am)))
+            }
+            None => StackedPdn::build(&params, None),
+        };
+        impedance_profile(&pdn, 1e4, 500e6, 50).unwrap()
+    }
+
+    #[test]
+    fn residual_dominates_at_low_frequency_without_crivr() {
+        let p = profile(None);
+        // At the lowest swept frequency, the residual (imbalance) impedance
+        // towers over the global one — the paper's key finding.
+        assert!(
+            p.z_residual_same_layer[0] > 3.0 * p.z_global[0],
+            "residual {} vs global {}",
+            p.z_residual_same_layer[0],
+            p.z_global[0]
+        );
+    }
+
+    #[test]
+    fn global_impedance_has_mid_frequency_resonance() {
+        let p = profile(None);
+        let (f_peak, z_peak) = ImpedanceProfile::peak(&p.z_global, &p.freqs);
+        // Resonance in the tens-of-MHz range (paper: ~70 MHz).
+        assert!(
+            (10e6..=300e6).contains(&f_peak),
+            "global resonance at {f_peak} Hz"
+        );
+        assert!(z_peak > p.z_global[0], "peaked above the low-frequency floor");
+    }
+
+    #[test]
+    fn crivr_suppresses_low_frequency_residual_peak() {
+        let without = profile(None);
+        let with = profile(Some(1.0));
+        assert!(
+            with.z_residual_same_layer[0] < 0.2 * without.z_residual_same_layer[0],
+            "CR-IVR must crush the DC residual peak: {} vs {}",
+            with.z_residual_same_layer[0],
+            without.z_residual_same_layer[0]
+        );
+        // And a bigger CR-IVR suppresses harder.
+        let big = profile(Some(2.0));
+        assert!(big.z_residual_same_layer[0] < with.z_residual_same_layer[0]);
+    }
+
+    #[test]
+    fn stack_impedance_is_minor_but_nonzero() {
+        let p = profile(None);
+        // The stack component is visible (node-to-substrate parasitics) but
+        // far below the residual component everywhere.
+        let z_st_max = p.z_stack.iter().cloned().fold(0.0, f64::max);
+        assert!(z_st_max > 0.0, "stack impedance must be nonzero");
+        let z_r_max = p
+            .z_residual_same_layer
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(z_st_max < z_r_max, "residual dominates: {z_st_max} vs {z_r_max}");
+    }
+
+    #[test]
+    fn high_frequency_impedance_is_decap_limited() {
+        let p = profile(None);
+        let last = p.freqs.len() - 1;
+        // At 500 MHz the local decap shorts everything: small impedance for
+        // every component.
+        assert!(p.z_residual_same_layer[last] < p.z_residual_same_layer[0]);
+        assert!(p.z_global[last] < 0.05);
+    }
+}

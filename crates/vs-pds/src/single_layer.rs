@@ -1,0 +1,182 @@
+//! Conventional single-layer PDN netlists: the baseline board-VRM
+//! configuration and the single-layer IVR variant.
+//!
+//! Both deliver power to all 16 SMs in parallel at one voltage level; they
+//! differ in where conversion happens (board VRM at ~87 % vs on-chip IVR at
+//! ~90 %, accounted analytically via the efficiency curves in
+//! [`crate::params`]) and in the current carried by the PDN.
+
+use vs_circuit::{ControlId, ElementId, Netlist, NodeId, Transient};
+
+use crate::params::PdnParams;
+
+/// A built single-layer PDN.
+#[derive(Debug, Clone)]
+pub struct SingleLayerPdn {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Topology parameters.
+    pub params: PdnParams,
+    /// Delivery voltage at the die, volts.
+    pub v_delivery: f64,
+    /// SM load controls, flat SM order (16 entries, 4 per column).
+    pub sm_load: Vec<ControlId>,
+    /// SM load elements (for energy accounting).
+    pub sm_load_elems: Vec<ElementId>,
+    /// Supply-side terminal node of each SM.
+    pub sm_node: Vec<NodeId>,
+    /// Return-side terminal node of each SM.
+    pub sm_return: Vec<NodeId>,
+    /// Board source element.
+    pub source: ElementId,
+    /// Parasitic resistors (PDN-loss accounting).
+    pub pdn_resistors: Vec<ElementId>,
+    /// Die ground node.
+    pub die_gnd: NodeId,
+}
+
+impl SingleLayerPdn {
+    /// Builds a single-layer PDN delivering `v_delivery` volts at the die
+    /// (1 V for the conventional VRM configuration; ~1.7 V for the IVR
+    /// configuration whose on-chip conversion is handled analytically).
+    pub fn build(params: &PdnParams, v_delivery: f64) -> Self {
+        params.validate();
+        assert!(v_delivery > 0.0);
+        let mut net = Netlist::new();
+        let src_pos = net.node("src");
+        let pcb = net.node("pcb");
+        let pkg_mid = net.node("pkg_mid");
+        let die = net.node("die");
+        let die_gnd = net.node("die_gnd");
+        let gnd_mid = net.node("gnd_mid");
+        let source = net.voltage_source(src_pos, Netlist::GROUND, v_delivery);
+        let mut pdn_resistors = Vec::new();
+        pdn_resistors.push(net.resistor(src_pos, pcb, params.r_board));
+        pdn_resistors.push(net.resistor(pcb, pkg_mid, params.r_pkg));
+        net.inductor(pkg_mid, die, params.l_board + params.l_pkg);
+        net.capacitor(pcb, Netlist::GROUND, params.c_board);
+        pdn_resistors.push(net.resistor(die_gnd, gnd_mid, params.r_gnd));
+        net.inductor(gnd_mid, Netlist::GROUND, params.l_gnd);
+
+        // One grid node per column, laterally connected, decap to die_gnd.
+        let mut col_nodes = Vec::new();
+        for col in 0..params.n_columns {
+            let n = net.node(format!("col{col}"));
+            // Small spreading resistance from the die bump node.
+            pdn_resistors.push(net.resistor(die, n, params.r_lateral / 8.0));
+            net.capacitor(n, die_gnd, params.c_layer * params.n_layers as f64);
+            col_nodes.push(n);
+        }
+        for col in 0..params.n_columns - 1 {
+            net.resistor(col_nodes[col], col_nodes[col + 1], params.r_lateral);
+        }
+
+        let mut sm_load = Vec::new();
+        let mut sm_load_elems = Vec::new();
+        let mut sm_node = Vec::new();
+        let mut sm_return = Vec::new();
+        for sm in 0..params.n_sms() {
+            let col = sm % params.n_columns;
+            // The same local SM grid resistance the stacked design pays.
+            let t = net.node(format!("sm{sm}t"));
+            let b = net.node(format!("sm{sm}b"));
+            pdn_resistors.push(net.resistor(col_nodes[col], t, params.r_sm_grid));
+            pdn_resistors.push(net.resistor(b, die_gnd, params.r_sm_grid));
+            let (e, c) = net.controlled_current_source(t, b);
+            sm_load.push(c);
+            sm_load_elems.push(e);
+            sm_node.push(t);
+            sm_return.push(b);
+        }
+
+        SingleLayerPdn {
+            netlist: net,
+            params: *params,
+            v_delivery,
+            sm_load,
+            sm_load_elems,
+            sm_node,
+            sm_return,
+            source,
+            pdn_resistors,
+            die_gnd,
+        }
+    }
+
+    /// Supply voltage seen by SM `sm` in a running transient.
+    pub fn sm_voltage(&self, sim: &Transient, sm: usize) -> f64 {
+        sim.voltage(self.sm_node[sm]) - sim.voltage(self.sm_return[sm])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_circuit::Integration;
+
+    #[test]
+    fn delivers_near_nominal_under_load() {
+        let params = PdnParams::default();
+        let pdn = SingleLayerPdn::build(&params, 1.0);
+        let mut sim = Transient::new(&pdn.netlist, 1.0 / 700e6, Integration::Trapezoidal).unwrap();
+        for c in &pdn.sm_load {
+            sim.set_control(*c, 8.0); // 128 A total at 1 V
+        }
+        for _ in 0..50_000 {
+            sim.step().unwrap();
+        }
+        let v = pdn.sm_voltage(&sim, 0);
+        // IR drop at 128 A through ~0.7 mOhm total is ~0.1 V.
+        assert!(v > 0.85 && v < 1.0, "die voltage {v}");
+    }
+
+    #[test]
+    fn ir_loss_fraction_matches_calibration() {
+        // Conventional 1 V delivery at full load should lose roughly 6-10%
+        // in the PDN (the paper's conventional PDS loses >20% including the
+        // VRM).
+        let params = PdnParams::default();
+        let pdn = SingleLayerPdn::build(&params, 1.0);
+        let mut sim = Transient::new(&pdn.netlist, 1.0 / 700e6, Integration::Trapezoidal).unwrap();
+        for c in &pdn.sm_load {
+            sim.set_control(*c, 8.0);
+        }
+        for _ in 0..50_000 {
+            sim.step().unwrap();
+        }
+        let e = sim.energy();
+        let pdn_loss: f64 = pdn
+            .pdn_resistors
+            .iter()
+            .map(|id| sim.element_absorbed_j(*id))
+            .sum();
+        let frac = pdn_loss / e.source_delivered_j;
+        assert!((0.04..=0.12).contains(&frac), "PDN loss fraction {frac}");
+    }
+
+    #[test]
+    fn higher_delivery_voltage_cuts_loss() {
+        let params = PdnParams::default();
+        let run = |v: f64, amps: f64| {
+            let pdn = SingleLayerPdn::build(&params, v);
+            let mut sim =
+                Transient::new(&pdn.netlist, 1.0 / 700e6, Integration::Trapezoidal).unwrap();
+            for c in &pdn.sm_load {
+                sim.set_control(*c, amps);
+            }
+            for _ in 0..20_000 {
+                sim.step().unwrap();
+            }
+            let loss: f64 = pdn
+                .pdn_resistors
+                .iter()
+                .map(|id| sim.element_absorbed_j(*id))
+                .sum();
+            loss / sim.energy().source_delivered_j
+        };
+        // Same 128 W of SM power: at 1 V it is 128 A; at 1.7 V only 75 A.
+        let frac_1v = run(1.0, 8.0);
+        let frac_17v = run(1.7, 8.0 / 1.7);
+        assert!(frac_17v < frac_1v * 0.5, "{frac_1v} vs {frac_17v}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the power-delivery-subsystem models.
+
+use proptest::prelude::*;
+use vs_circuit::{Integration, Transient};
+use vs_pds::{
+    impedance_profile, ivr_efficiency, vrm_efficiency, AreaModel, CrIvrConfig, PdnParams,
+    SingleLayerPdn, StackedPdn,
+};
+
+fn stacked(params: &PdnParams, area_mult: f64) -> StackedPdn {
+    let am = AreaModel::default();
+    let cfg = CrIvrConfig::sized_by_gpu_area(area_mult, &am);
+    StackedPdn::build(params, Some((&cfg, &am)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any uniform load, the stacked PDN divides the supply evenly:
+    /// every SM sits within a few percent of VDD / n_layers.
+    #[test]
+    fn uniform_load_balances_any_stack(
+        amps in 0.5f64..14.0,
+        area_mult in 0.1f64..2.0,
+        n_layers in 2usize..6,
+    ) {
+        let params = PdnParams {
+            n_layers,
+            vdd_stack: 1.025 * n_layers as f64,
+            ..PdnParams::default()
+        };
+        let pdn = stacked(&params, area_mult);
+        let (v0, g2) = pdn.balanced_initial_state();
+        let mut sim = Transient::with_initial_state(
+            &pdn.netlist,
+            1.0 / 700e6,
+            Integration::Trapezoidal,
+            &v0,
+            &g2,
+        )
+        .unwrap();
+        for layer in 0..n_layers {
+            for col in 0..params.n_columns {
+                sim.set_control(pdn.sm_load[layer][col], amps);
+            }
+        }
+        for _ in 0..20_000 {
+            sim.step().unwrap();
+        }
+        let nominal = params.vdd_stack / n_layers as f64;
+        for layer in 0..n_layers {
+            for col in 0..params.n_columns {
+                let v = pdn.sm_voltage(&sim, layer, col);
+                prop_assert!(
+                    (v - nominal).abs() < 0.06 * nominal,
+                    "SM({layer},{col}) at {v} V, nominal {nominal}"
+                );
+            }
+        }
+    }
+
+    /// Impedance magnitudes are finite, non-negative, and the residual
+    /// component dominates the global one at the lowest frequency for any
+    /// (reasonable) CR-IVR size — including none at all.
+    #[test]
+    fn impedance_profile_is_well_behaved(area_mult in proptest::option::of(0.05f64..2.0)) {
+        let params = PdnParams::default();
+        let pdn = match area_mult {
+            Some(m) => stacked(&params, m),
+            None => StackedPdn::build(&params, None),
+        };
+        let p = impedance_profile(&pdn, 1e4, 500e6, 12).unwrap();
+        for i in 0..p.freqs.len() {
+            for z in [
+                p.z_global[i],
+                p.z_stack[i],
+                p.z_residual_same_layer[i],
+                p.z_residual_diff_layer[i],
+            ] {
+                prop_assert!(z.is_finite() && z >= 0.0, "bad impedance {z}");
+            }
+        }
+        prop_assert!(p.z_residual_same_layer[0] >= p.z_global[0]);
+    }
+
+    /// More CR-IVR area never raises the low-frequency residual impedance.
+    #[test]
+    fn residual_impedance_is_monotone_in_area(
+        small in 0.05f64..0.5,
+        factor in 1.5f64..4.0,
+    ) {
+        let params = PdnParams::default();
+        let lo = stacked(&params, small);
+        let hi = stacked(&params, small * factor);
+        let p_lo = impedance_profile(&lo, 1e4, 1e6, 4).unwrap();
+        let p_hi = impedance_profile(&hi, 1e4, 1e6, 4).unwrap();
+        prop_assert!(
+            p_hi.z_residual_same_layer[0] <= p_lo.z_residual_same_layer[0] * 1.001
+        );
+    }
+
+    /// Efficiency curves stay within physical bounds everywhere.
+    #[test]
+    fn efficiency_curves_bounded(load in -1.0f64..5.0) {
+        let v = vrm_efficiency(load);
+        let i = ivr_efficiency(load);
+        prop_assert!((0.5..1.0).contains(&v));
+        prop_assert!((0.5..1.0).contains(&i));
+    }
+
+    /// Single-layer delivery voltage scales the IR-loss fraction roughly
+    /// with 1/V^2 for the same wattage.
+    #[test]
+    fn delivery_voltage_cuts_single_layer_loss(v_hi in 1.4f64..2.5) {
+        let params = PdnParams::default();
+        let loss_frac = |v: f64| {
+            let pdn = SingleLayerPdn::build(&params, v);
+            let mut sim =
+                Transient::new(&pdn.netlist, 1.0 / 700e6, Integration::Trapezoidal).unwrap();
+            // 8 W per SM regardless of rail: current scales as 1/v.
+            for c in &pdn.sm_load {
+                sim.set_control(*c, 8.0 / v);
+            }
+            for _ in 0..10_000 {
+                sim.step().unwrap();
+            }
+            let loss: f64 = pdn
+                .pdn_resistors
+                .iter()
+                .map(|id| sim.element_absorbed_j(*id))
+                .sum();
+            loss / sim.energy().source_delivered_j
+        };
+        let f1 = loss_frac(1.0);
+        let fh = loss_frac(v_hi);
+        prop_assert!(fh < f1, "loss must fall with delivery voltage: {f1} -> {fh}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Collaborative power management (the paper's Section VI-D): run DFS on
+//! the voltage-stacked GPU through the VS-aware hypervisor and compare the
+//! energy bill with DFS on the conventional PDS.
+//!
+//! Run with: `cargo run --release --example collaborative_power_management`
+
+use vs_core::{Cosim, CosimConfig, PdsKind, PowerManagement};
+use vs_hypervisor::DfsConfig;
+
+fn main() {
+    let base = CosimConfig {
+        workload_scale: 0.15,
+        max_cycles: 1_000_000,
+        ..CosimConfig::default()
+    };
+    let profile = vs_gpu::benchmark("bfs").expect("known benchmark");
+
+    println!("running `bfs` with a 70% performance-goal DFS governor...\n");
+
+    let conv = Cosim::with_power_management(
+        &CosimConfig {
+            pds: PdsKind::ConventionalVrm,
+            ..base.clone()
+        },
+        &profile,
+        PowerManagement {
+            dfs: Some(DfsConfig::with_goal(0.7)),
+            ..PowerManagement::default()
+        },
+    )
+    .run();
+
+    let vs = Cosim::with_power_management(
+        &CosimConfig {
+            pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+            ..base
+        },
+        &profile,
+        PowerManagement {
+            dfs: Some(DfsConfig::with_goal(0.7)),
+            use_hypervisor: true, // Algorithm 2 bounds the layer imbalance
+            ..PowerManagement::default()
+        },
+    )
+    .run();
+
+    for (label, r) in [
+        ("conventional + DFS", &conv),
+        ("voltage-stacked + DFS + hypervisor", &vs),
+    ] {
+        println!("{label}:");
+        println!("  average clock scale : {:.2}", r.avg_freq_scale);
+        println!("  PDE                 : {:.1} %", 100.0 * r.pde());
+        println!(
+            "  board input energy  : {:.3} mJ",
+            1e3 * r.ledger.board_input_j
+        );
+        let f = r.imbalance.fractions();
+        println!(
+            "  layer imbalance     : {:.0}% of cycles < 10%, {:.0}% < 40%",
+            100.0 * f[0],
+            100.0 * (f[0] + f[1] + f[2])
+        );
+        println!();
+    }
+
+    let saving = 1.0 - vs.ledger.board_input_j / conv.ledger.board_input_j;
+    println!(
+        "energy saved by stacking under DFS: {:.1} % (paper: 7-13 %)",
+        100.0 * saving
+    );
+}

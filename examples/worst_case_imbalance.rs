@@ -1,0 +1,36 @@
+//! Worst-case imbalance study (the paper's Fig. 9 scenario): gate every SM
+//! of one stack layer at 3 us and watch the remaining layers' supply.
+//!
+//! Run with: `cargo run --release --example worst_case_imbalance`
+
+use vs_core::{run_worst_case, WorstCaseConfig};
+
+fn main() {
+    println!("gating one full stack layer at t = 3 us ...\n");
+    let configs = [
+        ("circuit-only, 2.0x GPU-die CR-IVR", 2.0, false),
+        ("circuit-only, 0.2x GPU-die CR-IVR", 0.2, false),
+        ("cross-layer,  0.2x GPU-die CR-IVR", 0.2, true),
+    ];
+    for (label, area, cross_layer) in configs {
+        let r = run_worst_case(&WorstCaseConfig {
+            area_mult: area,
+            cross_layer,
+            ..WorstCaseConfig::default()
+        });
+        let verdict = if r.worst_voltage >= 0.78 {
+            "survives the 0.2 V guardband region"
+        } else {
+            "collapses"
+        };
+        println!("{label}:");
+        println!(
+            "  worst voltage {:.3} V, final voltage {:.3} V -> {verdict}",
+            r.worst_voltage, r.final_voltage
+        );
+    }
+    println!();
+    println!("the cross-layer controller lets a 0.2x regulator match what the");
+    println!("circuit-only design needs ~2x of the GPU's die area to do — the");
+    println!("paper's 88% area reduction.");
+}

@@ -1,0 +1,51 @@
+//! # voltage-stacked-gpus
+//!
+//! A production-quality Rust reproduction of **"Voltage-Stacked GPUs: A
+//! Control Theory Driven Cross-Layer Solution for Practical Voltage Stacking
+//! in GPUs"** (MICRO 2018): power delivery to a Fermi-class GPU through a
+//! 4x4 series stack of streaming multiprocessors, kept reliable by
+//! charge-recycling integrated voltage regulators plus an architecture-level
+//! voltage-smoothing control loop, and made compatible with DFS and power
+//! gating by a VS-aware hypervisor.
+//!
+//! This facade crate re-exports the workspace's sub-crates:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`num`] | dense numerics: complex, LU, eigenvalues, matrix exponential |
+//! | [`circuit`] | SPICE-like netlists, DC/transient/AC analyses |
+//! | [`control`] | state-space models, stability, the Algorithm-1 controller |
+//! | [`gpu`] | cycle-level GPU timing simulator + synthetic workloads |
+//! | [`power`] | GPUWattch-style per-event power model |
+//! | [`pds`] | the four power-delivery-subsystem configurations |
+//! | [`hypervisor`] | DFS, power gating, the Algorithm-2 command mapper |
+//! | [`core`] | the lock-step co-simulation engine and experiments |
+//!
+//! See the `examples/` directory for runnable entry points and the
+//! `vs-bench` crate for the binaries that regenerate every table and figure
+//! of the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use voltage_stacked_gpus::core::{run_benchmark, CosimConfig, PdsKind};
+//!
+//! let cfg = CosimConfig {
+//!     pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+//!     ..CosimConfig::default()
+//! };
+//! let report = run_benchmark(&cfg, "heartwall");
+//! assert!(report.pde() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use vs_circuit as circuit;
+pub use vs_control as control;
+pub use vs_core as core;
+pub use vs_gpu as gpu;
+pub use vs_hypervisor as hypervisor;
+pub use vs_num as num;
+pub use vs_pds as pds;
+pub use vs_power as power;

@@ -1,0 +1,139 @@
+//! Cross-crate consistency: the control-theory model (`vs-control`) and the
+//! circuit-level netlist (`vs-pds` + `vs-circuit`) must agree about the
+//! stacked grid's behaviour — the paper's formal analysis is only meaningful
+//! if it predicts what the simulated silicon does.
+
+use voltage_stacked_gpus::circuit::{Integration, Transient};
+use voltage_stacked_gpus::control::{design_proportional, StackModel};
+use voltage_stacked_gpus::pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
+
+/// The analytic stack model built from the same electrical constants as the
+/// netlist.
+fn matching_model(params: &PdnParams) -> StackModel {
+    // Per-node capacitance seen by the control model: one column's layer
+    // decap times the number of columns (they act in parallel on each
+    // internal level).
+    let c_node = params.c_layer * params.n_columns as f64;
+    StackModel::new(params.n_layers, c_node, params.vdd_stack)
+}
+
+#[test]
+fn analytic_dc_deviation_matches_circuit() {
+    // Inject a constant imbalance and compare the settled node deviation
+    // with the analytic prediction ΔV = ΔI / G_ladder-ish. We use the
+    // recycler-only netlist (no controller) and a known CR-IVR size.
+    let params = PdnParams::default();
+    let am = AreaModel::default();
+    let crivr = CrIvrConfig::sized_by_gpu_area(1.0, &am);
+    let pdn = StackedPdn::build(&params, Some((&crivr, &am)));
+    let (v0, g2) = pdn.balanced_initial_state();
+    let mut sim = Transient::with_initial_state(
+        &pdn.netlist,
+        1.0 / 700e6,
+        Integration::Trapezoidal,
+        &v0,
+        &g2,
+    )
+    .unwrap();
+    // Balanced 8 A everywhere except layer 0, which draws 1 A less.
+    for layer in 0..4 {
+        for col in 0..4 {
+            let amps = if layer == 0 { 7.75 } else { 8.0 };
+            sim.set_control(pdn.sm_load[layer][col], amps);
+        }
+    }
+    for _ in 0..60_000 {
+        sim.step().unwrap();
+    }
+    // The under-drawing layer's voltage rises relative to the loaded ones
+    // (absolute values sit slightly below VDD/4 because of grid IR drops).
+    let v_under = pdn.sm_voltage(&sim, 0, 0);
+    let v_over = pdn.sm_voltage(&sim, 2, 0);
+    assert!(
+        v_under > v_over + 1e-3,
+        "under-drawing layer must sit higher: {v_under} vs {v_over}"
+    );
+    // Scale check: 0.25 A/column imbalance against a 1.0x CR-IVR
+    // (G_stage/column = 0.175*529/4 ~ 23 S) gives millivolt-scale skew,
+    // not a collapse.
+    assert!(v_under - v_over < 0.1, "skew too large: {}", v_under - v_over);
+}
+
+#[test]
+fn designed_gain_is_stable_in_the_loop() {
+    // The gain the design procedure picks must keep the *sampled* loop
+    // stable — and double the critical gain must be flagged unstable.
+    let params = PdnParams::default();
+    let model = matching_model(&params);
+    let t = 60.0 / 700e6;
+    let design = design_proportional(&model, t, 0.5);
+    assert!(design.spectral_radius < 1.0);
+    let k_max = model.max_stable_gain(t);
+    assert!(design.gain_w_per_v < k_max);
+    assert!(!model.sampled_closed_loop(2.0 * k_max, t).is_stable());
+}
+
+#[test]
+fn stability_limit_predicts_circuit_behaviour() {
+    // A proportional power feedback applied to the *circuit* at a gain far
+    // beyond the analytic stability limit must oscillate/diverge, while a
+    // modest gain must converge. This ties eq. (8)'s prediction to the
+    // netlist.
+    let params = PdnParams::default();
+    let model = matching_model(&params);
+    let t_sample = 60.0 / 700e6;
+    let k_max = model.max_stable_gain(t_sample);
+
+    let run = |k: f64| -> f64 {
+        let am = AreaModel::default();
+        let crivr = CrIvrConfig::sized_by_gpu_area(0.2, &am);
+        let pdn = StackedPdn::build(&params, Some((&crivr, &am)));
+        let (v0, g2) = pdn.balanced_initial_state();
+        let mut sim = Transient::with_initial_state(
+            &pdn.netlist,
+            1.0 / 700e6,
+            Integration::Trapezoidal,
+            &v0,
+            &g2,
+        )
+        .unwrap();
+        let v_nom = params.vdd_stack / params.n_layers as f64;
+        let mut held = [[8.0f64; 4]; 4];
+        // Step disturbance: layer 0 column 0 draws 2 A extra.
+        let mut worst: f64 = f64::INFINITY;
+        for cycle in 0..40_000u64 {
+            // Sampled proportional feedback every 60 cycles, one-period
+            // delayed, per SM: P += k * (V - Vnom).
+            if cycle % 60 == 0 {
+                for layer in 0..4 {
+                    for col in 0..4 {
+                        let v = pdn.sm_voltage(&sim, layer, col);
+                        let p = 8.0 + k * (v - v_nom) + if layer == 0 && col == 0 { 2.0 } else { 0.0 };
+                        held[layer][col] = p.clamp(0.0, 40.0);
+                    }
+                }
+            }
+            for layer in 0..4 {
+                for col in 0..4 {
+                    sim.set_control(pdn.sm_load[layer][col], held[layer][col] / v_nom);
+                }
+            }
+            sim.step().unwrap();
+            if cycle > 20_000 {
+                worst = worst.min(pdn.sm_voltage(&sim, 1, 0));
+            }
+        }
+        worst
+    };
+
+    let stable_v = run(0.4 * k_max);
+    let unstable_v = run(8.0 * k_max);
+    assert!(
+        stable_v > 0.8,
+        "modest gain should settle near nominal, got {stable_v}"
+    );
+    assert!(
+        unstable_v < stable_v - 0.1,
+        "overdriven gain should misbehave: stable {stable_v} vs unstable {unstable_v}"
+    );
+}

@@ -1,0 +1,84 @@
+//! Workspace-level property tests: invariants of the full co-simulation
+//! that must hold for arbitrary (sane) configurations.
+
+use proptest::prelude::*;
+use voltage_stacked_gpus::core::{run_benchmark, CosimConfig, PdsKind};
+
+fn any_pds() -> impl Strategy<Value = PdsKind> {
+    prop_oneof![
+        Just(PdsKind::ConventionalVrm),
+        Just(PdsKind::SingleLayerIvr),
+        (0.2f64..2.0).prop_map(|m| PdsKind::VsCircuitOnly { area_mult: m }),
+        (0.1f64..1.0).prop_map(|m| PdsKind::VsCrossLayer { area_mult: m }),
+    ]
+}
+
+proptest! {
+    // Full co-sim runs are expensive; a handful of random configurations per
+    // invocation keeps the suite fast while still sweeping the space across
+    // CI runs.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any PDS configuration and benchmark, the energy books stay sane:
+    /// PDE in (0, 1), all loss entries non-negative, and input >= useful.
+    #[test]
+    fn energy_ledger_is_always_sane(
+        pds in any_pds(),
+        bench_idx in 0usize..12,
+        seed in 1u64..1000,
+    ) {
+        let names = vs_gpu::all_benchmarks();
+        let cfg = CosimConfig {
+            pds,
+            seed,
+            workload_scale: 0.05,
+            max_cycles: 250_000,
+            ..CosimConfig::default()
+        };
+        let r = run_benchmark(&cfg, &names[bench_idx].name);
+        let l = &r.ledger;
+        prop_assert!(r.pde() > 0.0 && r.pde() < 1.0, "PDE {}", r.pde());
+        prop_assert!(l.board_input_j > 0.0);
+        prop_assert!(l.board_input_j >= l.useful_j());
+        for (name, v) in [
+            ("vrm", l.vrm_loss_j),
+            ("ivr", l.ivr_loss_j),
+            ("pdn", l.pdn_loss_j),
+            ("crivr", l.crivr_loss_j),
+            ("ls", l.level_shifter_j),
+            ("ctrl", l.controller_j),
+            ("dcc", l.dcc_j),
+            ("fake", l.fake_j),
+        ] {
+            prop_assert!(v >= -1e-12, "{name} loss negative: {v}");
+        }
+        // Imbalance fractions form a distribution (or are all zero for
+        // single-layer configs).
+        let f = r.imbalance.fractions();
+        let sum: f64 = f.iter().sum();
+        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Voltage stacking never loses to the conventional PDS on delivery
+    /// efficiency, for any benchmark and seed.
+    #[test]
+    fn stacking_always_beats_conventional(
+        bench_idx in 0usize..12,
+        seed in 1u64..100,
+    ) {
+        let names = vs_gpu::all_benchmarks();
+        let mk = |pds| CosimConfig {
+            pds,
+            seed,
+            workload_scale: 0.05,
+            max_cycles: 250_000,
+            ..CosimConfig::default()
+        };
+        let conv = run_benchmark(&mk(PdsKind::ConventionalVrm), &names[bench_idx].name);
+        let vs = run_benchmark(
+            &mk(PdsKind::VsCrossLayer { area_mult: 0.2 }),
+            &names[bench_idx].name,
+        );
+        prop_assert!(vs.pde() > conv.pde(), "{} vs {}", vs.pde(), conv.pde());
+    }
+}
