@@ -1,18 +1,42 @@
-//! Criterion performance benchmarks for the simulation kernels: the
-//! per-cycle costs that determine how long the figure regeneration runs
-//! take.
+//! Performance benchmarks for the simulation kernels: the per-cycle costs
+//! that determine how long the figure regeneration runs take.
+//!
+//! This is a self-contained harness (`harness = false`): the offline build
+//! environment has no criterion, so we time each kernel directly with
+//! `std::time::Instant`, report ns/iter, and calibrate iteration counts from
+//! a short warm-up. Run with `cargo bench -p vs-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use vs_circuit::{AcAnalysis, Integration, Netlist, Transient};
+use vs_circuit::{AcAnalysis, Integration, Transient};
 use vs_control::{ControllerConfig, VoltageController};
 use vs_core::{PdsKind, PdsRig};
 use vs_gpu::{benchmark, build_kernel, Gpu, GpuConfig, SchedulerKind};
 use vs_num::{eigenvalues, expm, LuFactors, Matrix};
 use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
 
-fn bench_circuit(c: &mut Criterion) {
+/// Times `f` and prints a criterion-style `name ... ns/iter` line.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and calibrate so each measurement takes ~0.2 s.
+    let t0 = Instant::now();
+    let mut warmup_iters = 0u64;
+    while t0.elapsed().as_millis() < 50 {
+        f();
+        warmup_iters += 1;
+    }
+    let per_iter = t0.elapsed().as_nanos() as u64 / warmup_iters.max(1);
+    let iters = (200_000_000 / per_iter.max(1)).clamp(10, 10_000_000);
+
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<32} {ns:>12.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_circuit() {
     let params = PdnParams::default();
     let am = AreaModel::default();
     let crivr = CrIvrConfig::cross_layer_default(&am);
@@ -31,25 +55,21 @@ fn bench_circuit(c: &mut Criterion) {
             sim.set_control(pdn.sm_load[layer][col], 8.0);
         }
     }
-    c.bench_function("stacked_pdn_transient_step", |b| {
-        b.iter(|| {
-            sim.step().unwrap();
-            black_box(sim.voltage(pdn.die_top));
-        });
+    bench("stacked_pdn_transient_step", || {
+        sim.step().unwrap();
+        black_box(sim.voltage(pdn.die_top));
     });
 
     let ac = AcAnalysis::new(&pdn.netlist).unwrap();
-    c.bench_function("stacked_pdn_ac_solve", |b| {
-        b.iter(|| {
-            black_box(
-                ac.impedance(black_box(70e6), pdn.sm_top[1][0], pdn.sm_bottom[1][0])
-                    .unwrap(),
-            );
-        });
+    bench("stacked_pdn_ac_solve", || {
+        black_box(
+            ac.impedance(black_box(70e6), pdn.sm_top[1][0], pdn.sm_bottom[1][0])
+                .unwrap(),
+        );
     });
 }
 
-fn bench_numerics(c: &mut Criterion) {
+fn bench_numerics() {
     let n = 8;
     let mut a = Matrix::zeros(n, n);
     let mut seed = 0x12345u64;
@@ -62,8 +82,12 @@ fn bench_numerics(c: &mut Criterion) {
             a[(i, j)] = next();
         }
     }
-    c.bench_function("expm_8x8", |b| b.iter(|| black_box(expm(&a))));
-    c.bench_function("eigenvalues_8x8", |b| b.iter(|| black_box(eigenvalues(&a))));
+    bench("expm_8x8", || {
+        black_box(expm(&a));
+    });
+    bench("eigenvalues_8x8", || {
+        black_box(eigenvalues(&a));
+    });
 
     let m = 48;
     let mut big = Matrix::zeros(m, m);
@@ -75,58 +99,50 @@ fn bench_numerics(c: &mut Criterion) {
     }
     let lu = LuFactors::factor(&big).unwrap();
     let rhs = vec![1.0; m];
-    c.bench_function("lu_solve_48", |b| b.iter(|| black_box(lu.solve(&rhs))));
-
-    let mut net = Netlist::new();
-    let top = net.node("n");
-    net.voltage_source(top, Netlist::GROUND, 1.0);
-    net.resistor(top, Netlist::GROUND, 1.0);
-    let _ = net;
+    bench("lu_solve_48", || {
+        black_box(lu.solve(&rhs));
+    });
 }
 
-fn bench_gpu(c: &mut Criterion) {
+fn bench_gpu() {
     let cfg = GpuConfig::default();
     let kernel = build_kernel(&benchmark("heartwall").unwrap(), &cfg, 1);
     let mut gpu = Gpu::new(&cfg, &kernel, SchedulerKind::Gto);
-    c.bench_function("gpu_tick_16_sms", |b| {
-        b.iter(|| {
-            black_box(gpu.tick());
-        });
+    bench("gpu_tick_16_sms", || {
+        black_box(gpu.tick());
     });
 }
 
-fn bench_controller(c: &mut Criterion) {
+fn bench_controller() {
     let mut ctrl = VoltageController::new(ControllerConfig::default());
     let mut voltages = vec![1.0; 16];
     voltages[5] = 0.85;
-    c.bench_function("controller_update", |b| {
-        b.iter(|| {
-            black_box(ctrl.update(black_box(&voltages)));
-        });
+    bench("controller_update", || {
+        black_box(ctrl.update(black_box(&voltages)));
     });
 }
 
-fn bench_rig(c: &mut Criterion) {
-    let mut rig = PdsRig::new(
-        PdsKind::VsCrossLayer { area_mult: 0.2 },
-        1.0 / 700e6,
-        0.08,
-    );
+fn bench_rig() {
+    let mut rig = PdsRig::new(PdsKind::VsCrossLayer { area_mult: 0.2 }, 1.0 / 700e6, 0.08);
     let p = vec![8.0; 16];
     let z = vec![0.0; 16];
-    c.bench_function("pds_rig_step", |b| {
-        b.iter(|| {
-            rig.step(black_box(&p), &z, &z);
-        });
+    bench("pds_rig_step", || {
+        rig.step(black_box(&p), &z, &z).expect("bench step");
     });
 }
 
-criterion_group!(
-    benches,
-    bench_circuit,
-    bench_numerics,
-    bench_gpu,
-    bench_controller,
-    bench_rig
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` forwards a `--bench` flag; `cargo test --benches` runs
+    // this binary with `--test` style flags. Only time things when actually
+    // benchmarking so the test suite stays fast.
+    let arg_test = std::env::args().any(|a| a == "--test");
+    if arg_test {
+        println!("perf: skipped under --test");
+        return;
+    }
+    bench_circuit();
+    bench_numerics();
+    bench_gpu();
+    bench_controller();
+    bench_rig();
+}

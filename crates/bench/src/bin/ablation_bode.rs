@@ -46,16 +46,16 @@ fn measured_gain(freq_hz: f64, k: f64, t_cycles: u64) -> f64 {
     let mut v_max = f64::NEG_INFINITY;
     for cycle in 0..cycles {
         if cycle % t_cycles == 0 {
-            for layer in 0..4 {
-                for col in 0..4 {
+            for (layer, row) in held.iter_mut().enumerate() {
+                for (col, h) in row.iter_mut().enumerate() {
                     let v = pdn.sm_voltage(&sim, layer, col);
-                    held[layer][col] = (8.0 + k * (v - v_nom)).clamp(0.0, 40.0);
+                    *h = (8.0 + k * (v - v_nom)).clamp(0.0, 40.0);
                 }
             }
         }
-        for layer in 0..4 {
-            for col in 0..4 {
-                sim.set_control(pdn.sm_load[layer][col], held[layer][col] / v_nom);
+        for (layer, row) in held.iter().enumerate() {
+            for (col, h) in row.iter().enumerate() {
+                sim.set_control(pdn.sm_load[layer][col], h / v_nom);
             }
         }
         sim.step().expect("step");

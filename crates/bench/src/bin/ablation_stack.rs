@@ -26,7 +26,7 @@ fn main() {
         let p = vec![8.0; rig.n_sms()];
         let z = vec![0.0; rig.n_sms()];
         for _ in 0..20_000 {
-            rig.step(&p, &z, &z);
+            rig.step(&p, &z, &z).expect("ablation step");
         }
         let ledger = rig.ledger();
         let v_spread = {

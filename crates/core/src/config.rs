@@ -1,12 +1,11 @@
 //! Co-simulation configuration: which PDS is under test and how the
 //! cross-layer machinery is parameterized.
 
-use serde::{Deserialize, Serialize};
 use vs_control::{ActuatorWeights, DetectorKind};
 
 /// The four power-delivery-subsystem configurations compared in the paper
 /// (Table III / Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PdsKind {
     /// Conventional single-layer PDS with a board-level step-down VRM.
     ConventionalVrm,
@@ -49,7 +48,7 @@ impl PdsKind {
 }
 
 /// Full co-simulation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CosimConfig {
     /// PDS configuration under test.
     pub pds: PdsKind,

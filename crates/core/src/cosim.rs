@@ -9,14 +9,17 @@
 //! controller's (latency-delayed) commands feed back into the next cycle's
 //! issue widths, fake-instruction rates, and DCC ballast currents.
 
+use vs_circuit::StepReport;
 use vs_control::{ControllerConfig, VoltageController};
 use vs_gpu::{build_kernel, Gpu, GpuConfig, SchedulerKind, WorkloadProfile};
 use vs_hypervisor::{DfsConfig, DfsGovernor, GatingAccountant, PgConfig, VsAwareHypervisor};
 use vs_power::{PowerModel, SmPower};
 
 use crate::config::{CosimConfig, PdsKind};
+use crate::fault::{FaultKind, FaultPlan, LoadGlitch};
 use crate::imbalance::ImbalanceHistogram;
 use crate::rig::{EnergyLedger, PdsRig};
+use crate::supervisor::{classify, CosimError, SupervisedReport, SupervisorConfig};
 
 /// Optional higher-level power management active during a run.
 #[derive(Debug, Clone, Default)]
@@ -147,11 +150,49 @@ impl Cosim {
     }
 
     /// Runs to kernel completion (or the cycle cap) and reports.
+    ///
+    /// Equivalent to a fault-free [`Cosim::run_supervised`] under the
+    /// default [`SupervisorConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit solver fails irrecoverably (the historical
+    /// contract of this entry point; use [`Cosim::run_supervised`] to get a
+    /// verdict instead of a panic).
+    pub fn run(self) -> CosimReport {
+        let sup = self.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
+        if let Some(e) = sup.error {
+            panic!("PDS transient step: {e}");
+        }
+        sup.report
+    }
+
+    /// Runs under a supervisor: installs the supervisor's solver-recovery
+    /// policy on the rig, interprets `plan` every cycle (sensing, actuation,
+    /// CR-IVR, and load faults), tracks per-layer time below the voltage
+    /// guardband, and classifies the finished run into a
+    /// [`crate::RunVerdict`] instead of panicking on solver failure.
     #[allow(clippy::too_many_lines)]
-    pub fn run(mut self) -> CosimReport {
+    pub fn run_supervised(mut self, sup: &SupervisorConfig, plan: &FaultPlan) -> SupervisedReport {
         let n_sms = self.rig.n_sms();
         let dt = 1.0 / self.power.clock_hz();
         let v_nominal = self.power.v_nominal();
+        let (n_layers, layer_columns) = self.rig.topology();
+        self.rig.set_recovery_policy(sup.recovery);
+        let mut streams = plan.event_streams();
+        // Last sample actually delivered to the controller per SM, for
+        // dropout's sample-and-hold semantics.
+        let mut held_sample = vec![v_nominal; n_sms];
+        let dac = self
+            .controller
+            .as_ref()
+            .map_or(ControllerConfig::default().dcc, |c| c.config().dcc);
+        let mut below_guard_cycles = vec![0u64; n_layers];
+        let mut recovery = StepReport::default();
+        let mut error: Option<CosimError> = None;
+        // Whether each CR-IVR fault event currently has its scale applied
+        // (so window edges retune the circuit exactly once per transition).
+        let mut crivr_applied = vec![false; plan.events().len()];
         let mut dcc_power = vec![0.0; n_sms];
         let mut min_v = f64::INFINITY;
         let mut max_v = f64::NEG_INFINITY;
@@ -199,7 +240,44 @@ impl Cosim {
                 }
             }
 
-            self.rig.step(&sm_watts, &dcc_power, &fake_watts);
+            // Scheduled faults at the circuit boundary: CR-IVR degradation
+            // retunes the netlist on window edges; load glitches corrupt the
+            // power telemetry the solver is about to consume.
+            let cycle = self.gpu.cycle();
+            for (i, ev) in plan.events().iter().enumerate() {
+                match ev.kind {
+                    FaultKind::CrIvr { column, fault } => {
+                        let want = ev.window.active(cycle);
+                        if want != crivr_applied[i] {
+                            let scale = if want { fault.scale() } else { 1.0 };
+                            match self.rig.scale_column_recyclers(column, scale) {
+                                Ok(_) => crivr_applied[i] = want,
+                                Err(e) => {
+                                    error = Some(CosimError::Solver { cycle, source: e });
+                                }
+                            }
+                        }
+                    }
+                    FaultKind::LoadGlitch { sm, glitch } if ev.window.active(cycle) => {
+                        match glitch {
+                            LoadGlitch::NonFinite => sm_watts[sm] = f64::NAN,
+                            LoadGlitch::Surge { watts } => sm_watts[sm] += watts,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if error.is_some() {
+                break;
+            }
+
+            match self.rig.step(&sm_watts, &dcc_power, &fake_watts) {
+                Ok(r) => recovery.absorb(&r),
+                Err(e) => {
+                    error = Some(CosimError::Solver { cycle, source: e });
+                    break;
+                }
+            }
             let voltages = self.rig.sm_voltages();
             let stride = u64::from(self.cfg.trace_stride.max(1));
             for (sm, v) in voltages.iter().enumerate() {
@@ -209,11 +287,39 @@ impl Cosim {
                     traces[sm].push(self.rig.time(), *v);
                 }
             }
+            for layer in 0..n_layers {
+                let lo = voltages[layer * layer_columns..(layer + 1) * layer_columns]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                if lo < sup.v_guardband {
+                    below_guard_cycles[layer] += 1;
+                }
+            }
             histogram.record(&sm_watts, &voltages, v_nominal);
 
-            // Architecture-level voltage smoothing.
+            // Architecture-level voltage smoothing, through the (possibly
+            // faulted) sensing and actuation chains. Physical statistics
+            // above use the true voltages; the controller sees the sensed
+            // ones.
             if let Some(ctrl) = self.controller.as_mut() {
-                let commands = ctrl.update(&voltages).to_vec();
+                let mut sensed = voltages.clone();
+                for (i, ev) in plan.events().iter().enumerate() {
+                    if let FaultKind::Detector { sm, fault } = ev.kind {
+                        if ev.window.active(cycle) {
+                            sensed[sm] = fault.apply(sensed[sm], held_sample[sm], &mut streams[i]);
+                        }
+                    }
+                }
+                held_sample.copy_from_slice(&sensed);
+                let mut commands = ctrl.update(&sensed).to_vec();
+                for ev in plan.events() {
+                    if let FaultKind::Actuator { sm, fault } = ev.kind {
+                        if ev.window.active(cycle) {
+                            fault.apply(&mut commands[sm], &dac);
+                        }
+                    }
+                }
                 for (sm, cmd) in commands.iter().enumerate() {
                     let mut c = self.gpu.sm_control(sm);
                     c.issue_width = cmd.issue_width;
@@ -259,9 +365,9 @@ impl Cosim {
                         let mut freqs = vec![700e6; n_sms];
                         let mut gates = vec![true; n_sms];
                         hv.map_commands(&mut freqs, &mut gates);
-                        for sm in 0..n_sms {
+                        for (sm, gate) in gates.iter().enumerate() {
                             let mut c = self.gpu.sm_control(sm);
-                            c.unit_gating = gates[sm];
+                            c.unit_gating = *gate;
                             self.gpu.set_sm_control(sm, c);
                         }
                     }
@@ -281,8 +387,7 @@ impl Cosim {
         } else {
             0.0
         };
-        let _ = dt;
-        CosimReport {
+        let report = CosimReport {
             benchmark: self.benchmark,
             pds: self.cfg.pds,
             cycles,
@@ -303,6 +408,23 @@ impl Cosim {
                 freq_scale_acc / cycles as f64
             },
             gating_saved_j,
+        };
+        let verdict = classify(
+            error.as_ref(),
+            &below_guard_cycles,
+            cycles,
+            &recovery,
+            sup.guardband_tolerance,
+        );
+        let below_guardband_s =
+            below_guard_cycles.iter().copied().max().unwrap_or(0) as f64 * dt;
+        SupervisedReport {
+            verdict,
+            report,
+            below_guardband_cycles: below_guard_cycles,
+            below_guardband_s,
+            recovery,
+            error,
         }
     }
 }

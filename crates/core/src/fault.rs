@@ -1,0 +1,298 @@
+//! Deterministic fault schedules for the supervised co-simulation.
+//!
+//! A [`FaultPlan`] is a seeded list of fault events, each a mechanism
+//! ([`FaultKind`]) active over a cycle window ([`FaultWindow`]). The plan is
+//! pure data: the supervisor interprets it every cycle, deriving one
+//! decorrelated random stream per event from the plan seed so that two runs
+//! of the same plan — and the same plan embedded in different sweeps —
+//! reproduce bit-for-bit.
+
+use vs_control::{ActuatorFault, DetectorFault};
+use vs_num::Rng;
+
+/// Degradation modes of one column's CR-IVR ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrIvrFault {
+    /// The whole sub-IVR drops offline (clock driver dies): zero recycling
+    /// conductance on that column.
+    Offline,
+    /// Reduced effective `f_sw * C_fly` (flying-cap wear-out, a slowed
+    /// clock): conductance scaled by `factor`.
+    Degraded {
+        /// Remaining fraction of the nominal conductance, in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl CrIvrFault {
+    /// The conductance scale this mode leaves in effect.
+    pub fn scale(&self) -> f64 {
+        match *self {
+            CrIvrFault::Offline => 0.0,
+            CrIvrFault::Degraded { factor } => factor.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Load-side disturbances injected at the circuit boundary. These exercise
+/// the solver's recovery path rather than the control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadGlitch {
+    /// The power telemetry for this SM turns non-finite (NaN): the direct
+    /// trigger for the solver's sanitize-and-retry recovery.
+    NonFinite,
+    /// An additive power surge on this SM, watts (a short, latch-up, or a
+    /// test value large enough to defeat recovery entirely).
+    Surge {
+        /// Extra power drawn on top of the workload, watts.
+        watts: f64,
+    },
+}
+
+/// What breaks. SM indices are flat layer-major (as everywhere in the
+/// co-simulation); `column` indexes the stack columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A fault in one SM's voltage-sensing chain.
+    Detector {
+        /// Affected SM (flat layer-major index).
+        sm: usize,
+        /// The sensing fault mechanism.
+        fault: DetectorFault,
+    },
+    /// A fault in one SM's actuation path.
+    Actuator {
+        /// Affected SM (flat layer-major index).
+        sm: usize,
+        /// The actuation fault mechanism.
+        fault: ActuatorFault,
+    },
+    /// Degradation of one column's CR-IVR ladder.
+    CrIvr {
+        /// Affected stack column.
+        column: usize,
+        /// The degradation mode.
+        fault: CrIvrFault,
+    },
+    /// A disturbance on one SM's load current.
+    LoadGlitch {
+        /// Affected SM (flat layer-major index).
+        sm: usize,
+        /// The disturbance.
+        glitch: LoadGlitch,
+    },
+}
+
+impl FaultKind {
+    /// Short label for sweep tables.
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::Detector { sm, fault } => match fault {
+                DetectorFault::StuckAt { volts } => format!("det[{sm}] stuck {volts:.2}V"),
+                DetectorFault::Noise { sigma_v } => {
+                    format!("det[{sm}] noise {:.0}mV", sigma_v * 1e3)
+                }
+                DetectorFault::Dropout { p_drop } => {
+                    format!("det[{sm}] drop {:.0}%", p_drop * 100.0)
+                }
+            },
+            FaultKind::Actuator { sm, fault } => match fault {
+                ActuatorFault::DiwsStuck { issue_width } => {
+                    format!("diws[{sm}] stuck {issue_width:.1}")
+                }
+                ActuatorFault::FiiDisabled => format!("fii[{sm}] disabled"),
+                ActuatorFault::DccStuck { code } => format!("dcc[{sm}] stuck code {code}"),
+                ActuatorFault::DccRailed => format!("dcc[{sm}] railed"),
+            },
+            FaultKind::CrIvr { column, fault } => match fault {
+                CrIvrFault::Offline => format!("crivr[col {column}] offline"),
+                CrIvrFault::Degraded { factor } => {
+                    format!("crivr[col {column}] at {:.0}%", factor * 100.0)
+                }
+            },
+            FaultKind::LoadGlitch { sm, glitch } => match glitch {
+                LoadGlitch::NonFinite => format!("load[{sm}] NaN"),
+                LoadGlitch::Surge { watts } => format!("load[{sm}] +{watts:.0}W"),
+            },
+        }
+    }
+}
+
+/// When a fault is active, in GPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First cycle the fault is active.
+    pub start_cycle: u64,
+    /// Active duration; `None` means permanent from `start_cycle` on.
+    pub duration_cycles: Option<u64>,
+}
+
+impl FaultWindow {
+    /// A fault present from cycle 0 forever.
+    pub const ALWAYS: FaultWindow = FaultWindow {
+        start_cycle: 0,
+        duration_cycles: None,
+    };
+
+    /// A permanent fault appearing at `start_cycle`.
+    pub fn from(start_cycle: u64) -> Self {
+        FaultWindow {
+            start_cycle,
+            duration_cycles: None,
+        }
+    }
+
+    /// A transient fault over `[start_cycle, start_cycle + duration)`.
+    pub fn transient(start_cycle: u64, duration_cycles: u64) -> Self {
+        FaultWindow {
+            start_cycle,
+            duration_cycles: Some(duration_cycles),
+        }
+    }
+
+    /// Whether the fault is active at `cycle`.
+    pub fn active(&self, cycle: u64) -> bool {
+        cycle >= self.start_cycle
+            && self
+                .duration_cycles
+                .is_none_or(|d| cycle - self.start_cycle < d)
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The fault mechanism.
+    pub kind: FaultKind,
+    /// When it is active.
+    pub window: FaultWindow,
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the healthy baseline).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Creates an empty plan with a seed for the per-event random streams.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds a fault event (builder style).
+    pub fn with(mut self, kind: FaultKind, window: FaultWindow) -> Self {
+        self.events.push(FaultEvent { kind, window });
+        self
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// One decorrelated random stream per event, in event order. Stochastic
+    /// fault mechanisms (noise, dropout) draw from their own stream, so
+    /// adding or removing other events does not perturb them.
+    pub fn event_streams(&self) -> Vec<Rng> {
+        let root = Rng::seed_from_u64(self.seed);
+        (0..self.events.len())
+            .map(|i| root.fork(i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_edges() {
+        let w = FaultWindow::transient(100, 50);
+        assert!(!w.active(99));
+        assert!(w.active(100));
+        assert!(w.active(149));
+        assert!(!w.active(150));
+        let p = FaultWindow::from(10);
+        assert!(!p.active(9));
+        assert!(p.active(u64::MAX));
+        assert!(FaultWindow::ALWAYS.active(0));
+    }
+
+    #[test]
+    fn transient_window_survives_overflow() {
+        let w = FaultWindow::transient(u64::MAX - 1, 10);
+        assert!(w.active(u64::MAX));
+    }
+
+    #[test]
+    fn event_streams_are_reproducible_and_decorrelated() {
+        let plan = FaultPlan::new(7)
+            .with(
+                FaultKind::Detector {
+                    sm: 0,
+                    fault: DetectorFault::Noise { sigma_v: 0.01 },
+                },
+                FaultWindow::ALWAYS,
+            )
+            .with(
+                FaultKind::Detector {
+                    sm: 1,
+                    fault: DetectorFault::Dropout { p_drop: 0.5 },
+                },
+                FaultWindow::ALWAYS,
+            );
+        let mut a = plan.event_streams();
+        let mut b = plan.event_streams();
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            for _ in 0..100 {
+                assert_eq!(x.next_u64(), y.next_u64());
+            }
+        }
+        let mut c = plan.event_streams();
+        assert_ne!(c[0].next_u64(), c[1].next_u64());
+    }
+
+    #[test]
+    fn labels_are_distinct_per_mechanism() {
+        let kinds = [
+            FaultKind::Detector {
+                sm: 3,
+                fault: DetectorFault::StuckAt { volts: 1.0 },
+            },
+            FaultKind::Actuator {
+                sm: 3,
+                fault: ActuatorFault::DccRailed,
+            },
+            FaultKind::CrIvr {
+                column: 1,
+                fault: CrIvrFault::Offline,
+            },
+            FaultKind::LoadGlitch {
+                sm: 3,
+                glitch: LoadGlitch::NonFinite,
+            },
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(FaultKind::label).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

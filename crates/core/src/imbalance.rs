@@ -5,14 +5,13 @@
 //! normalized by the peak SM current and binned into the paper's four
 //! buckets: 0–10 %, 10–20 %, 20–40 %, > 40 %.
 
-use serde::{Deserialize, Serialize};
 
 /// Normalization reference: a compute-dense SM peaks near this current at
 /// 1 V (see the power model calibration).
 const PEAK_SM_CURRENT_A: f64 = 14.0;
 
 /// Histogram of normalized vertical current imbalance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ImbalanceHistogram {
     n_layers: usize,
     n_columns: usize,
@@ -122,9 +121,7 @@ mod tests {
     fn gated_layer_lands_in_top_bin() {
         let mut h = ImbalanceHistogram::new((4, 4));
         let mut p = vec![8.0; 16];
-        for col in 0..4 {
-            p[col] = 0.0; // layer 0 off
-        }
+        p[..4].fill(0.0); // layer 0 off
         let v = vec![1.0; 16];
         h.record(&p, &v, 1.0);
         let f = h.fractions();
@@ -143,7 +140,7 @@ mod tests {
     #[test]
     fn single_layer_records_nothing() {
         let mut h = ImbalanceHistogram::new((1, 16));
-        h.record(&vec![8.0; 16], &vec![1.0; 16], 1.0);
+        h.record(&[8.0; 16], &[1.0; 16], 1.0);
         assert_eq!(h.bins().iter().sum::<u64>(), 0);
         assert_eq!(h.fractions(), [0.0; 4]);
     }

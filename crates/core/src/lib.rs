@@ -18,6 +18,10 @@
 //! * [`PowerManagement`] — bolt on DFS, power gating, and the VS-aware
 //!   hypervisor for the collaborative-power-management studies
 //!   (Figs. 15–17).
+//! * [`Cosim::run_supervised`] + [`FaultPlan`] — the robustness study: a
+//!   seeded fault schedule (sensing, actuation, CR-IVR, load faults), a
+//!   watchdog tracking time below the 0.8 V guardband per layer, and a
+//!   [`RunVerdict`] per run instead of a panic when the solver gives up.
 //!
 //! # Examples
 //!
@@ -37,12 +41,16 @@
 
 mod config;
 mod cosim;
+mod fault;
 mod imbalance;
 mod rig;
 mod scenarios;
+mod supervisor;
 
 pub use config::{CosimConfig, PdsKind};
 pub use cosim::{run_benchmark, Cosim, CosimReport, PowerManagement};
+pub use fault::{CrIvrFault, FaultEvent, FaultKind, FaultPlan, FaultWindow, LoadGlitch};
 pub use imbalance::ImbalanceHistogram;
 pub use rig::{EnergyLedger, PdsRig};
 pub use scenarios::{run_worst_case, worst_voltage_for, WorstCaseConfig, WorstCaseResult};
+pub use supervisor::{CosimError, RunVerdict, SupervisedReport, SupervisorConfig};

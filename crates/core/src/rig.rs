@@ -2,7 +2,7 @@
 //! currents, step the circuit, read SM voltages, and split the energy ledger
 //! into the paper's loss categories.
 
-use vs_circuit::{Integration, Transient};
+use vs_circuit::{Integration, RecoveryPolicy, SolverError, StepReport, Transient};
 use vs_pds::{
     ivr_efficiency, level_shifter_fraction, vrm_efficiency, AreaModel, CrIvrConfig, PdnParams,
     SingleLayerPdn, StackedPdn,
@@ -95,6 +95,10 @@ pub struct PdsRig {
     controller_power_w: f64,
     elapsed_controller_j: f64,
     dt: f64,
+    recovery: RecoveryPolicy,
+    /// Nominal per-stage recycler conductances (stacked rigs), indexed like
+    /// `StackedPdn::recyclers`; the baseline that fault scaling works from.
+    nominal_recycler_g: Vec<f64>,
 }
 
 impl PdsRig {
@@ -130,6 +134,8 @@ impl PdsRig {
                     controller_power_w,
                     elapsed_controller_j: 0.0,
                     dt,
+                    recovery: RecoveryPolicy::default(),
+                    nominal_recycler_g: Vec::new(),
                 }
             }
             PdsKind::VsCircuitOnly { area_mult } | PdsKind::VsCrossLayer { area_mult } => {
@@ -145,6 +151,11 @@ impl PdsRig {
                     &g2,
                 )
                 .expect("stacked PDN is well-formed");
+                let nominal_recycler_g = pdn
+                    .recyclers
+                    .iter()
+                    .map(|id| sim.recycler_conductance(*id).expect("recycler element"))
+                    .collect();
                 PdsRig {
                     kind: RigKind::Stacked { pdn, crivr, area },
                     sim,
@@ -154,6 +165,8 @@ impl PdsRig {
                     controller_power_w,
                     elapsed_controller_j: 0.0,
                     dt,
+                    recovery: RecoveryPolicy::default(),
+                    nominal_recycler_g,
                 }
             }
         }
@@ -186,10 +199,25 @@ impl PdsRig {
     /// `fake_power_w` is the share of each SM's power spent on injected
     /// instructions (tracked as waste).
     ///
+    /// Solver trouble is handled by the rig's [`RecoveryPolicy`] (set with
+    /// [`PdsRig::set_recovery_policy`]); the returned [`StepReport`] says
+    /// what recovery it took to accept the step. An `Err` means the solver
+    /// gave up and the rig is left at the last accepted state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SolverError`] of the final failed attempt (wrapped
+    /// in [`SolverError::RecoveryExhausted`] when retries were allowed).
+    ///
     /// # Panics
     ///
     /// Panics if slice lengths differ from the SM count.
-    pub fn step(&mut self, sm_power_w: &[f64], dcc_power_w: &[f64], fake_power_w: &[f64]) {
+    pub fn step(
+        &mut self,
+        sm_power_w: &[f64],
+        dcc_power_w: &[f64],
+        fake_power_w: &[f64],
+    ) -> Result<StepReport, SolverError> {
         assert_eq!(sm_power_w.len(), self.n_sms);
         assert_eq!(dcc_power_w.len(), self.n_sms);
         assert_eq!(fake_power_w.len(), self.n_sms);
@@ -220,9 +248,57 @@ impl PdsRig {
             }
         }
         self.dcc_power_w.copy_from_slice(dcc_power_w);
-        self.sim.step().expect("PDS transient step");
+        let report = self.sim.step_with_recovery(&self.recovery)?;
         self.fake_j += fake_power_w.iter().sum::<f64>() * self.dt;
         self.elapsed_controller_j += self.controller_power_w * self.dt;
+        Ok(report)
+    }
+
+    /// Replaces the adaptive solver-recovery policy (default:
+    /// [`RecoveryPolicy::default`]; use [`RecoveryPolicy::disabled`] to make
+    /// every solver hiccup surface immediately).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active solver-recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Scales one column's CR-IVR ladder to `factor` of its nominal
+    /// conductance (0.0 takes the sub-IVR offline, 1.0 restores it).
+    /// Returns `Ok(false)` when there is nothing to scale: a single-layer
+    /// rig, a column beyond the stack, or one without a ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidParameter`] for a negative or non-finite
+    /// factor; [`SolverError::Singular`] if the retuned matrix cannot be
+    /// refactored.
+    pub fn scale_column_recyclers(
+        &mut self,
+        column: usize,
+        factor: f64,
+    ) -> Result<bool, SolverError> {
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(SolverError::InvalidParameter {
+                what: "recycler scale factor must be finite and non-negative",
+            });
+        }
+        let RigKind::Stacked { pdn, .. } = &self.kind else {
+            return Ok(false);
+        };
+        let stages = pdn.column_recyclers(column);
+        if stages.is_empty() {
+            return Ok(false);
+        }
+        let start = column * (pdn.params.n_layers - 1);
+        for (i, id) in stages.iter().enumerate() {
+            let g = self.nominal_recycler_g[start + i] * factor;
+            self.sim.set_recycler_conductance(*id, g)?;
+        }
+        Ok(true)
     }
 
     /// Per-SM supply voltages at the last step (layer-major for stacked).
@@ -345,7 +421,7 @@ mod tests {
         let p = vec![watts; rig.n_sms()];
         let z = vec![0.0; rig.n_sms()];
         for _ in 0..steps {
-            rig.step(&p, &z, &z);
+            rig.step(&p, &z, &z).expect("uniform load steps cleanly");
         }
         let ledger = rig.ledger();
         (rig, ledger)
@@ -418,7 +494,7 @@ mod tests {
         dcc[12] = 4.0;
         let z = vec![0.0; 16];
         for _ in 0..5_000 {
-            rig.step(&p, &dcc, &z);
+            rig.step(&p, &dcc, &z).expect("ballast load steps cleanly");
         }
         let l = rig.ledger();
         assert!(l.dcc_j > 0.0);

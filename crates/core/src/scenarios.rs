@@ -148,7 +148,8 @@ pub fn run_worst_case(cfg: &WorstCaseConfig) -> WorstCaseResult {
                 }
             }
         }
-        rig.step(&sm_watts, &dcc_watts, &fake_watts);
+        rig.step(&sm_watts, &dcc_watts, &fake_watts)
+            .expect("worst-case scenario steps cleanly");
         let voltages = rig.sm_voltages();
         if let Some(ctrl) = controller.as_mut() {
             ctrl.update(&voltages);

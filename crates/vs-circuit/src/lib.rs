@@ -41,21 +41,31 @@
 //!     v_min = v_min.min(sim.voltage(die));
 //! }
 //! assert!(v_min < 0.999); // the step causes a visible droop
-//! # Ok::<(), vs_circuit::NetlistError>(())
+//! # Ok::<(), vs_circuit::SolverError>(())
 //! ```
+//!
+//! Transient stepping reports failures as structured [`SolverError`]s, and
+//! [`Transient::step_with_recovery`] layers an adaptive retry policy
+//! ([`RecoveryPolicy`]) on top — halve the timestep, sanitize non-finite
+//! control inputs, fall back from trapezoidal to backward Euler — so one
+//! bad input perturbs a run instead of killing it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod ac;
 mod dc;
+mod error;
 mod netlist;
+mod recovery;
 mod trace;
 mod transient;
 
 pub use ac::{log_space, AcAnalysis, AcSolution, AcStimulus};
 pub use dc::DcSolution;
-pub use vs_num::{Complex, LuFactors, Matrix, Scalar, SingularMatrixError};
+pub use error::SolverError;
 pub use netlist::{ControlId, Element, ElementId, Netlist, NetlistError, NodeId, Waveform};
+pub use recovery::{RecoveryPolicy, StepReport};
 pub use trace::{Trace, TraceSummary};
 pub use transient::{EnergyReport, Integration, Transient};
+pub use vs_num::{Complex, LuFactors, Matrix, Scalar, SingularMatrixError};

@@ -5,10 +5,9 @@
 //! point, transient, AC) consume the netlist without mutating it, except for
 //! switch state which is owned by the transient engine.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a circuit node. [`NodeId::GROUND`] is the reference node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -27,7 +26,7 @@ impl NodeId {
 /// Controlled sources let a co-simulation (e.g. the GPU power model or a DCC
 /// current DAC) update load currents every step without rebuilding the
 /// netlist.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ControlId(pub(crate) usize);
 
 impl ControlId {
@@ -39,7 +38,7 @@ impl ControlId {
 }
 
 /// Identifier of an element within a netlist (index into the element list).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ElementId(pub(crate) usize);
 
 impl ElementId {
@@ -51,7 +50,7 @@ impl ElementId {
 }
 
 /// Time-dependent current-source waveform, in amperes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Waveform {
     /// Constant current.
     Dc(f64),
@@ -136,7 +135,7 @@ impl Waveform {
 }
 
 /// A two-terminal circuit element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Element {
     /// Linear resistor between `a` and `b`.
     Resistor {
@@ -291,7 +290,7 @@ impl std::error::Error for NetlistError {}
 /// assert!((dc.voltage(out) - 0.5).abs() < 1e-12);
 /// # Ok::<(), vs_circuit::NetlistError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Netlist {
     node_names: Vec<String>,
     elements: Vec<Element>,

@@ -1,0 +1,86 @@
+//! Adaptive step-recovery policy for the transient solver.
+//!
+//! When a step is rejected (non-finite solution, divergence, singular
+//! refactor), [`crate::Transient::step_with_recovery`] rolls the solver back
+//! to the last accepted state and retries under progressively more
+//! conservative settings:
+//!
+//! 1. non-finite control inputs are sanitized to zero (they cannot produce a
+//!    finite solution no matter the timestep),
+//! 2. the timestep is halved, once more per attempt up to
+//!    [`RecoveryPolicy::max_halvings`], and the original span is covered by
+//!    the matching number of substeps,
+//! 3. from attempt [`RecoveryPolicy::backward_euler_after`] onward the
+//!    integration falls back from trapezoidal to L-stable backward Euler,
+//!    which damps the oscillatory modes that defeat the trapezoidal rule.
+//!
+//! On success the original timestep and method are restored, so recovery is
+//! invisible except through the returned [`StepReport`]. When the budget is
+//! exhausted the solver is left at the last accepted state and
+//! [`crate::SolverError::RecoveryExhausted`] is returned.
+
+/// Bounded-backoff policy for [`crate::Transient::step_with_recovery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Total retry attempts before giving up (0 disables recovery).
+    pub max_attempts: u32,
+    /// Maximum number of timestep halvings (dt floor = dt / 2^max_halvings).
+    pub max_halvings: u32,
+    /// Fall back to backward Euler from this attempt number (1-based)
+    /// onward; `u32::MAX` never falls back.
+    pub backward_euler_after: u32,
+    /// Replace non-finite control inputs with 0 A before retrying.
+    pub sanitize_controls: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 6,
+            max_halvings: 4,
+            backward_euler_after: 3,
+            sanitize_controls: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: errors surface immediately.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_attempts: 0,
+            max_halvings: 0,
+            backward_euler_after: u32::MAX,
+            sanitize_controls: false,
+        }
+    }
+}
+
+/// What it took to accept one nominal timestep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Retry attempts consumed (0 = clean first-try step).
+    pub retries: u32,
+    /// Control inputs that were non-finite and sanitized to zero.
+    pub sanitized_controls: u32,
+    /// Whether the accepted attempt ran under backward Euler fallback.
+    pub used_backward_euler: bool,
+    /// Timestep halvings of the accepted attempt (substeps = 2^halvings).
+    pub halvings: u32,
+}
+
+impl StepReport {
+    /// True when the step needed any intervention at all.
+    pub fn recovered(&self) -> bool {
+        self.retries > 0
+    }
+
+    /// Merges another report into this accumulator (used by run loops that
+    /// sum recovery activity over many steps).
+    pub fn absorb(&mut self, other: &StepReport) {
+        self.retries += other.retries;
+        self.sanitized_controls += other.sanitized_controls;
+        self.used_backward_euler |= other.used_backward_euler;
+        self.halvings = self.halvings.max(other.halvings);
+    }
+}

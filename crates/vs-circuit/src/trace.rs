@@ -1,6 +1,5 @@
 //! Time-series recording and summary statistics for simulation waveforms.
 
-use serde::{Deserialize, Serialize};
 
 /// A recorded waveform: monotonically increasing sample times plus values.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.max(), 1.1);
 /// assert_eq!(t.len(), 3);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     name: String,
     times: Vec<f64>,
@@ -113,8 +112,20 @@ impl Trace {
         var.sqrt()
     }
 
+    /// Number of non-finite samples (NaN or infinity) recorded so far.
+    /// These are excluded from quantile statistics; a nonzero count usually
+    /// means an upstream solver produced garbage that should be triaged.
+    pub fn non_finite_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_finite()).count()
+    }
+
     /// Value quantile in `[0, 1]` using nearest-rank on a sorted copy;
     /// 0.0 when empty.
+    ///
+    /// Non-finite samples are filtered out before ranking (`total_cmp`
+    /// orders NaN, but a quantile over garbage is meaningless); when any
+    /// are dropped a counted warning goes to stderr once per call. If
+    /// *every* sample is non-finite the result is 0.0.
     ///
     /// # Panics
     ///
@@ -124,8 +135,24 @@ impl Trace {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in trace"));
+        let mut sorted: Vec<f64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        let dropped = self.values.len() - sorted.len();
+        if dropped > 0 {
+            eprintln!(
+                "warning: trace '{}': ignoring {dropped} non-finite of {} samples in quantile",
+                self.name,
+                self.values.len()
+            );
+        }
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted.sort_by(f64::total_cmp);
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
     }
@@ -152,7 +179,7 @@ impl Extend<(f64, f64)> for Trace {
 }
 
 /// Box-plot-style summary of a [`Trace`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSummary {
     /// Minimum value.
     pub min: f64,
@@ -214,6 +241,30 @@ mod tests {
         t.extend([(0.0, 1.0), (1.0, 2.0)]);
         assert_eq!(t.len(), 2);
         assert_eq!(t.last(), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_survives_non_finite_samples() {
+        let mut t = Trace::new("dirty");
+        for i in 0..10 {
+            t.push(i as f64, i as f64);
+        }
+        t.push(10.0, f64::NAN);
+        t.push(11.0, f64::INFINITY);
+        t.push(12.0, f64::NEG_INFINITY);
+        assert_eq!(t.non_finite_count(), 3);
+        // Quantiles rank only the 10 finite samples 0..=9.
+        assert_eq!(t.quantile(0.0), 0.0);
+        assert_eq!(t.quantile(1.0), 9.0);
+        assert_eq!(t.quantile(0.5), 5.0);
+    }
+
+    #[test]
+    fn quantile_of_all_nan_is_zero() {
+        let mut t = Trace::new("all-nan");
+        t.push(0.0, f64::NAN);
+        t.push(1.0, f64::NAN);
+        assert_eq!(t.quantile(0.5), 0.0);
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //! * [`Integration::Trapezoidal`] — A-stable, second order, energy
 //!   preserving; what SPICE uses by default and the default here.
 
-use vs_num::{LuFactors, Matrix};
+use crate::error::SolverError;
 use crate::netlist::{ControlId, Element, ElementId, Netlist, NetlistError, NodeId};
+use crate::recovery::{RecoveryPolicy, StepReport};
+use vs_num::{LuFactors, Matrix};
+
+/// Sentinel for "this element has no entry in the index map".
+const NO_INDEX: usize = usize::MAX;
 
 /// Numerical integration method for reactive elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,7 +83,7 @@ pub struct EnergyReport {
 /// }
 /// // After 10 us = 10 tau, the output has settled to the input.
 /// assert!((sim.voltage(out) - 1.0).abs() < 1e-3);
-/// # Ok::<(), vs_circuit::NetlistError>(())
+/// # Ok::<(), vs_circuit::SolverError>(())
 /// ```
 #[derive(Debug)]
 pub struct Transient {
@@ -87,11 +92,33 @@ pub struct Transient {
     method: Integration,
     time: f64,
     n_node_vars: usize,
-    group2: Vec<usize>,
     lu: LuFactors<f64>,
     solution: Vec<f64>,
     rhs: Vec<f64>,
     controls: Vec<f64>,
+    cap_states: Vec<(usize, CapState)>,
+    ind_states: Vec<(usize, IndState)>,
+    /// element index -> row in the MNA system for group-2 elements
+    /// (`NO_INDEX` for group-1 elements). Precomputed so the per-step hot
+    /// path never searches.
+    group2_row_of: Vec<usize>,
+    /// element index -> position in `cap_states` (`NO_INDEX` otherwise).
+    cap_state_of: Vec<usize>,
+    /// element index -> position in `ind_states` (`NO_INDEX` otherwise).
+    ind_state_of: Vec<usize>,
+    per_element_absorbed_j: Vec<f64>,
+    energy: EnergyReport,
+    /// Node voltages above this magnitude are classified as divergence.
+    divergence_limit_v: f64,
+}
+
+/// Rollback state captured before a risky step (see
+/// [`Transient::step_with_recovery`]). Control inputs are deliberately
+/// excluded: sanitized controls must stay sanitized across a retry.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    time: f64,
+    solution: Vec<f64>,
     cap_states: Vec<(usize, CapState)>,
     ind_states: Vec<(usize, IndState)>,
     per_element_absorbed_j: Vec<f64>,
@@ -108,8 +135,8 @@ impl Transient {
     pub fn new(netlist: &Netlist, dt: f64, method: Integration) -> Result<Self, NetlistError> {
         let dc = netlist.dc_operating_point()?;
         let mut voltages = vec![0.0; netlist.n_nodes()];
-        for i in 1..netlist.n_nodes() {
-            voltages[i] = dc.voltage(NodeId(i));
+        for (i, v) in voltages.iter_mut().enumerate().skip(1) {
+            *v = dc.voltage(NodeId(i));
         }
         let group2 = netlist.group2_elements();
         let mut g2_currents = vec![0.0; group2.len()];
@@ -182,27 +209,40 @@ impl Transient {
         }
 
         let mut solution = vec![0.0; n_node_vars + group2.len()];
-        for i in 0..n_node_vars {
-            solution[i] = node_voltages[i + 1];
-        }
+        solution[..n_node_vars].copy_from_slice(&node_voltages[1..=n_node_vars]);
         solution[n_node_vars..].copy_from_slice(group2_currents);
 
         let n_elements = netlist.elements().len();
+        let mut group2_row_of = vec![NO_INDEX; n_elements];
+        for (k, &idx) in group2.iter().enumerate() {
+            group2_row_of[idx] = n_node_vars + k;
+        }
+        let mut cap_state_of = vec![NO_INDEX; n_elements];
+        for (k, (idx, _)) in cap_states.iter().enumerate() {
+            cap_state_of[*idx] = k;
+        }
+        let mut ind_state_of = vec![NO_INDEX; n_elements];
+        for (k, (idx, _)) in ind_states.iter().enumerate() {
+            ind_state_of[*idx] = k;
+        }
         let mut sim = Transient {
             netlist: netlist.clone(),
             dt,
             method,
             time: 0.0,
             n_node_vars,
-            group2,
             lu: LuFactors::factor(&Matrix::identity(1)).expect("identity factors"),
             solution,
             rhs: vec![0.0; n_node_vars],
             controls: vec![0.0; netlist.n_controls()],
             cap_states,
             ind_states,
+            group2_row_of,
+            cap_state_of,
+            ind_state_of,
             per_element_absorbed_j: vec![0.0; n_elements],
             energy: EnergyReport::default(),
+            divergence_limit_v: 1e4,
         };
         sim.rhs = vec![0.0; sim.netlist.system_dim()];
         sim.refactor()?;
@@ -311,14 +351,12 @@ impl Transient {
         }
     }
 
+    /// Precomputed MNA row for a group-2 element. Only called from match
+    /// arms whose element kind guarantees group-2 membership, so the map is
+    /// always populated there; `NO_INDEX` would fault loudly on indexing.
     #[inline]
     fn group2_row(&self, element_idx: usize) -> usize {
-        self.n_node_vars
-            + self
-                .group2
-                .iter()
-                .position(|&g| g == element_idx)
-                .expect("element is group-2")
+        self.group2_row_of[element_idx]
     }
 
     /// Current simulated time in seconds.
@@ -350,12 +388,9 @@ impl Transient {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::Singular`] if the new topology is singular.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` does not refer to a switch.
-    pub fn set_switch(&mut self, id: ElementId, closed: bool) -> Result<(), NetlistError> {
+    /// Returns [`SolverError::WrongElementKind`] if `id` does not refer to a
+    /// switch, or [`SolverError::Singular`] if the new topology is singular.
+    pub fn set_switch(&mut self, id: ElementId, closed: bool) -> Result<(), SolverError> {
         let changed = {
             let e = &mut self.netlist.elements_mut()[id.index()];
             match e {
@@ -364,13 +399,126 @@ impl Transient {
                     *c = closed;
                     changed
                 }
-                _ => panic!("element {} is not a switch", id.index()),
+                _ => {
+                    return Err(SolverError::WrongElementKind {
+                        element: id.index(),
+                        expected: "switch",
+                    })
+                }
             }
         };
         if changed {
-            self.refactor()?;
+            let t = self.time;
+            self.refactor()
+                .map_err(|_| SolverError::Singular { time_s: t })?;
         }
         Ok(())
+    }
+
+    /// Retunes a charge recycler's averaged conductance `f_sw * C_fly`,
+    /// refactoring the system matrix if the value changed. This is the hook
+    /// the fault-injection layer uses to model degraded or offline sub-IVRs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::WrongElementKind`] if `id` is not a charge
+    /// recycler, [`SolverError::InvalidParameter`] for a negative or
+    /// non-finite conductance, or [`SolverError::Singular`] if the retuned
+    /// matrix no longer factors.
+    pub fn set_recycler_conductance(
+        &mut self,
+        id: ElementId,
+        siemens: f64,
+    ) -> Result<(), SolverError> {
+        if !siemens.is_finite() || siemens < 0.0 {
+            return Err(SolverError::InvalidParameter {
+                what: "recycler conductance must be finite and non-negative",
+            });
+        }
+        let changed = {
+            let e = &mut self.netlist.elements_mut()[id.index()];
+            match e {
+                Element::ChargeRecycler { siemens: s, .. } => {
+                    let changed = *s != siemens;
+                    *s = siemens;
+                    changed
+                }
+                _ => {
+                    return Err(SolverError::WrongElementKind {
+                        element: id.index(),
+                        expected: "charge recycler",
+                    })
+                }
+            }
+        };
+        if changed {
+            let t = self.time;
+            self.refactor()
+                .map_err(|_| SolverError::Singular { time_s: t })?;
+        }
+        Ok(())
+    }
+
+    /// Reads back a charge recycler's averaged conductance, or `None` when
+    /// `id` refers to some other element kind.
+    pub fn recycler_conductance(&self, id: ElementId) -> Option<f64> {
+        match self.netlist.elements()[id.index()] {
+            Element::ChargeRecycler { siemens, .. } => Some(siemens),
+            _ => None,
+        }
+    }
+
+    /// Changes the fixed timestep, refactoring the companion-model matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidParameter`] for a non-positive or
+    /// non-finite `dt`, or [`SolverError::Singular`] if the new matrix no
+    /// longer factors.
+    pub fn set_timestep(&mut self, dt: f64) -> Result<(), SolverError> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(SolverError::InvalidParameter {
+                what: "timestep must be finite and positive",
+            });
+        }
+        if dt != self.dt {
+            self.dt = dt;
+            let t = self.time;
+            self.refactor()
+                .map_err(|_| SolverError::Singular { time_s: t })?;
+        }
+        Ok(())
+    }
+
+    /// Changes the integration method, refactoring the companion-model
+    /// matrix. The companion states are physical (branch voltages and
+    /// currents), so switching methods mid-run is well-defined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Singular`] if the new matrix no longer
+    /// factors.
+    pub fn set_method(&mut self, method: Integration) -> Result<(), SolverError> {
+        if method != self.method {
+            self.method = method;
+            let t = self.time;
+            self.refactor()
+                .map_err(|_| SolverError::Singular { time_s: t })?;
+        }
+        Ok(())
+    }
+
+    /// The active integration method.
+    pub fn method(&self) -> Integration {
+        self.method
+    }
+
+    /// Sets the node-voltage magnitude beyond which a candidate solution is
+    /// rejected as [`SolverError::Divergence`]. Defaults to 10 kV — far
+    /// above any physical supply rail but small enough to catch blow-ups
+    /// long before they reach infinity.
+    pub fn set_divergence_limit(&mut self, volts: f64) {
+        self.divergence_limit_v = volts.abs();
     }
 
     /// Voltage of `node` at the last accepted step.
@@ -395,11 +543,12 @@ impl Transient {
                 closed,
             } => (self.voltage(a) - self.voltage(b)) / if closed { r_on } else { r_off },
             Element::Capacitor { .. } => {
-                self.cap_states
-                    .iter()
-                    .find(|(i, _)| *i == id.index())
-                    .map(|(_, s)| s.i_prev)
-                    .unwrap_or(0.0)
+                let k = self.cap_state_of[id.index()];
+                if k == NO_INDEX {
+                    0.0
+                } else {
+                    self.cap_states[k].1.i_prev
+                }
             }
             Element::Inductor { .. } | Element::VoltageSource { .. } => {
                 let k = self.group2_row(id.index());
@@ -420,11 +569,18 @@ impl Transient {
 
     /// Advances the simulation by one timestep.
     ///
+    /// The step is **atomic**: the candidate solution passes a numerical
+    /// health gate (finite, within the divergence limit) *before* any state
+    /// is committed, so on error the solver still sits at the last accepted
+    /// step and the caller may retry — see [`Transient::step_with_recovery`].
+    ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::Singular`] if the cached factorization is
-    /// invalid (cannot normally happen without a switch toggle).
-    pub fn step(&mut self) -> Result<(), NetlistError> {
+    /// * [`SolverError::NonFinite`] — the candidate solution contains NaN or
+    ///   infinity (e.g. a non-finite control input).
+    /// * [`SolverError::Divergence`] — a node voltage exceeded the
+    ///   divergence limit ([`Transient::set_divergence_limit`]).
+    pub fn step(&mut self) -> Result<(), SolverError> {
         let t_new = self.time + self.dt;
         self.rhs.fill(0.0);
 
@@ -433,12 +589,7 @@ impl Transient {
             match *e {
                 Element::Capacitor { a, b, farads } => {
                     let g = self.cap_conductance(farads);
-                    let s = self
-                        .cap_states
-                        .iter()
-                        .find(|(i, _)| *i == idx)
-                        .map(|(_, s)| *s)
-                        .expect("capacitor state exists");
+                    let s = self.cap_states[self.cap_state_of[idx]].1;
                     let i_eq = match self.method {
                         Integration::BackwardEuler => g * s.v_prev,
                         Integration::Trapezoidal => g * s.v_prev + s.i_prev,
@@ -452,12 +603,7 @@ impl Transient {
                 }
                 Element::Inductor { henries, .. } => {
                     let k = self.group2_row(idx);
-                    let s = self
-                        .ind_states
-                        .iter()
-                        .find(|(i, _)| *i == idx)
-                        .map(|(_, s)| *s)
-                        .expect("inductor state exists");
+                    let s = self.ind_states[self.ind_state_of[idx]].1;
                     let r_eq = self.ind_resistance(henries);
                     let v_eq = match self.method {
                         Integration::BackwardEuler => -r_eq * s.i_prev,
@@ -483,6 +629,30 @@ impl Transient {
         }
 
         self.lu.solve_in_place(&mut self.rhs);
+
+        // Health gate: reject the candidate before committing anything. The
+        // rhs buffer is scratch (refilled every step), so bailing out here
+        // leaves the solver exactly at the last accepted state.
+        let mut v_max = 0.0f64;
+        for &x in &self.rhs {
+            if !x.is_finite() {
+                return Err(SolverError::NonFinite {
+                    time_s: self.time,
+                    what: "solution",
+                });
+            }
+        }
+        for &v in &self.rhs[..self.n_node_vars] {
+            v_max = v_max.max(v.abs());
+        }
+        if v_max > self.divergence_limit_v {
+            return Err(SolverError::Divergence {
+                time_s: self.time,
+                v_max,
+                limit_v: self.divergence_limit_v,
+            });
+        }
+
         std::mem::swap(&mut self.solution, &mut self.rhs);
         self.time = t_new;
 
@@ -544,11 +714,139 @@ impl Transient {
     /// # Errors
     ///
     /// Propagates the first stepping error.
-    pub fn run(&mut self, n: usize) -> Result<(), NetlistError> {
+    pub fn run(&mut self, n: usize) -> Result<(), SolverError> {
         for _ in 0..n {
             self.step()?;
         }
         Ok(())
+    }
+
+    /// Advances by `n` steps with [`Transient::step_with_recovery`] applied
+    /// at every step, accumulating recovery activity into one report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unrecoverable stepping error.
+    pub fn run_with_recovery(
+        &mut self,
+        n: usize,
+        policy: &RecoveryPolicy,
+    ) -> Result<StepReport, SolverError> {
+        let mut total = StepReport::default();
+        for _ in 0..n {
+            let r = self.step_with_recovery(policy)?;
+            total.absorb(&r);
+        }
+        Ok(total)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            time: self.time,
+            solution: self.solution.clone(),
+            cap_states: self.cap_states.clone(),
+            ind_states: self.ind_states.clone(),
+            per_element_absorbed_j: self.per_element_absorbed_j.clone(),
+            energy: self.energy.clone(),
+        }
+    }
+
+    fn restore(&mut self, s: &Snapshot) {
+        self.time = s.time;
+        self.solution.clone_from(&s.solution);
+        self.cap_states.clone_from(&s.cap_states);
+        self.ind_states.clone_from(&s.ind_states);
+        self.per_element_absorbed_j
+            .clone_from(&s.per_element_absorbed_j);
+        self.energy = s.energy.clone();
+    }
+
+    /// Advances one *nominal* timestep, recovering from rejected steps under
+    /// the given policy (see [`RecoveryPolicy`] for the backoff schedule).
+    /// On success the solver has advanced by exactly one nominal `dt` — via
+    /// substeps if recovery halved the timestep — and runs the nominal
+    /// timestep and integration method again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::RecoveryExhausted`] when the retry budget runs
+    /// out (the solver is left at the last accepted state), or the original
+    /// error when the policy disables retries.
+    pub fn step_with_recovery(
+        &mut self,
+        policy: &RecoveryPolicy,
+    ) -> Result<StepReport, SolverError> {
+        let first = match self.step() {
+            Ok(()) => return Ok(StepReport::default()),
+            Err(e) => e,
+        };
+        if policy.max_attempts == 0 {
+            return Err(first);
+        }
+
+        let snap = self.snapshot();
+        let dt0 = self.dt;
+        let method0 = self.method;
+        let mut report = StepReport::default();
+        let mut last = first;
+
+        for attempt in 1..=policy.max_attempts {
+            report.retries = attempt;
+            self.restore(&snap);
+            if policy.sanitize_controls {
+                for c in &mut self.controls {
+                    if !c.is_finite() {
+                        *c = 0.0;
+                        report.sanitized_controls += 1;
+                    }
+                }
+            }
+            let halvings = attempt.min(policy.max_halvings);
+            let use_be = attempt >= policy.backward_euler_after;
+            self.dt = dt0 / (1u64 << halvings) as f64;
+            self.method = if use_be {
+                Integration::BackwardEuler
+            } else {
+                method0
+            };
+            if self.refactor().is_err() {
+                last = SolverError::Singular { time_s: self.time };
+                continue;
+            }
+            let substeps = 1u64 << halvings;
+            let mut accepted = true;
+            for _ in 0..substeps {
+                if let Err(e) = self.step() {
+                    last = e;
+                    accepted = false;
+                    break;
+                }
+            }
+            if accepted {
+                report.used_backward_euler = use_be;
+                report.halvings = halvings;
+                self.dt = dt0;
+                self.method = method0;
+                let t = self.time;
+                self.refactor()
+                    .map_err(|_| SolverError::Singular { time_s: t })?;
+                return Ok(report);
+            }
+        }
+
+        // Budget exhausted: leave the solver at the last accepted state
+        // under its nominal settings.
+        self.restore(&snap);
+        self.dt = dt0;
+        self.method = method0;
+        let t = self.time;
+        self.refactor()
+            .map_err(|_| SolverError::Singular { time_s: t })?;
+        Err(SolverError::RecoveryExhausted {
+            time_s: self.time,
+            attempts: policy.max_attempts,
+            last: Box::new(last),
+        })
     }
 
     /// Cumulative energy bookkeeping since construction.
@@ -748,7 +1046,7 @@ mod tests {
     fn charge_recycler_equalizes_layer_voltages() {
         // Two stacked layers from a 2 V source with unbalanced loads: the
         // recycler must pull the midpoint toward 1 V.
-        let mut build = |g: Option<f64>| {
+        let build = |g: Option<f64>| {
             let mut net = Netlist::new();
             let top = net.node("top");
             let mid = net.node("mid");
@@ -773,12 +1071,162 @@ mod tests {
         let (v_recycled, sim) = build(Some(10.0));
         // Without recycling the imbalance discharges the midpoint hard;
         // with it the midpoint stays near 1 V.
-        assert!(v_plain > 1.5 || v_plain < 0.5, "unbalanced mid drifted to {v_plain}");
+        assert!(
+            !(0.5..=1.5).contains(&v_plain),
+            "unbalanced mid drifted to {v_plain}"
+        );
         assert!((v_recycled - 1.0).abs() < 0.1, "recycled mid at {v_recycled}");
         // Conversion loss is accounted and non-negative.
         assert!(sim.energy().recycler_loss_j >= 0.0);
         // Tellegen still holds with the three-terminal element.
         assert!(sim.tellegen_residual_w().abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_control_is_rejected_atomically() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Netlist::GROUND, 1.0);
+        let r = net.node("r");
+        net.resistor(a, r, 1.0);
+        net.capacitor(r, Netlist::GROUND, 1e-9);
+        let (_e, c) = net.controlled_current_source(r, Netlist::GROUND);
+        let mut sim = Transient::new(&net, 1e-9, Integration::Trapezoidal).unwrap();
+        sim.run(5).unwrap();
+        let v_before = sim.voltage(r);
+        let t_before = sim.time();
+        sim.set_control(c, f64::NAN);
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SolverError::NonFinite { .. }), "{err}");
+        // Atomic rejection: nothing moved.
+        assert_eq!(sim.voltage(r), v_before);
+        assert_eq!(sim.time(), t_before);
+        // Clearing the control lets the run resume.
+        sim.set_control(c, 0.0);
+        sim.step().unwrap();
+        assert!(sim.time() > t_before);
+    }
+
+    #[test]
+    fn recovery_sanitizes_nan_control_and_advances() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Netlist::GROUND, 1.0);
+        let r = net.node("r");
+        net.resistor(a, r, 1.0);
+        net.capacitor(r, Netlist::GROUND, 1e-9);
+        let (_e, c) = net.controlled_current_source(r, Netlist::GROUND);
+        let mut sim = Transient::new(&net, 1e-9, Integration::Trapezoidal).unwrap();
+        sim.set_control(c, f64::NAN);
+        let report = sim.step_with_recovery(&RecoveryPolicy::default()).unwrap();
+        assert!(report.recovered());
+        assert_eq!(report.sanitized_controls, 1);
+        assert!((sim.time() - 1e-9).abs() < 1e-18, "one nominal dt covered");
+        // The sanitized control reads back as zero.
+        assert_eq!(sim.control(c), 0.0);
+        // Nominal settings are restored.
+        assert_eq!(sim.dt(), 1e-9);
+        assert_eq!(sim.method(), Integration::Trapezoidal);
+    }
+
+    #[test]
+    fn recovery_disabled_policy_surfaces_error() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Netlist::GROUND, 1.0);
+        let r = net.node("r");
+        net.resistor(a, r, 1.0);
+        let (_e, c) = net.controlled_current_source(r, Netlist::GROUND);
+        let mut sim = Transient::new(&net, 1e-9, Integration::Trapezoidal).unwrap();
+        sim.set_control(c, f64::INFINITY);
+        let err = sim
+            .step_with_recovery(&RecoveryPolicy::disabled())
+            .unwrap_err();
+        assert!(matches!(err, SolverError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn recovery_exhausts_on_unrecoverable_divergence() {
+        // A persistent divergent load (finite but enormous) cannot be fixed
+        // by dt halving or BE fallback: recovery must give up cleanly and
+        // leave the solver at its last accepted state.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Netlist::GROUND, 1.0);
+        let r = net.node("r");
+        net.resistor(a, r, 1.0);
+        let (_e, c) = net.controlled_current_source(r, Netlist::GROUND);
+        let mut sim = Transient::new(&net, 1e-9, Integration::Trapezoidal).unwrap();
+        sim.run(3).unwrap();
+        let t_before = sim.time();
+        sim.set_control(c, 1e9); // drives the node to -1e9 V
+        let err = sim
+            .step_with_recovery(&RecoveryPolicy::default())
+            .unwrap_err();
+        match err {
+            SolverError::RecoveryExhausted { attempts, last, .. } => {
+                assert_eq!(attempts, RecoveryPolicy::default().max_attempts);
+                assert!(matches!(*last, SolverError::Divergence { .. }));
+            }
+            other => panic!("expected RecoveryExhausted, got {other}"),
+        }
+        assert_eq!(sim.time(), t_before);
+        assert_eq!(sim.dt(), 1e-9);
+    }
+
+    #[test]
+    fn set_switch_on_non_switch_is_an_error() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Netlist::GROUND, 1.0);
+        let r_id = net.resistor(a, Netlist::GROUND, 1.0);
+        let mut sim = Transient::new(&net, 1e-9, Integration::Trapezoidal).unwrap();
+        let err = sim.set_switch(r_id, true).unwrap_err();
+        assert!(matches!(err, SolverError::WrongElementKind { .. }));
+    }
+
+    #[test]
+    fn recycler_conductance_can_be_retuned() {
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        net.voltage_source(top, Netlist::GROUND, 2.0);
+        net.resistor(top, mid, 1.0);
+        net.resistor(mid, Netlist::GROUND, 1.0);
+        let rec = net.charge_recycler(top, mid, Netlist::GROUND, 10.0);
+        let mut sim = Transient::new(&net, 1e-9, Integration::Trapezoidal).unwrap();
+        assert_eq!(sim.recycler_conductance(rec), Some(10.0));
+        sim.set_recycler_conductance(rec, 0.0).unwrap();
+        assert_eq!(sim.recycler_conductance(rec), Some(0.0));
+        sim.step().unwrap();
+        // Wrong kind and bad values are structured errors.
+        let r_id = net.resistor(top, Netlist::GROUND, 5.0);
+        let _ = r_id;
+        assert!(matches!(
+            sim.set_recycler_conductance(rec, -1.0).unwrap_err(),
+            SolverError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            sim.set_recycler_conductance(rec, f64::NAN).unwrap_err(),
+            SolverError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn timestep_and_method_changes_keep_physics() {
+        // RC settling must reach the same steady state across a mid-run
+        // dt/method change.
+        let (net, out) = rc_circuit();
+        let mut sim = Transient::from_flat_start(&net, 1e-8, Integration::Trapezoidal).unwrap();
+        sim.run(50).unwrap();
+        sim.set_timestep(5e-9).unwrap();
+        sim.set_method(Integration::BackwardEuler).unwrap();
+        sim.run(2_000).unwrap();
+        assert!((sim.voltage(out) - 1.0).abs() < 1e-3);
+        assert!(matches!(
+            sim.set_timestep(-1.0).unwrap_err(),
+            SolverError::InvalidParameter { .. }
+        ));
     }
 
     #[test]

@@ -1,8 +1,13 @@
-//! Property-based tests for the circuit solver: invariants that must hold
-//! for any passive network, not just hand-picked examples.
+//! Randomized-but-deterministic tests for the circuit solver: invariants
+//! that must hold for any passive network, not just hand-picked examples.
+//!
+//! Each test sweeps a fixed set of seeds through a [`vs_num::Rng`] stream,
+//! so failures reproduce exactly without an external property-test harness
+//! (the build environment is fully offline).
 
-use proptest::prelude::*;
-use vs_circuit::{AcAnalysis, Integration, Netlist, NodeId, Transient, Waveform};
+use vs_num::Rng;
+
+use vs_circuit::{AcAnalysis, Integration, Netlist, NodeId, RecoveryPolicy, Transient, Waveform};
 
 /// Builds a random ladder network: a supply at the top, `n` rungs of series
 /// resistance to ground-terminated RC sections, optional load currents.
@@ -31,82 +36,74 @@ fn ladder(
     (net, nodes)
 }
 
-fn rung_count() -> impl Strategy<Value = usize> {
-    1usize..6
+/// Runs `f` once per deterministic case, handing it a seeded RNG.
+fn for_each_case(cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(0x51ab_e77e ^ case.wrapping_mul(0x9e3779b97f4a7c15));
+        f(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Without load currents, every node of a resistive-capacitive divider
-    /// network sits between 0 and the supply voltage at DC.
-    #[test]
-    fn dc_voltages_bounded_by_supply(
-        rungs in rung_count(),
-        seed in any::<u64>(),
-        volts in 0.5f64..5.0,
-    ) {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 11) as f64) / ((1u64 << 53) as f64)
-        };
-        let series: Vec<f64> = (0..rungs).map(|_| 0.1 + next() * 10.0).collect();
-        let shunt: Vec<f64> = (0..rungs).map(|_| 1.0 + next() * 100.0).collect();
-        let caps: Vec<f64> = (0..rungs).map(|_| 1e-12 + next() * 1e-9).collect();
+/// Without load currents, every node of a resistive-capacitive divider
+/// network sits between 0 and the supply voltage at DC.
+#[test]
+fn dc_voltages_bounded_by_supply() {
+    for_each_case(64, |rng| {
+        let rungs = rng.index(1, 6);
+        let volts = rng.range_f64(0.5, 5.0);
+        let series: Vec<f64> = (0..rungs).map(|_| rng.range_f64(0.1, 10.1)).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| rng.range_f64(1.0, 101.0)).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| rng.range_f64(1e-12, 1e-9)).collect();
         let loads = vec![0.0; rungs];
         let (net, nodes) = ladder(rungs, &series, &shunt, &caps, &loads, volts);
         let dc = net.dc_operating_point().unwrap();
         for n in nodes {
             let v = dc.voltage(n);
-            prop_assert!(v >= -1e-9 && v <= volts + 1e-9, "v = {v}");
+            assert!(v >= -1e-9 && v <= volts + 1e-9, "v = {v}");
         }
-    }
+    });
+}
 
-    /// Tellegen's theorem (sum of branch powers = 0) holds at every accepted
-    /// transient step of any ladder, for both integration methods.
-    #[test]
-    fn tellegen_holds_along_transient(
-        rungs in rung_count(),
-        seed in any::<u64>(),
-        be in any::<bool>(),
-    ) {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 11) as f64) / ((1u64 << 53) as f64)
-        };
-        let series: Vec<f64> = (0..rungs).map(|_| 0.1 + next() * 10.0).collect();
-        let shunt: Vec<f64> = (0..rungs).map(|_| 1.0 + next() * 100.0).collect();
-        let caps: Vec<f64> = (0..rungs).map(|_| 1e-12 + next() * 1e-9).collect();
-        let loads: Vec<f64> = (0..rungs).map(|_| next() * 0.2).collect();
+/// Tellegen's theorem (sum of branch powers = 0) holds at every accepted
+/// transient step of any ladder, for both integration methods.
+#[test]
+fn tellegen_holds_along_transient() {
+    for_each_case(64, |rng| {
+        let rungs = rng.index(1, 6);
+        let be = rng.chance(0.5);
+        let series: Vec<f64> = (0..rungs).map(|_| rng.range_f64(0.1, 10.1)).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| rng.range_f64(1.0, 101.0)).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| rng.range_f64(1e-12, 1e-9)).collect();
+        let loads: Vec<f64> = (0..rungs).map(|_| rng.range_f64(0.0, 0.2)).collect();
         let (net, _) = ladder(rungs, &series, &shunt, &caps, &loads, 1.0);
-        let method = if be { Integration::BackwardEuler } else { Integration::Trapezoidal };
+        let method = if be {
+            Integration::BackwardEuler
+        } else {
+            Integration::Trapezoidal
+        };
         let mut sim = Transient::new(&net, 1e-10, method).unwrap();
         for _ in 0..50 {
             sim.step().unwrap();
-            prop_assert!(sim.tellegen_residual_w().abs() < 1e-8,
-                "residual {}", sim.tellegen_residual_w());
+            assert!(
+                sim.tellegen_residual_w().abs() < 1e-8,
+                "residual {}",
+                sim.tellegen_residual_w()
+            );
         }
-    }
+    });
+}
 
-    /// Energy conservation: source energy equals resistive loss plus load
-    /// energy plus the change in stored capacitor energy (within integration
-    /// tolerance).
-    #[test]
-    fn energy_balance_on_ladders(
-        rungs in rung_count(),
-        seed in any::<u64>(),
-    ) {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 11) as f64) / ((1u64 << 53) as f64)
-        };
-        let series: Vec<f64> = (0..rungs).map(|_| 0.5 + next() * 5.0).collect();
-        let shunt: Vec<f64> = (0..rungs).map(|_| 5.0 + next() * 50.0).collect();
-        let caps: Vec<f64> = (0..rungs).map(|_| 1e-12 + next() * 1e-10).collect();
-        let loads: Vec<f64> = (0..rungs).map(|_| next() * 0.1).collect();
+/// Energy conservation: source energy equals resistive loss plus load
+/// energy plus the change in stored capacitor energy (within integration
+/// tolerance).
+#[test]
+fn energy_balance_on_ladders() {
+    for_each_case(64, |rng| {
+        let rungs = rng.index(1, 6);
+        let series: Vec<f64> = (0..rungs).map(|_| rng.range_f64(0.5, 5.5)).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| rng.range_f64(5.0, 55.0)).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| rng.range_f64(1e-12, 1.01e-10)).collect();
+        let loads: Vec<f64> = (0..rungs).map(|_| rng.range_f64(0.0, 0.1)).collect();
         let (net, _) = ladder(rungs, &series, &shunt, &caps, &loads, 2.0);
         // Start from DC equilibrium: stored energy change is ~zero, so
         // source = loss + load.
@@ -115,31 +112,78 @@ proptest! {
         let e = sim.energy();
         let residual = e.source_delivered_j - e.resistive_loss_j - e.load_absorbed_j;
         let scale = e.source_delivered_j.abs().max(1e-15);
-        prop_assert!(residual.abs() / scale < 1e-6, "residual {residual}, scale {scale}");
-        prop_assert!(e.resistive_loss_j >= 0.0);
-    }
+        assert!(
+            residual.abs() / scale < 1e-6,
+            "residual {residual}, scale {scale}"
+        );
+        assert!(e.resistive_loss_j >= 0.0);
+    });
+}
 
-    /// Driving-point impedance magnitude of an RC (no inductor) one-port is
-    /// non-increasing in frequency.
-    #[test]
-    fn rc_impedance_monotone_in_frequency(
-        rungs in rung_count(),
-        seed in any::<u64>(),
-    ) {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 11) as f64) / ((1u64 << 53) as f64)
-        };
+/// A run that hits non-finite control inputs mid-flight and recovers
+/// converges to the same steady state as a clean run of the same netlist:
+/// adaptive recovery perturbs the trajectory, not the physics.
+#[test]
+fn recovery_converges_to_clean_steady_state() {
+    for_each_case(32, |rng| {
+        let rungs = rng.index(1, 5);
+        // Short time constants so a few hundred steps reach steady state.
+        let series: Vec<f64> = (0..rungs).map(|_| rng.range_f64(0.5, 3.0)).collect();
+        let shunt: Vec<f64> = (0..rungs).map(|_| rng.range_f64(2.0, 12.0)).collect();
+        let caps: Vec<f64> = (0..rungs).map(|_| rng.range_f64(1e-12, 2e-11)).collect();
+        let loads = vec![0.0; rungs];
+        let (mut net, nodes) = ladder(rungs, &series, &shunt, &caps, &loads, 1.5);
+        let (_, ctl) = net.controlled_current_source(*nodes.last().unwrap(), Netlist::GROUND);
+        let amps = rng.range_f64(0.0, 0.1);
+        let policy = RecoveryPolicy::default();
+
+        let mut clean = Transient::new(&net, 1e-10, Integration::Trapezoidal).unwrap();
+        clean.set_control(ctl, amps);
+        clean.run(600).unwrap();
+
+        let mut faulted = Transient::new(&net, 1e-10, Integration::Trapezoidal).unwrap();
+        faulted.set_control(ctl, amps);
+        faulted.run(100).unwrap();
+        // A burst of NaN telemetry: each step must be recovered (the
+        // sanitizer zeroes the control), then the healthy load returns.
+        let mut retries = 0;
+        for _ in 0..5 {
+            faulted.set_control(ctl, f64::NAN);
+            let report = faulted.step_with_recovery(&policy).unwrap();
+            retries += report.retries;
+        }
+        assert!(retries > 0, "the NaN burst must exercise recovery");
+        faulted.set_control(ctl, amps);
+        for _ in 0..495 {
+            faulted.step_with_recovery(&policy).unwrap();
+        }
+
+        for n in &nodes {
+            let a = clean.voltage(*n);
+            let b = faulted.voltage(*n);
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1e-3),
+                "node diverged after recovery: clean {a}, faulted {b}"
+            );
+        }
+    });
+}
+
+/// Driving-point impedance magnitude of an RC (no inductor) one-port is
+/// non-increasing in frequency.
+#[test]
+fn rc_impedance_monotone_in_frequency() {
+    for_each_case(64, |rng| {
+        let rungs = rng.index(1, 6);
         // Pure RC ladder one-port (no source).
         let mut net = Netlist::new();
         let port = net.node("port");
         let mut prev = port;
         for i in 0..rungs {
             let n = net.node(format!("n{i}"));
-            net.resistor(prev, n, 0.5 + next() * 5.0);
-            net.capacitor(n, Netlist::GROUND, 1e-12 + next() * 1e-9);
-            net.resistor(n, Netlist::GROUND, 10.0 + next() * 100.0);
+            net.resistor(prev, n, rng.range_f64(0.5, 5.5));
+            net.capacitor(n, Netlist::GROUND, rng.range_f64(1e-12, 1e-9));
+            net.resistor(n, Netlist::GROUND, rng.range_f64(10.0, 110.0));
             prev = n;
         }
         let ac = AcAnalysis::new(&net).unwrap();
@@ -147,8 +191,11 @@ proptest! {
         let mut prev_mag = f64::INFINITY;
         for f in freqs {
             let z = ac.impedance(f, port, Netlist::GROUND).unwrap().abs();
-            prop_assert!(z <= prev_mag * (1.0 + 1e-9), "|Z| rose: {z} > {prev_mag} at {f} Hz");
+            assert!(
+                z <= prev_mag * (1.0 + 1e-9),
+                "|Z| rose: {z} > {prev_mag} at {f} Hz"
+            );
             prev_mag = z;
         }
-    }
+    });
 }

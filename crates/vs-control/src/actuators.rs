@@ -16,12 +16,11 @@
 //! and the conversion from an abstract power request to concrete actuator
 //! settings.
 
-use serde::{Deserialize, Serialize};
 
 /// Weights `(w1, w2, w3)` applied to DIWS, FII, and DCC respectively in the
 /// control-input combination of eq. (9). They are relative shares and are
 /// normalized on use.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActuatorWeights {
     /// Share of the actuation delivered by issue-width scaling.
     pub diws: f64,
@@ -109,7 +108,7 @@ impl ActuationTimescales {
 }
 
 /// Per-SM actuation command produced by the voltage-smoothing controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmCommand {
     /// Target average issue width in warps/cycle, within `0..=issue_max`.
     /// Fractional values are realized by the issue adjuster's down-counter
@@ -152,7 +151,7 @@ pub fn quantize_issue_width(width: f64, window: u32) -> u32 {
 
 /// Binary-weighted DCC current DAC with `bits` bits and unit (LSB) power
 /// `p_unit_w` (the paper's `P_d0`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DccDac {
     /// Resolution in bits.
     pub bits: u32,

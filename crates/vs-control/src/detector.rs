@@ -6,10 +6,9 @@
 //! latency, power, and resolution; all are compatible with the voltage
 //! smoothing controller and the co-simulation lets any of them be selected.
 
-use serde::{Deserialize, Serialize};
 
 /// Voltage sensing options from the paper's Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DetectorKind {
     /// On-die droop detector: 1–2 cycle latency, 0–10 mW, 10–20 mV
     /// resolution, emits a droop indicator.

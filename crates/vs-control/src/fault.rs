@@ -1,0 +1,148 @@
+//! Fault mechanisms for the sensing and actuation chains.
+//!
+//! The robustness study (fault campaign) needs to degrade the voltage
+//! smoothing loop in physically meaningful ways: a detector that latches,
+//! drifts, or drops samples; an actuator that stops responding or rails.
+//! This module holds the *mechanisms* — pure functions from healthy values
+//! to faulted ones. *Scheduling* (when a fault is active, with what seed)
+//! lives in the co-simulation supervisor, which owns time.
+
+use vs_num::Rng;
+
+use crate::actuators::{DccDac, SmCommand};
+
+/// A fault in one SM's voltage-sensing chain, applied to the raw sample
+/// *before* the detector's anti-alias filter and quantizer see it (the
+/// failure modes below all happen at or before the sense amplifier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorFault {
+    /// The sensor output latches at a fixed reading (e.g. a stuck
+    /// comparator): the controller is blind to the real voltage.
+    StuckAt {
+        /// The latched reading, volts.
+        volts: f64,
+    },
+    /// Additive zero-mean Gaussian noise on every sample (supply coupling
+    /// into the sense line, reference drift).
+    Noise {
+        /// Standard deviation of the added noise, volts.
+        sigma_v: f64,
+    },
+    /// Each sample is independently lost with probability `p_drop`; the
+    /// sampled-data chain holds the last delivered value (sample-and-hold
+    /// behind a flaky serializer).
+    Dropout {
+        /// Per-sample drop probability in `[0, 1]`.
+        p_drop: f64,
+    },
+}
+
+impl DetectorFault {
+    /// Applies the fault to one raw sample.
+    ///
+    /// `v` is the healthy instantaneous sample, `held` the last value the
+    /// chain actually delivered (used by [`DetectorFault::Dropout`]), and
+    /// `rng` the per-fault random stream (stuck-at ignores it, keeping the
+    /// stream aligned across fault kinds is the caller's concern).
+    pub fn apply(&self, v: f64, held: f64, rng: &mut Rng) -> f64 {
+        match *self {
+            DetectorFault::StuckAt { volts } => volts,
+            DetectorFault::Noise { sigma_v } => v + sigma_v * rng.normal(),
+            DetectorFault::Dropout { p_drop } => {
+                if rng.chance(p_drop) {
+                    held
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// A fault in one SM's actuation path, applied to the controller's command
+/// *after* the latency pipeline (the command computed upstream is correct;
+/// the hardware executing it is not).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActuatorFault {
+    /// The issue adjuster's down-counter latches: the SM runs at a fixed
+    /// issue width regardless of what the controller asks for.
+    DiwsStuck {
+        /// The latched issue width, warps/cycle.
+        issue_width: f64,
+    },
+    /// Fake-instruction injection is disabled (e.g. the injector's opcode
+    /// ROM fails safe): FII requests are silently ignored.
+    FiiDisabled,
+    /// The DCC DAC latches at a fixed code.
+    DccStuck {
+        /// The latched DAC code.
+        code: u32,
+    },
+    /// The DCC DAC rails to its full-scale code (a shorted MSB switch):
+    /// maximum ballast current flows whether requested or not.
+    DccRailed,
+}
+
+impl ActuatorFault {
+    /// Applies the fault to the command about to be executed. `dac`
+    /// converts DAC codes to ballast watts for the DCC faults.
+    pub fn apply(&self, cmd: &mut SmCommand, dac: &DccDac) {
+        match *self {
+            ActuatorFault::DiwsStuck { issue_width } => {
+                cmd.issue_width = issue_width.max(0.0);
+            }
+            ActuatorFault::FiiDisabled => cmd.fake_rate = 0.0,
+            ActuatorFault::DccStuck { code } => cmd.dcc_power_w = dac.power_for(code),
+            ActuatorFault::DccRailed => cmd.dcc_power_w = dac.max_power_w(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_at_ignores_input() {
+        let f = DetectorFault::StuckAt { volts: 0.95 };
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(f.apply(0.3, 0.7, &mut rng), 0.95);
+        assert_eq!(f.apply(1.2, 0.7, &mut rng), 0.95);
+    }
+
+    #[test]
+    fn noise_is_zero_mean() {
+        let f = DetectorFault::Noise { sigma_v: 0.05 };
+        let mut rng = Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| f.apply(1.0, 1.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 2e-3, "noisy mean {mean}");
+    }
+
+    #[test]
+    fn dropout_holds_last_value() {
+        let f = DetectorFault::Dropout { p_drop: 1.0 };
+        let mut rng = Rng::seed_from_u64(3);
+        assert_eq!(f.apply(0.85, 1.0, &mut rng), 1.0);
+        let f0 = DetectorFault::Dropout { p_drop: 0.0 };
+        assert_eq!(f0.apply(0.85, 1.0, &mut rng), 0.85);
+    }
+
+    #[test]
+    fn actuator_faults_override_commands() {
+        let dac = DccDac::new(6, 0.25, 0.02);
+        let mut cmd = SmCommand {
+            issue_width: 0.4,
+            fake_rate: 1.5,
+            dcc_power_w: 2.0,
+        };
+        ActuatorFault::DiwsStuck { issue_width: 2.0 }.apply(&mut cmd, &dac);
+        assert_eq!(cmd.issue_width, 2.0);
+        ActuatorFault::FiiDisabled.apply(&mut cmd, &dac);
+        assert_eq!(cmd.fake_rate, 0.0);
+        ActuatorFault::DccStuck { code: 4 }.apply(&mut cmd, &dac);
+        assert!((cmd.dcc_power_w - 1.0).abs() < 1e-12);
+        ActuatorFault::DccRailed.apply(&mut cmd, &dac);
+        assert!((cmd.dcc_power_w - dac.max_power_w()).abs() < 1e-12);
+    }
+}

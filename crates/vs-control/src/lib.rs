@@ -20,6 +20,8 @@
 //!   with detector filtering/quantization and a latency pipeline.
 //! * [`ActuatorWeights`], [`DccDac`], [`SmCommand`] — eq. (9) actuation.
 //! * [`Detector`], [`DetectorKind`] — Table II sensing options.
+//! * [`DetectorFault`], [`ActuatorFault`] — sensing/actuation fault
+//!   mechanisms for the robustness (fault-injection) study.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@ mod actuators;
 mod controller;
 mod design;
 mod detector;
+mod fault;
 mod ss;
 mod stack_model;
 
@@ -47,6 +50,7 @@ pub use actuators::{
     quantize_issue_width, ActuationTimescales, ActuatorWeights, DccDac, SmCommand,
 };
 pub use controller::{ControllerConfig, VoltageController};
+pub use fault::{ActuatorFault, DetectorFault};
 pub use design::{design_proportional, worst_case_deviation, ControlDesign};
 pub use detector::{Detector, DetectorKind, LowPassFilter};
 pub use ss::{DiscreteStateSpace, StateSpace};

@@ -1,87 +1,100 @@
-//! Property-based tests for the control toolkit.
+//! Randomized-but-deterministic tests for the control toolkit: each case is
+//! driven by a seeded [`vs_num::Rng`], so failures reproduce exactly without
+//! an external property-test harness.
 
-use proptest::prelude::*;
 use vs_control::{
-    quantize_issue_width, ActuatorWeights, ControllerConfig, StackModel, VoltageController,
+    quantize_issue_width, ActuatorWeights, ControllerConfig, DetectorFault, StackModel,
+    VoltageController,
 };
-use vs_num::Matrix;
+use vs_num::{Matrix, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `f` once per deterministic case, handing it a seeded RNG.
+fn for_each_case(cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(0xc0_117_801 ^ case.wrapping_mul(0x9e3779b97f4a7c15));
+        f(&mut rng);
+    }
+}
 
-    /// Stability is monotone in the gain for the sampled proportional loop:
-    /// any gain below a stable gain is also stable.
-    #[test]
-    fn gain_stability_is_monotone(
-        layers in 2usize..8,
-        latency_cycles in 10u32..500,
-        frac in 0.01f64..0.99,
-    ) {
+/// Stability is monotone in the gain for the sampled proportional loop:
+/// any gain below a stable gain is also stable.
+#[test]
+fn gain_stability_is_monotone() {
+    for_each_case(48, |rng| {
+        let layers = rng.index(2, 8);
+        let latency_cycles = rng.range_u64(10, 499) as u32;
+        let frac = rng.range_f64(0.01, 0.99);
         let m = StackModel::new(layers, 1e-6, 1.025 * layers as f64);
         let t = f64::from(latency_cycles) / 700e6;
         let k_max = m.max_stable_gain(t);
-        prop_assert!(k_max > 0.0);
-        prop_assert!(m.sampled_closed_loop(frac * k_max, t).is_stable());
-    }
+        assert!(k_max > 0.0);
+        assert!(m.sampled_closed_loop(frac * k_max, t).is_stable());
+    });
+}
 
-    /// The stability limit shrinks as latency grows.
-    #[test]
-    fn stability_limit_shrinks_with_latency(
-        layers in 2usize..6,
-        l1 in 10u32..200,
-    ) {
+/// The stability limit shrinks as latency grows.
+#[test]
+fn stability_limit_shrinks_with_latency() {
+    for_each_case(48, |rng| {
+        let layers = rng.index(2, 6);
+        let l1 = rng.range_u64(10, 199) as u32;
         let m = StackModel::new(layers, 1e-6, 1.025 * layers as f64);
         let t1 = f64::from(l1) / 700e6;
         let t2 = f64::from(l1 * 4) / 700e6;
-        prop_assert!(m.max_stable_gain(t1) > m.max_stable_gain(t2));
-    }
+        assert!(m.max_stable_gain(t1) > m.max_stable_gain(t2));
+    });
+}
 
-    /// Discretizing a continuous first-order stable system preserves
-    /// stability for any positive sampling period.
-    #[test]
-    fn c2d_preserves_first_order_stability(
-        pole in 0.1f64..50.0,
-        dt in 1e-9f64..1.0,
-    ) {
+/// Discretizing a continuous first-order stable system preserves
+/// stability for any positive sampling period.
+#[test]
+fn c2d_preserves_first_order_stability() {
+    for_each_case(48, |rng| {
+        let pole = rng.range_f64(0.1, 50.0);
+        // Sampling periods from nanoseconds to a second, log-uniform.
+        let dt = 10f64.powf(rng.range_f64(-9.0, 0.0));
         let mut a = Matrix::zeros(1, 1);
         a[(0, 0)] = -pole;
         let ss = vs_control::StateSpace::new(a, Matrix::identity(1));
-        prop_assert!(ss.c2d(dt).is_stable());
-    }
+        assert!(ss.c2d(dt).is_stable());
+    });
+}
 
-    /// Issue-width quantization stays within the window and is monotone.
-    #[test]
-    fn issue_quantization_bounds(
-        w1 in 0.0f64..2.0,
-        w2 in 0.0f64..2.0,
-        window in 1u32..64,
-    ) {
+/// Issue-width quantization stays within the window and is monotone.
+#[test]
+fn issue_quantization_bounds() {
+    for_each_case(48, |rng| {
+        let w1 = rng.range_f64(0.0, 2.0);
+        let w2 = rng.range_f64(0.0, 2.0);
+        let window = rng.range_u64(1, 63) as u32;
         let q1 = quantize_issue_width(w1, window);
         let q2 = quantize_issue_width(w2, window);
-        prop_assert!(q1 <= 2 * window + 1);
+        assert!(q1 <= 2 * window + 1);
         if w1 <= w2 {
-            prop_assert!(q1 <= q2 + 1); // rounding can flip by at most one
+            assert!(q1 <= q2 + 1); // rounding can flip by at most one
         }
-    }
+    });
+}
 
-    /// Normalized weights always sum to one.
-    #[test]
-    fn weights_normalize_to_one(
-        a in 0.0f64..10.0,
-        b in 0.0f64..10.0,
-        c in 0.001f64..10.0,
-    ) {
+/// Normalized weights always sum to one.
+#[test]
+fn weights_normalize_to_one() {
+    for_each_case(48, |rng| {
+        let a = rng.range_f64(0.0, 10.0);
+        let b = rng.range_f64(0.0, 10.0);
+        let c = rng.range_f64(0.001, 10.0);
         let w = ActuatorWeights::new(a, b, c).normalized();
-        prop_assert!((w.diws + w.fii + w.dcc - 1.0).abs() < 1e-12);
-    }
+        assert!((w.diws + w.fii + w.dcc - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// Controller commands are always within physical actuator ranges, for
-    /// arbitrary voltage inputs.
-    #[test]
-    fn controller_commands_always_bounded(
-        voltages in proptest::collection::vec(0.0f64..1.5, 16),
-        k in 0.5f64..50.0,
-    ) {
+/// Controller commands are always within physical actuator ranges, for
+/// arbitrary voltage inputs.
+#[test]
+fn controller_commands_always_bounded() {
+    for_each_case(48, |rng| {
+        let voltages: Vec<f64> = (0..16).map(|_| rng.range_f64(0.0, 1.5)).collect();
+        let k = rng.range_f64(0.5, 50.0);
         let mut c = VoltageController::new(ControllerConfig {
             weights: ActuatorWeights::new(1.0, 1.0, 1.0),
             k1: k,
@@ -94,11 +107,63 @@ proptest! {
         for _ in 0..8 {
             let cmds = c.update(&voltages);
             for cmd in cmds {
-                prop_assert!(cmd.issue_width >= 0.0 && cmd.issue_width <= 2.0);
-                prop_assert!(cmd.fake_rate >= 0.0 && cmd.fake_rate <= 2.0);
-                prop_assert!(cmd.dcc_power_w >= 0.0);
-                prop_assert!(cmd.dcc_power_w <= dcc_max + 1e-12);
+                assert!(cmd.issue_width >= 0.0 && cmd.issue_width <= 2.0);
+                assert!(cmd.fake_rate >= 0.0 && cmd.fake_rate <= 2.0);
+                assert!(cmd.dcc_power_w >= 0.0);
+                assert!(cmd.dcc_power_w <= dcc_max + 1e-12);
             }
         }
-    }
+    });
+}
+
+/// A stuck-at detector — however wrong its latched reading, wherever it sits
+/// in the stack — never drives the actuators outside their saturation
+/// bounds: the worst a lying sensor can do is ask for the wrong amount of a
+/// *bounded* actuation.
+#[test]
+fn stuck_detector_never_escapes_actuator_saturation() {
+    for_each_case(48, |rng| {
+        let stuck_v = rng.range_f64(-0.5, 1.7);
+        let stuck_sm = rng.index(0, 16);
+        let k = rng.range_f64(0.5, 50.0);
+        let fault = DetectorFault::StuckAt { volts: stuck_v };
+        let mut c = VoltageController::new(ControllerConfig {
+            weights: ActuatorWeights::new(
+                rng.range_f64(0.0, 1.0),
+                rng.range_f64(0.0, 1.0),
+                rng.range_f64(0.01, 1.0),
+            ),
+            k1: k,
+            k2: k,
+            k3: k,
+            latency_cycles: 2,
+            ..ControllerConfig::default()
+        });
+        let issue_max = c.config().issue_max;
+        let dcc_max = c.config().dcc.max_power_w();
+        let mut held = 1.0;
+        for _ in 0..50 {
+            let mut voltages: Vec<f64> = (0..16).map(|_| rng.range_f64(0.85, 1.1)).collect();
+            voltages[stuck_sm] = fault.apply(voltages[stuck_sm], held, rng);
+            held = voltages[stuck_sm];
+            let cmds = c.update(&voltages);
+            for cmd in cmds {
+                assert!(
+                    cmd.issue_width >= 0.0 && cmd.issue_width <= issue_max,
+                    "issue width {} escaped [0, {issue_max}] with sensor stuck at {stuck_v}",
+                    cmd.issue_width
+                );
+                assert!(
+                    cmd.fake_rate >= 0.0 && cmd.fake_rate <= issue_max,
+                    "fake rate {} escaped [0, {issue_max}]",
+                    cmd.fake_rate
+                );
+                assert!(
+                    cmd.dcc_power_w >= 0.0 && cmd.dcc_power_w <= dcc_max + 1e-12,
+                    "DCC power {} escaped [0, {dcc_max}]",
+                    cmd.dcc_power_w
+                );
+            }
+        }
+    });
 }

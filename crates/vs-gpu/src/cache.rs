@@ -1,10 +1,9 @@
 //! Set-associative cache with true-LRU replacement, used for both the
 //! per-SM L1 data caches and the banked shared L2.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub bytes: usize,
@@ -55,7 +54,7 @@ pub enum CacheOutcome {
 }
 
 /// Running hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand hits.
     pub hits: u64,

@@ -1,10 +1,9 @@
 //! GPU system configuration (paper Table I): an NVIDIA-Fermi-class manycore
 //! with 16 streaming multiprocessors in a 4x4 voltage-stack arrangement.
 
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of the simulated GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors (16).
     pub n_sms: usize,

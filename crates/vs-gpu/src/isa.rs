@@ -5,10 +5,9 @@
 //! explicit register dependences, which is everything the timing and power
 //! models observe.
 
-use serde::{Deserialize, Serialize};
 
 /// Architectural register within a warp's slice of the register file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -17,7 +16,7 @@ impl Reg {
 }
 
 /// Memory space targeted by a load/store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemSpace {
     /// Off-chip global memory through L1/L2/DRAM.
     Global,
@@ -26,7 +25,7 @@ pub enum MemSpace {
 }
 
 /// How a warp's 32 lanes spread their addresses for a global access.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// All lanes fall in `n_lines` consecutive cache lines (1 = perfectly
     /// coalesced).
@@ -62,7 +61,7 @@ impl AccessPattern {
 }
 
 /// Special-function-unit operation classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SfuOp {
     /// Reciprocal / reciprocal square root.
     Rcp,
@@ -71,7 +70,7 @@ pub enum SfuOp {
 }
 
 /// One warp-level instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Opcode {
     /// Integer ALU op on the SP pipeline.
     IAlu,
@@ -94,7 +93,7 @@ pub enum Opcode {
 }
 
 /// A decoded instruction with register dependences.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Instruction {
     /// Operation.
     pub opcode: Opcode,
@@ -193,7 +192,7 @@ impl Instruction {
 }
 
 /// Execution-unit classes inside an SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecUnit {
     /// Shader cores (two 16-wide blocks).
     Sp,

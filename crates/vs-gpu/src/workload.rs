@@ -9,15 +9,13 @@
 //! benchmarks is therefore described by a [`WorkloadProfile`] and expanded
 //! into a deterministic instruction stream by [`build_kernel`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use vs_num::Rng;
 
 use crate::config::GpuConfig;
 use crate::isa::{AccessPattern, Instruction, Opcode, Reg, SfuOp};
 
 /// Statistical description of a benchmark's kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Benchmark name (matches the paper's figures).
     pub name: String,
@@ -60,7 +58,7 @@ pub struct WorkloadProfile {
 }
 
 /// A fully-expanded kernel ready to run on the simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     /// Benchmark name.
     pub name: String,
@@ -340,7 +338,7 @@ pub fn benchmark(name: &str) -> Option<WorkloadProfile> {
 /// GPU configuration. The same `(profile, seed)` pair always yields the same
 /// kernel.
 pub fn build_kernel(profile: &WorkloadProfile, config: &GpuConfig, seed: u64) -> Kernel {
-    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&profile.name));
+    let mut rng = Rng::seed_from_u64(seed ^ hash_name(&profile.name));
     let mut body = Vec::new();
     let phases = profile.phases.max(1);
 
@@ -356,8 +354,8 @@ pub fn build_kernel(profile: &WorkloadProfile, config: &GpuConfig, seed: u64) ->
         r
     };
 
-    let pattern = |rng: &mut StdRng, profile: &WorkloadProfile| -> AccessPattern {
-        let jitter = rng.gen_range(0..=1u8);
+    let pattern = |rng: &mut Rng, profile: &WorkloadProfile| -> AccessPattern {
+        let jitter = rng.range_u64(0, 1) as u8;
         let n = profile.coalescing_lines.saturating_add(jitter).clamp(1, 32);
         if profile.random_access {
             AccessPattern::Random { n_lines: n }
@@ -382,25 +380,25 @@ pub fn build_kernel(profile: &WorkloadProfile, config: &GpuConfig, seed: u64) ->
         // Memory-phase: loads first (they start long-latency misses early,
         // like a compiler would schedule them).
         for _ in 0..loads {
-            let addr = recent[rng.gen_range(0..2)];
+            let addr = recent[rng.index(0, 2)];
             let dst = alloc(&mut recent);
             body.push(Instruction::load_global(dst, addr, pattern(&mut rng, profile)));
         }
         for _ in 0..shareds {
-            let addr = recent[rng.gen_range(0..2)];
+            let addr = recent[rng.index(0, 2)];
             let dst = alloc(&mut recent);
             body.push(Instruction::load_shared(dst, addr));
         }
         // Compute phase with tunable dependence density.
         for i in 0..computes {
-            let op = if rng.gen_bool(profile.ffma_frac) {
+            let op = if rng.chance(profile.ffma_frac) {
                 Opcode::Ffma
-            } else if rng.gen_bool(0.5) {
+            } else if rng.chance(0.5) {
                 Opcode::FAlu
             } else {
                 Opcode::IAlu
             };
-            let s0 = if rng.gen_bool(profile.dep_chain) {
+            let s0 = if rng.chance(profile.dep_chain) {
                 recent[0]
             } else {
                 Reg((i % Reg::COUNT) as u8)
@@ -413,7 +411,7 @@ pub fn build_kernel(profile: &WorkloadProfile, config: &GpuConfig, seed: u64) ->
             let s = recent[0];
             let dst = alloc(&mut recent);
             body.push(Instruction::alu(
-                Opcode::Sfu(if rng.gen_bool(0.5) {
+                Opcode::Sfu(if rng.chance(0.5) {
                     SfuOp::Rcp
                 } else {
                     SfuOp::Transcendental

@@ -1,41 +1,58 @@
-//! Property-based tests for the GPU timing simulator's building blocks.
+//! Randomized-but-deterministic tests for the GPU timing simulator's
+//! building blocks. Each case is driven by a seeded [`vs_num::Rng`], so
+//! failures reproduce exactly without an external property-test harness.
 
-use proptest::prelude::*;
 use vs_gpu::{
     all_benchmarks, build_kernel, Cache, CacheConfig, CacheOutcome, DramChannel, DramConfig,
     DramRequest, Gpu, GpuConfig, SchedulerKind, SmControl,
 };
+use vs_num::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Runs `f` once per deterministic case, handing it a seeded RNG.
+fn for_each_case(cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(0x6b05 ^ case.wrapping_mul(0x9e3779b97f4a7c15));
+        f(&mut rng);
+    }
+}
 
-    /// A line is always resident immediately after a read access (allocate
-    /// on read), and the number of resident lines never exceeds capacity.
-    #[test]
-    fn cache_allocates_reads_and_respects_capacity(
-        addrs in proptest::collection::vec(0u64..4_096, 1..400),
-    ) {
-        let cfg = CacheConfig { bytes: 8 * 1024, ways: 4, line_bytes: 128 };
+/// A line is always resident immediately after a read access (allocate
+/// on read), and the number of resident lines never exceeds capacity.
+#[test]
+fn cache_allocates_reads_and_respects_capacity() {
+    for_each_case(32, |rng| {
+        let n = rng.index(1, 400);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.below(4_096)).collect();
+        let cfg = CacheConfig {
+            bytes: 8 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        };
         let capacity_lines = cfg.bytes / cfg.line_bytes;
         let mut cache = Cache::new(cfg, true);
         let mut inserted = std::collections::HashSet::new();
         for &a in &addrs {
             cache.access(a, false);
-            prop_assert!(cache.probe(a), "line {a} must be resident after read");
+            assert!(cache.probe(a), "line {a} must be resident after read");
             inserted.insert(a);
         }
         let resident = inserted.iter().filter(|a| cache.probe(**a)).count();
-        prop_assert!(resident <= capacity_lines, "{resident} > {capacity_lines}");
-    }
+        assert!(resident <= capacity_lines, "{resident} > {capacity_lines}");
+    });
+}
 
-    /// Re-accessing the same line is always a hit until capacity pressure
-    /// evicts it; with a working set within one set's ways it never evicts.
-    #[test]
-    fn cache_small_working_set_always_hits(
-        base in 0u64..1_000,
-        repeats in 2usize..20,
-    ) {
-        let cfg = CacheConfig { bytes: 8 * 1024, ways: 4, line_bytes: 128 };
+/// Re-accessing the same line is always a hit until capacity pressure
+/// evicts it; with a working set within one set's ways it never evicts.
+#[test]
+fn cache_small_working_set_always_hits() {
+    for_each_case(32, |rng| {
+        let base = rng.below(1_000);
+        let repeats = rng.index(2, 20);
+        let cfg = CacheConfig {
+            bytes: 8 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        };
         let mut cache = Cache::new(cfg, true);
         // Two lines mapping to different sets: always within associativity.
         let lines = [base, base + 1];
@@ -44,59 +61,72 @@ proptest! {
         }
         for _ in 0..repeats {
             for l in lines {
-                prop_assert_eq!(cache.access(l, false), CacheOutcome::Hit);
+                assert_eq!(cache.access(l, false), CacheOutcome::Hit);
             }
         }
-    }
+    });
+}
 
-    /// Every DRAM request eventually completes, exactly once.
-    #[test]
-    fn dram_completes_every_request_once(
-        addrs in proptest::collection::vec(0u64..100_000, 1..100),
-    ) {
+/// Every DRAM request eventually completes, exactly once.
+#[test]
+fn dram_completes_every_request_once() {
+    for_each_case(32, |rng| {
+        let n = rng.index(1, 100);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.below(100_000)).collect();
         let mut ch = DramChannel::new(DramConfig::default());
         for (i, &a) in addrs.iter().enumerate() {
-            ch.push(DramRequest { line_addr: a, token: i as u64, arrived: 0 });
+            ch.push(DramRequest {
+                line_addr: a,
+                token: i as u64,
+                arrived: 0,
+            });
         }
         let mut done = std::collections::HashSet::new();
         let mut now = 0;
         while !ch.is_idle() && now < 1_000_000 {
             for t in ch.tick(now) {
-                prop_assert!(done.insert(t), "token {t} completed twice");
+                assert!(done.insert(t), "token {t} completed twice");
             }
             now += 1;
         }
-        prop_assert_eq!(done.len(), addrs.len());
-    }
+        assert_eq!(done.len(), addrs.len());
+    });
+}
 
-    /// Kernel generation is a pure function of (profile, seed).
-    #[test]
-    fn kernel_generation_is_pure(
-        bench_idx in 0usize..12,
-        seed in any::<u64>(),
-    ) {
+/// Kernel generation is a pure function of (profile, seed).
+#[test]
+fn kernel_generation_is_pure() {
+    for_each_case(32, |rng| {
+        let bench_idx = rng.index(0, 12);
+        let seed = rng.next_u64();
         let cfg = GpuConfig::default();
         let profile = &all_benchmarks()[bench_idx];
         let a = build_kernel(profile, &cfg, seed);
         let b = build_kernel(profile, &cfg, seed);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// The SM never issues more real instructions over a window than the
-    /// commanded issue width allows (the DIWS down-counter contract).
-    #[test]
-    fn issue_width_budget_is_respected(
-        width_tenths in 0u32..=20,
-        bench_idx in 0usize..12,
-    ) {
-        let width = f64::from(width_tenths) / 10.0;
+/// The SM never issues more real instructions over a window than the
+/// commanded issue width allows (the DIWS down-counter contract).
+#[test]
+fn issue_width_budget_is_respected() {
+    for_each_case(16, |rng| {
+        let width = rng.range_u64(0, 20) as f64 / 10.0;
+        let bench_idx = rng.index(0, 12);
         let cfg = GpuConfig::default();
         let mut kernel = build_kernel(&all_benchmarks()[bench_idx], &cfg, 3);
         kernel.warps_per_sm = 8;
         kernel.iterations = 50;
         let mut gpu = Gpu::new(&cfg, &kernel, SchedulerKind::Gto);
         for sm in 0..cfg.n_sms {
-            gpu.set_sm_control(sm, SmControl { issue_width: width, ..SmControl::default() });
+            gpu.set_sm_control(
+                sm,
+                SmControl {
+                    issue_width: width,
+                    ..SmControl::default()
+                },
+            );
         }
         // Let the control take effect, then count issues over windows.
         for _ in 0..20 {
@@ -112,7 +142,7 @@ proptest! {
             }
             if (step + 1) % window == 0 {
                 for (sm, count) in in_window.iter_mut().enumerate() {
-                    prop_assert!(
+                    assert!(
                         *count <= budget,
                         "SM {sm} issued {count} > budget {budget} at width {width}"
                     );
@@ -120,7 +150,7 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }
 
 #[test]

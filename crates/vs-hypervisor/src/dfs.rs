@@ -7,10 +7,9 @@
 //! increments — minimizing clock energy subject to the performance
 //! requirement.
 
-use serde::{Deserialize, Serialize};
 
 /// DFS governor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DfsConfig {
     /// Base (maximum) clock, hertz (700 MHz).
     pub base_hz: f64,

@@ -6,12 +6,11 @@
 //! module holds the policy knobs and the break-even accounting that decides
 //! whether gating paid off.
 
-use serde::{Deserialize, Serialize};
 use vs_gpu::SmCycleStats;
 use vs_power::PowerModel;
 
 /// Power-gating policy configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PgConfig {
     /// Master enable.
     pub enabled: bool,

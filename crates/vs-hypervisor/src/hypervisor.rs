@@ -7,10 +7,9 @@
 //! difference (energy loss) or trigger voltage-smoothing throttles
 //! (performance loss). The budget adapts to observed smoothing activity.
 
-use serde::{Deserialize, Serialize};
 
 /// Hypervisor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HypervisorConfig {
     /// Stack layers (4).
     pub n_layers: usize,

@@ -22,8 +22,10 @@ mod complex;
 mod eig;
 mod expm;
 mod linalg;
+mod rng;
 
 pub use complex::{Complex, Scalar};
 pub use eig::{eigenvalues, spectral_radius};
 pub use expm::expm;
 pub use linalg::{LuFactors, Matrix, SingularMatrixError};
+pub use rng::Rng;

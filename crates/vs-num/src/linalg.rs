@@ -84,13 +84,13 @@ impl<T: Scalar> Matrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n_cols, "dimension mismatch in mul_vec");
         let mut y = vec![T::zero(); self.n_rows];
-        for i in 0..self.n_rows {
+        for (i, out) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
             let mut acc = T::zero();
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *out = acc;
         }
         y
     }
@@ -306,16 +306,16 @@ impl<T: Scalar> LuFactors<T> {
         // Forward substitution with unit-lower-triangular L.
         for i in 1..n {
             let mut acc = b[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * b[j];
+            for (j, bj) in b.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * *bj;
             }
             b[i] = acc;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
             let mut acc = b[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * b[j];
+            for (j, bj) in b.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * *bj;
             }
             b[i] = acc / self.lu[(i, i)];
         }

@@ -1,0 +1,157 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The workspace runs in fully offline environments, so instead of pulling in
+//! an external RNG crate we keep a self-contained [SplitMix64] generator
+//! here. It is not cryptographically secure — it exists to drive synthetic
+//! workload generation, fault-schedule jitter, and randomized tests, all of
+//! which only need fast, well-distributed, *reproducible* streams.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+/// Deterministic 64-bit pseudo-random number generator (SplitMix64).
+///
+/// Two generators constructed with the same seed produce bit-identical
+/// streams on every platform, which the fault-injection subsystem relies on
+/// for reproducible fault schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses rejection sampling, so the distribution is exactly uniform.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below requires n > 0");
+        let zone = u64::MAX - (u64::MAX % n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Rng::range_u64 requires lo <= hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (half-open, matching slice indexing).
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::index requires lo < hi");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample via the Box-Muller transform.
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by keeping u1 strictly positive.
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Derives an independent child generator; used to give each fault event
+    /// its own stream so event order never perturbs another event's samples.
+    pub fn fork(&self, stream: u64) -> Self {
+        let mut child = Self::seed_from_u64(
+            self.state ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6a09_e667_f3bc_c909,
+        );
+        // Burn one output so trivially-related seeds decorrelate.
+        child.next_u64();
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&y));
+            let k = r.index(2, 9);
+            assert!((2..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(1234);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let base = Rng::seed_from_u64(99);
+        let mut a = base.fork(0);
+        let mut b = base.fork(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn normal_moments_plausible() {
+        let mut r = Rng::seed_from_u64(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -7,10 +7,9 @@
 //! paper's circuit-only figure, while the cross-layer design gets away with
 //! 105.8 mm² (0.2x).
 
-use serde::{Deserialize, Serialize};
 
 /// Maps regulator area to capacity and records the Table III constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     /// GPU die area, mm² (NVIDIA Fermi-class: 529 mm²).
     pub gpu_die_mm2: f64,

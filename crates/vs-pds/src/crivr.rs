@@ -6,12 +6,11 @@
 //! which scales linearly with the flying-capacitor area — the basis of the
 //! paper's area/reliability trade-off (Table III, Figs. 9–10).
 
-use serde::{Deserialize, Serialize};
 
 use crate::area::AreaModel;
 
 /// CR-IVR sizing and electrical parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrIvrConfig {
     /// Total die area spent on the CR-IVR, mm².
     pub area_mm2: f64,

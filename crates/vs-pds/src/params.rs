@@ -7,10 +7,9 @@
 //! the paper's 80 %; the voltage-stacked PDS carries one quarter of the
 //! current through the same parasitics.
 
-use serde::{Deserialize, Serialize};
 
 /// RLC parasitics and topology constants of the PDN.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PdnParams {
     /// Number of stacked layers (4).
     pub n_layers: usize,

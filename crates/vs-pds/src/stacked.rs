@@ -186,6 +186,29 @@ impl StackedPdn {
         }
     }
 
+    /// Number of columns that carry a CR-IVR ladder (`n_sub_ivrs` clamped to
+    /// the column count; 0 when the PDN was built without a CR-IVR).
+    pub fn n_recycler_columns(&self) -> usize {
+        let stages = self.params.n_layers - 1;
+        self.recyclers.len().checked_div(stages).unwrap_or(0)
+    }
+
+    /// The recycler elements of one column's CR-IVR ladder, bottom stage
+    /// first. Empty when the column has no ladder (lumped designs cover only
+    /// the first `n_recycler_columns` columns).
+    ///
+    /// `build` pushes `n_layers - 1` stages per covered column, column-major,
+    /// which is the layout this slices.
+    pub fn column_recyclers(&self, column: usize) -> &[ElementId] {
+        let stages = self.params.n_layers - 1;
+        let start = column * stages;
+        if stages == 0 || start >= self.recyclers.len() {
+            &[]
+        } else {
+            &self.recyclers[start..start + stages]
+        }
+    }
+
     /// Voltage across SM `(layer, column)` in a running transient.
     pub fn sm_voltage(&self, sim: &Transient, layer: usize, col: usize) -> f64 {
         sim.voltage(self.sm_top[layer][col]) - sim.voltage(self.sm_bottom[layer][col])
@@ -429,6 +452,24 @@ mod tests {
             distributed > lumped + 0.01,
             "distribution must help the far column: {distributed} vs {lumped}"
         );
+    }
+
+    #[test]
+    fn column_recycler_slices_partition_the_ladder() {
+        let pdn = build_default(Some(0.2));
+        // 4 sub-IVRs on a 4-column, 4-layer stack: 3 stages per column.
+        assert_eq!(pdn.n_recycler_columns(), 4);
+        let mut seen = Vec::new();
+        for col in 0..4 {
+            let stages = pdn.column_recyclers(col);
+            assert_eq!(stages.len(), 3, "column {col}");
+            seen.extend_from_slice(stages);
+        }
+        assert_eq!(seen, pdn.recyclers);
+        assert!(pdn.column_recyclers(7).is_empty());
+        let bare = build_default(None);
+        assert_eq!(bare.n_recycler_columns(), 0);
+        assert!(bare.column_recyclers(0).is_empty());
     }
 
     #[test]

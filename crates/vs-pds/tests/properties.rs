@@ -1,7 +1,9 @@
-//! Property-based tests for the power-delivery-subsystem models.
+//! Randomized-but-deterministic tests for the power-delivery-subsystem
+//! models. Each case is driven by a seeded [`vs_num::Rng`], so failures
+//! reproduce exactly without an external property-test harness.
 
-use proptest::prelude::*;
 use vs_circuit::{Integration, Transient};
+use vs_num::Rng;
 use vs_pds::{
     impedance_profile, ivr_efficiency, vrm_efficiency, AreaModel, CrIvrConfig, PdnParams,
     SingleLayerPdn, StackedPdn,
@@ -13,17 +15,22 @@ fn stacked(params: &PdnParams, area_mult: f64) -> StackedPdn {
     StackedPdn::build(params, Some((&cfg, &am)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Runs `f` once per deterministic case, handing it a seeded RNG.
+fn for_each_case(cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(0x9d5_ca5e ^ case.wrapping_mul(0x9e3779b97f4a7c15));
+        f(&mut rng);
+    }
+}
 
-    /// Under any uniform load, the stacked PDN divides the supply evenly:
-    /// every SM sits within a few percent of VDD / n_layers.
-    #[test]
-    fn uniform_load_balances_any_stack(
-        amps in 0.5f64..14.0,
-        area_mult in 0.1f64..2.0,
-        n_layers in 2usize..6,
-    ) {
+/// Under any uniform load, the stacked PDN divides the supply evenly:
+/// every SM sits within a few percent of VDD / n_layers.
+#[test]
+fn uniform_load_balances_any_stack() {
+    for_each_case(12, |rng| {
+        let amps = rng.range_f64(0.5, 14.0);
+        let area_mult = rng.range_f64(0.1, 2.0);
+        let n_layers = rng.index(2, 6);
         let params = PdnParams {
             n_layers,
             vdd_stack: 1.025 * n_layers as f64,
@@ -51,19 +58,26 @@ proptest! {
         for layer in 0..n_layers {
             for col in 0..params.n_columns {
                 let v = pdn.sm_voltage(&sim, layer, col);
-                prop_assert!(
+                assert!(
                     (v - nominal).abs() < 0.06 * nominal,
                     "SM({layer},{col}) at {v} V, nominal {nominal}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Impedance magnitudes are finite, non-negative, and the residual
-    /// component dominates the global one at the lowest frequency for any
-    /// (reasonable) CR-IVR size — including none at all.
-    #[test]
-    fn impedance_profile_is_well_behaved(area_mult in proptest::option::of(0.05f64..2.0)) {
+/// Impedance magnitudes are finite, non-negative, and the residual
+/// component dominates the global one at the lowest frequency for any
+/// (reasonable) CR-IVR size — including none at all.
+#[test]
+fn impedance_profile_is_well_behaved() {
+    for_each_case(24, |rng| {
+        let area_mult = if rng.chance(0.2) {
+            None
+        } else {
+            Some(rng.range_f64(0.05, 2.0))
+        };
         let params = PdnParams::default();
         let pdn = match area_mult {
             Some(m) => stacked(&params, m),
@@ -77,41 +91,46 @@ proptest! {
                 p.z_residual_same_layer[i],
                 p.z_residual_diff_layer[i],
             ] {
-                prop_assert!(z.is_finite() && z >= 0.0, "bad impedance {z}");
+                assert!(z.is_finite() && z >= 0.0, "bad impedance {z}");
             }
         }
-        prop_assert!(p.z_residual_same_layer[0] >= p.z_global[0]);
-    }
+        assert!(p.z_residual_same_layer[0] >= p.z_global[0]);
+    });
+}
 
-    /// More CR-IVR area never raises the low-frequency residual impedance.
-    #[test]
-    fn residual_impedance_is_monotone_in_area(
-        small in 0.05f64..0.5,
-        factor in 1.5f64..4.0,
-    ) {
+/// More CR-IVR area never raises the low-frequency residual impedance.
+#[test]
+fn residual_impedance_is_monotone_in_area() {
+    for_each_case(24, |rng| {
+        let small = rng.range_f64(0.05, 0.5);
+        let factor = rng.range_f64(1.5, 4.0);
         let params = PdnParams::default();
         let lo = stacked(&params, small);
         let hi = stacked(&params, small * factor);
         let p_lo = impedance_profile(&lo, 1e4, 1e6, 4).unwrap();
         let p_hi = impedance_profile(&hi, 1e4, 1e6, 4).unwrap();
-        prop_assert!(
-            p_hi.z_residual_same_layer[0] <= p_lo.z_residual_same_layer[0] * 1.001
-        );
-    }
+        assert!(p_hi.z_residual_same_layer[0] <= p_lo.z_residual_same_layer[0] * 1.001);
+    });
+}
 
-    /// Efficiency curves stay within physical bounds everywhere.
-    #[test]
-    fn efficiency_curves_bounded(load in -1.0f64..5.0) {
+/// Efficiency curves stay within physical bounds everywhere.
+#[test]
+fn efficiency_curves_bounded() {
+    for_each_case(64, |rng| {
+        let load = rng.range_f64(-1.0, 5.0);
         let v = vrm_efficiency(load);
         let i = ivr_efficiency(load);
-        prop_assert!((0.5..1.0).contains(&v));
-        prop_assert!((0.5..1.0).contains(&i));
-    }
+        assert!((0.5..1.0).contains(&v));
+        assert!((0.5..1.0).contains(&i));
+    });
+}
 
-    /// Single-layer delivery voltage scales the IR-loss fraction roughly
-    /// with 1/V^2 for the same wattage.
-    #[test]
-    fn delivery_voltage_cuts_single_layer_loss(v_hi in 1.4f64..2.5) {
+/// Single-layer delivery voltage scales the IR-loss fraction roughly
+/// with 1/V^2 for the same wattage.
+#[test]
+fn delivery_voltage_cuts_single_layer_loss() {
+    for_each_case(6, |rng| {
+        let v_hi = rng.range_f64(1.4, 2.5);
         let params = PdnParams::default();
         let loss_frac = |v: f64| {
             let pdn = SingleLayerPdn::build(&params, v);
@@ -133,6 +152,6 @@ proptest! {
         };
         let f1 = loss_frac(1.0);
         let fh = loss_frac(v_hi);
-        prop_assert!(fh < f1, "loss must fall with delivery voltage: {f1} -> {fh}");
-    }
+        assert!(fh < f1, "loss must fall with delivery voltage: {f1} -> {fh}");
+    });
 }

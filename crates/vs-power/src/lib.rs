@@ -33,11 +33,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Serialize};
 use vs_gpu::SmCycleStats;
 
 /// Per-event energies and static power of one SM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyTable {
     /// Energy of one SP warp instruction (32 lanes incl. RF traffic), joules.
     pub e_sp: f64,
@@ -74,7 +73,7 @@ pub struct EnergyTable {
 }
 
 /// Split of an SM's instantaneous power.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SmPower {
     /// Activity-proportional power, watts.
     pub dynamic_w: f64,
@@ -90,7 +89,7 @@ impl SmPower {
 }
 
 /// The power model: energy table + clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     table: EnergyTable,
     clock_hz: f64,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+#
+# Usage: scripts/ci.sh
+# Runs from the repository root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1 gate: OK"

@@ -105,17 +105,17 @@ fn stability_limit_predicts_circuit_behaviour() {
             // Sampled proportional feedback every 60 cycles, one-period
             // delayed, per SM: P += k * (V - Vnom).
             if cycle % 60 == 0 {
-                for layer in 0..4 {
-                    for col in 0..4 {
+                for (layer, row) in held.iter_mut().enumerate() {
+                    for (col, h) in row.iter_mut().enumerate() {
                         let v = pdn.sm_voltage(&sim, layer, col);
                         let p = 8.0 + k * (v - v_nom) + if layer == 0 && col == 0 { 2.0 } else { 0.0 };
-                        held[layer][col] = p.clamp(0.0, 40.0);
+                        *h = p.clamp(0.0, 40.0);
                     }
                 }
             }
-            for layer in 0..4 {
-                for col in 0..4 {
-                    sim.set_control(pdn.sm_load[layer][col], held[layer][col] / v_nom);
+            for (layer, row) in held.iter().enumerate() {
+                for (col, h) in row.iter().enumerate() {
+                    sim.set_control(pdn.sm_load[layer][col], h / v_nom);
                 }
             }
             sim.step().unwrap();

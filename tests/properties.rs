@@ -1,32 +1,41 @@
-//! Workspace-level property tests: invariants of the full co-simulation
-//! that must hold for arbitrary (sane) configurations.
+//! Workspace-level randomized tests: invariants of the full co-simulation
+//! that must hold for arbitrary (sane) configurations. Each case is driven
+//! by a seeded [`vs_num::Rng`], so failures reproduce exactly without an
+//! external property-test harness.
 
-use proptest::prelude::*;
+use vs_num::Rng;
 use voltage_stacked_gpus::core::{run_benchmark, CosimConfig, PdsKind};
 
-fn any_pds() -> impl Strategy<Value = PdsKind> {
-    prop_oneof![
-        Just(PdsKind::ConventionalVrm),
-        Just(PdsKind::SingleLayerIvr),
-        (0.2f64..2.0).prop_map(|m| PdsKind::VsCircuitOnly { area_mult: m }),
-        (0.1f64..1.0).prop_map(|m| PdsKind::VsCrossLayer { area_mult: m }),
-    ]
+fn any_pds(rng: &mut Rng) -> PdsKind {
+    match rng.index(0, 4) {
+        0 => PdsKind::ConventionalVrm,
+        1 => PdsKind::SingleLayerIvr,
+        2 => PdsKind::VsCircuitOnly {
+            area_mult: rng.range_f64(0.2, 2.0),
+        },
+        _ => PdsKind::VsCrossLayer {
+            area_mult: rng.range_f64(0.1, 1.0),
+        },
+    }
 }
 
-proptest! {
-    // Full co-sim runs are expensive; a handful of random configurations per
-    // invocation keeps the suite fast while still sweeping the space across
-    // CI runs.
-    #![proptest_config(ProptestConfig::with_cases(6))]
+/// Runs `f` once per deterministic case, handing it a seeded RNG. Full
+/// co-sim runs are expensive, so callers keep `cases` small.
+fn for_each_case(cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(0xc051_3a1e ^ case.wrapping_mul(0x9e3779b97f4a7c15));
+        f(&mut rng);
+    }
+}
 
-    /// For any PDS configuration and benchmark, the energy books stay sane:
-    /// PDE in (0, 1), all loss entries non-negative, and input >= useful.
-    #[test]
-    fn energy_ledger_is_always_sane(
-        pds in any_pds(),
-        bench_idx in 0usize..12,
-        seed in 1u64..1000,
-    ) {
+/// For any PDS configuration and benchmark, the energy books stay sane:
+/// PDE in (0, 1), all loss entries non-negative, and input >= useful.
+#[test]
+fn energy_ledger_is_always_sane() {
+    for_each_case(6, |rng| {
+        let pds = any_pds(rng);
+        let bench_idx = rng.index(0, 12);
+        let seed = rng.range_u64(1, 999);
         let names = vs_gpu::all_benchmarks();
         let cfg = CosimConfig {
             pds,
@@ -37,9 +46,9 @@ proptest! {
         };
         let r = run_benchmark(&cfg, &names[bench_idx].name);
         let l = &r.ledger;
-        prop_assert!(r.pde() > 0.0 && r.pde() < 1.0, "PDE {}", r.pde());
-        prop_assert!(l.board_input_j > 0.0);
-        prop_assert!(l.board_input_j >= l.useful_j());
+        assert!(r.pde() > 0.0 && r.pde() < 1.0, "PDE {}", r.pde());
+        assert!(l.board_input_j > 0.0);
+        assert!(l.board_input_j >= l.useful_j());
         for (name, v) in [
             ("vrm", l.vrm_loss_j),
             ("ivr", l.ivr_loss_j),
@@ -50,22 +59,23 @@ proptest! {
             ("dcc", l.dcc_j),
             ("fake", l.fake_j),
         ] {
-            prop_assert!(v >= -1e-12, "{name} loss negative: {v}");
+            assert!(v >= -1e-12, "{name} loss negative: {v}");
         }
         // Imbalance fractions form a distribution (or are all zero for
         // single-layer configs).
         let f = r.imbalance.fractions();
         let sum: f64 = f.iter().sum();
-        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9);
-    }
+        assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Voltage stacking never loses to the conventional PDS on delivery
-    /// efficiency, for any benchmark and seed.
-    #[test]
-    fn stacking_always_beats_conventional(
-        bench_idx in 0usize..12,
-        seed in 1u64..100,
-    ) {
+/// Voltage stacking never loses to the conventional PDS on delivery
+/// efficiency, for any benchmark and seed.
+#[test]
+fn stacking_always_beats_conventional() {
+    for_each_case(3, |rng| {
+        let bench_idx = rng.index(0, 12);
+        let seed = rng.range_u64(1, 99);
         let names = vs_gpu::all_benchmarks();
         let mk = |pds| CosimConfig {
             pds,
@@ -79,6 +89,6 @@ proptest! {
             &mk(PdsKind::VsCrossLayer { area_mult: 0.2 }),
             &names[bench_idx].name,
         );
-        prop_assert!(vs.pde() > conv.pde(), "{} vs {}", vs.pde(), conv.pde());
-    }
+        assert!(vs.pde() > conv.pde(), "{} vs {}", vs.pde(), conv.pde());
+    });
 }
