@@ -15,6 +15,7 @@ use vs_core::{PdsKind, PdsRig};
 use vs_gpu::{benchmark, build_kernel, Gpu, GpuConfig, SchedulerKind};
 use vs_num::{eigenvalues, expm, LuFactors, Matrix};
 use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
+use vs_telemetry::{Stage, Telemetry};
 
 /// Times `f` and prints a criterion-style `name ... ns/iter` line.
 fn bench(name: &str, mut f: impl FnMut()) {
@@ -131,6 +132,48 @@ fn bench_rig() {
     });
 }
 
+/// Guard: the disabled-telemetry instrumentation points threaded through the
+/// co-simulation hot loop must stay branch-cheap. Each cosim cycle pays five
+/// span start/stop pairs plus a couple of `is_enabled` checks; against a
+/// multi-microsecond cycle (see `pds_rig_step` above) the whole bundle must
+/// be noise. We time one cycle's worth of disabled instrumentation directly
+/// and fail the bench if it exceeds `MAX_DISABLED_NS` — far below 2% of a
+/// cycle, and loose enough not to flake on a busy machine.
+fn bench_telemetry_overhead() {
+    const MAX_DISABLED_NS: f64 = 250.0;
+    let mut t = Telemetry::disabled();
+    let mut measured = f64::INFINITY;
+    bench("telemetry_disabled_per_cycle", || {
+        for stage in Stage::ALL {
+            let span = t.stages.start();
+            black_box(&mut t).stages.stop(stage, span);
+        }
+        black_box(t.is_enabled());
+        black_box(t.is_enabled());
+    });
+    // Re-measure outside `bench` (which only prints) for the assertion;
+    // take the best of a few trials so scheduler noise cannot fail us.
+    for _ in 0..5 {
+        let iters = 100_000u32;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for stage in Stage::ALL {
+                let span = t.stages.start();
+                black_box(&mut t).stages.stop(stage, span);
+            }
+            black_box(t.is_enabled());
+            black_box(t.is_enabled());
+        }
+        measured = measured.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    println!("telemetry_disabled_per_cycle guard: best {measured:.1} ns (limit {MAX_DISABLED_NS} ns)");
+    assert!(
+        measured < MAX_DISABLED_NS,
+        "disabled telemetry costs {measured:.1} ns per simulated cycle \
+         (limit {MAX_DISABLED_NS} ns): the disabled path is no longer a branch"
+    );
+}
+
 fn main() {
     // `cargo bench` forwards a `--bench` flag; `cargo test --benches` runs
     // this binary with `--test` style flags. Only time things when actually
@@ -145,4 +188,5 @@ fn main() {
     bench_gpu();
     bench_controller();
     bench_rig();
+    bench_telemetry_overhead();
 }

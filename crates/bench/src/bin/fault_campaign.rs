@@ -9,12 +9,18 @@
 //!
 //! `VS_BENCH_SCALE` / `VS_BENCH_MAX_CYCLES` shorten or lengthen the runs as
 //! for the figure binaries.
+//!
+//! Pass `--json <path>` (or set `VS_FAULT_JSON=<path>`; `-` means stdout) to
+//! also emit the table as a machine-readable JSONL artifact in the
+//! `vs-telemetry` run-artifact schema: a manifest line followed by one
+//! `fault_row` event per campaign cell.
 
 use vs_bench::{pct, print_table, volts, RunSettings};
 use vs_control::{ActuatorFault, DetectorFault};
 use vs_core::{
     Cosim, CrIvrFault, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, SupervisorConfig,
 };
+use vs_telemetry::{Event, FaultCampaignRow, RunArtifact, RunManifest, SCHEMA_VERSION};
 
 /// One campaign cell: a named fault schedule.
 struct Scenario {
@@ -181,6 +187,18 @@ fn scenarios(seed: u64) -> Vec<Scenario> {
     ]
 }
 
+/// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
+/// over `VS_FAULT_JSON`; `-` means stdout.
+fn json_sink() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(args.next().unwrap_or_else(|| "-".to_string()));
+        }
+    }
+    std::env::var("VS_FAULT_JSON").ok()
+}
+
 fn main() {
     let settings = RunSettings::from_env();
     let supervisor = SupervisorConfig::default();
@@ -191,6 +209,19 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut events = vec![Event::Manifest(RunManifest {
+        schema_version: SCHEMA_VERSION,
+        benchmark: benchmark.name.clone(),
+        pds: "fault-campaign".to_string(),
+        seed: settings.seed,
+        workload_scale: settings.workload_scale,
+        max_cycles: settings.max_cycles,
+        sample_stride: 1,
+        crate_versions: vec![(
+            "vs-telemetry".to_string(),
+            vs_telemetry::crate_version().to_string(),
+        )],
+    })];
     for pds in pds_under_test {
         let cfg = settings.config(pds);
         for sc in scenarios(settings.seed) {
@@ -199,6 +230,17 @@ fn main() {
             }
             eprintln!("  {} under {} ...", sc.name, pds.label());
             let run = Cosim::new(&cfg, &benchmark).run_supervised(&supervisor, &sc.plan);
+            events.push(Event::FaultRow(FaultCampaignRow {
+                pds: pds.label().to_string(),
+                fault: sc.name.to_string(),
+                verdict: run.verdict.label().to_string(),
+                min_sm_v: run.report.min_sm_voltage,
+                below_guardband_fraction: run.below_guardband_fraction(),
+                below_guardband_us: run.below_guardband_s * 1e6,
+                retries: u64::from(run.recovery.retries),
+                sanitized: u64::from(run.recovery.sanitized_controls),
+                error: run.error.as_ref().map(std::string::ToString::to_string),
+            }));
             rows.push(vec![
                 pds.label().to_string(),
                 sc.name.to_string(),
@@ -239,4 +281,15 @@ fn main() {
         supervisor.guardband_tolerance * 100.0,
         volts(supervisor.v_guardband),
     );
+
+    if let Some(sink) = json_sink() {
+        let artifact = RunArtifact { events };
+        if sink == "-" {
+            print!("{}", artifact.to_jsonl());
+        } else {
+            std::fs::write(&sink, artifact.to_jsonl())
+                .unwrap_or_else(|e| panic!("writing {sink}: {e}"));
+            eprintln!("wrote JSONL resilience table to {sink}");
+        }
+    }
 }

@@ -1,0 +1,140 @@
+//! Profiles one co-simulated run: where the wall time goes, stage by stage.
+//!
+//! Runs a single benchmark under a single PDS configuration with telemetry
+//! enabled and prints the per-stage wall-time breakdown (GPU step, power
+//! model, circuit solve, controller update, hypervisor remap) plus the
+//! end-of-run health events: solver recovery, actuator duty cycles,
+//! guardband accounting, and the run summary.
+//!
+//! Usage: `cargo run --release -p vs-bench --bin profile [-- <benchmark>]`
+//! (default `heartwall`). `VS_BENCH_SCALE` / `VS_BENCH_MAX_CYCLES` shorten
+//! or lengthen the run as for the figure binaries. Pass `--json <path>`
+//! (or set `VS_PROFILE_JSON=<path>`; `-` means stdout) to also write the
+//! full JSONL run artifact for offline analysis.
+
+use vs_bench::{pct, print_table, volts, RunSettings};
+use vs_core::{Cosim, FaultPlan, PdsKind, SupervisorConfig};
+use vs_telemetry::Telemetry;
+
+/// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
+/// over `VS_PROFILE_JSON`; `-` means stdout.
+fn json_sink() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(args.next().unwrap_or_else(|| "-".to_string()));
+        }
+    }
+    std::env::var("VS_PROFILE_JSON").ok()
+}
+
+/// First positional (non-flag) argument: the benchmark name.
+fn benchmark_arg() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            args.next();
+        } else if !a.starts_with('-') {
+            return a;
+        }
+    }
+    "heartwall".to_string()
+}
+
+fn main() {
+    let settings = RunSettings::from_env();
+    let name = benchmark_arg();
+    let profile = vs_gpu::benchmark(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let cfg = settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 });
+
+    eprintln!("  profiling {name} under {} ...", cfg.pds.label());
+    let mut cosim = Cosim::new(&cfg, &profile);
+    cosim.set_telemetry(Telemetry::enabled());
+    let run = cosim.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
+    let artifact = run.telemetry.as_ref().expect("telemetry was enabled");
+
+    let stages = artifact.stages().unwrap_or(&[]);
+    let grand_total: f64 = stages.iter().map(|s| s.total_s).sum();
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|s| {
+            let ns_per_call = if s.count == 0 {
+                0.0
+            } else {
+                s.total_s * 1e9 / s.count as f64
+            };
+            vec![
+                s.stage.clone(),
+                format!("{:.3}", s.total_s),
+                s.count.to_string(),
+                format!("{ns_per_call:.0}"),
+                pct(if grand_total > 0.0 {
+                    s.total_s / grand_total
+                } else {
+                    0.0
+                }),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Wall-time breakdown: {name} ({} cycles)", run.report.cycles),
+        &["stage", "total s", "calls", "ns/call", "share"],
+        &rows,
+    );
+
+    if let Some(s) = artifact.solver() {
+        println!(
+            "\nsolver: {} retries, {} sanitized controls, max {} dt-halvings{}",
+            s.retries,
+            s.sanitized_controls,
+            s.max_halvings,
+            if s.used_backward_euler {
+                ", backward-Euler fallback used"
+            } else {
+                ""
+            },
+        );
+    }
+    if let Some(a) = artifact.actuators() {
+        println!(
+            "actuators: DIWS {} / FII {} / DCC {} of SM-cycles, saturated {}, throttle {}",
+            pct(a.diws_duty),
+            pct(a.fii_duty),
+            pct(a.dcc_duty),
+            pct(a.saturated_duty),
+            pct(a.throttle_fraction),
+        );
+    }
+    if let Some(g) = artifact.guardband() {
+        let worst = g
+            .fractions()
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        println!(
+            "guardband: worst layer {} of cycles below {}",
+            pct(worst),
+            volts(g.v_guardband),
+        );
+    }
+    if let Some(s) = artifact.summary() {
+        println!(
+            "run: verdict {}, PDE {}, V in [{}, {}], {} samples in stream",
+            s.verdict,
+            pct(s.pde),
+            volts(s.min_sm_v),
+            volts(s.max_sm_v),
+            artifact.samples().count(),
+        );
+    }
+
+    if let Some(sink) = json_sink() {
+        if sink == "-" {
+            print!("{}", artifact.to_jsonl());
+        } else {
+            std::fs::write(&sink, artifact.to_jsonl())
+                .unwrap_or_else(|e| panic!("writing {sink}: {e}"));
+            eprintln!("wrote JSONL run artifact to {sink}");
+        }
+    }
+}

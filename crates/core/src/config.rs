@@ -71,7 +71,9 @@ pub struct CosimConfig {
     pub voltage_scaled_power: bool,
     /// Record per-SM voltage traces (costs memory; figures need it).
     pub record_traces: bool,
-    /// Record every Nth cycle when tracing (1 = every cycle).
+    /// Decimation stride for per-cycle recording (1 = every cycle): voltage
+    /// traces keep every Nth point, and an enabled [`vs_telemetry::Telemetry`]
+    /// handle emits one [`vs_telemetry::CycleSample`] event every Nth cycle.
     pub trace_stride: u32,
 }
 

@@ -11,9 +11,13 @@
 
 use vs_circuit::StepReport;
 use vs_control::{ControllerConfig, VoltageController};
-use vs_gpu::{build_kernel, Gpu, GpuConfig, SchedulerKind, WorkloadProfile};
+use vs_gpu::{build_kernel, Gpu, GpuConfig, SchedulerKind, SmStats, WorkloadProfile};
 use vs_hypervisor::{DfsConfig, DfsGovernor, GatingAccountant, PgConfig, VsAwareHypervisor};
 use vs_power::{PowerModel, SmPower};
+use vs_telemetry::{
+    labeled, ActuatorDuty, CycleSample, Event, GpuCounters, GuardbandStats, RunManifest,
+    RunSummary, SolverHealth, Stage, Telemetry, SCHEMA_VERSION,
+};
 
 use crate::config::{CosimConfig, PdsKind};
 use crate::fault::{FaultKind, FaultPlan, LoadGlitch};
@@ -84,7 +88,12 @@ pub struct Cosim {
     hypervisor: Option<VsAwareHypervisor>,
     gating_acc: GatingAccountant,
     benchmark: String,
+    telemetry: Telemetry,
 }
+
+/// Upper bounds for the per-layer minimum-voltage histogram recorded under
+/// the `voltage.layer_min_v` metric (volts).
+const LAYER_MIN_V_BOUNDS: [f64; 9] = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10];
 
 impl Cosim {
     /// Prepares a run of `profile` under `cfg` with no higher-level power
@@ -146,7 +155,19 @@ impl Cosim {
             hypervisor,
             gating_acc: GatingAccountant::new(),
             benchmark: profile.name.clone(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs an instrumentation handle for the next run. With
+    /// [`Telemetry::enabled`] the run records stage wall times, solver
+    /// health, actuator duty, guardband and GPU counters, plus decimated
+    /// cycle samples (every [`CosimConfig::trace_stride`]th cycle), and
+    /// [`SupervisedReport::telemetry`] carries the machine-readable
+    /// artifact. The default ([`Telemetry::disabled`]) reduces every
+    /// instrumentation point to a branch.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Runs to kernel completion (or the cycle cap) and reports.
@@ -222,10 +243,41 @@ impl Cosim {
         let mut fake_watts = vec![0.0; n_sms];
         let table_fake = self.power.table().e_fake;
 
+        let stride = u64::from(self.cfg.trace_stride.max(1));
+        let mut layer_min = vec![f64::INFINITY; n_layers];
+        let issue_max = self
+            .controller
+            .as_ref()
+            .map_or(ControllerConfig::default().issue_max, |c| {
+                c.config().issue_max
+            });
+        if self.telemetry.is_enabled() {
+            let manifest = RunManifest {
+                schema_version: SCHEMA_VERSION,
+                benchmark: self.benchmark.clone(),
+                pds: self.cfg.pds.label().to_string(),
+                seed: self.cfg.seed,
+                workload_scale: self.cfg.workload_scale,
+                max_cycles: self.cfg.max_cycles,
+                sample_stride: self.cfg.trace_stride.max(1),
+                crate_versions: vec![
+                    ("vs-core".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+                    (
+                        "vs-telemetry".to_string(),
+                        vs_telemetry::crate_version().to_string(),
+                    ),
+                ],
+            };
+            self.telemetry.emit(|| Event::Manifest(manifest));
+        }
+
         while !self.gpu.done() && self.gpu.cycle() < self.cfg.max_cycles {
+            let span = self.telemetry.stages.start();
             let events = self.gpu.tick();
+            self.telemetry.stages.stop(Stage::GpuStep, span);
             let voltages = self.rig.sm_voltages();
 
+            let span = self.telemetry.stages.start();
             for sm in 0..n_sms {
                 let s = &events.per_sm[sm];
                 let mut p = self.power.sm_power_w(s);
@@ -239,6 +291,7 @@ impl Cosim {
                     self.gating_acc.record(s);
                 }
             }
+            self.telemetry.stages.stop(Stage::PowerModel, span);
 
             // Scheduled faults at the circuit boundary: CR-IVR degradation
             // retunes the netlist on window edges; load glitches corrupt the
@@ -271,7 +324,10 @@ impl Cosim {
                 break;
             }
 
-            match self.rig.step(&sm_watts, &dcc_power, &fake_watts) {
+            let span = self.telemetry.stages.start();
+            let step = self.rig.step(&sm_watts, &dcc_power, &fake_watts);
+            self.telemetry.stages.stop(Stage::CircuitSolve, span);
+            match step {
                 Ok(r) => recovery.absorb(&r),
                 Err(e) => {
                     error = Some(CosimError::Solver { cycle, source: e });
@@ -279,7 +335,6 @@ impl Cosim {
                 }
             }
             let voltages = self.rig.sm_voltages();
-            let stride = u64::from(self.cfg.trace_stride.max(1));
             for (sm, v) in voltages.iter().enumerate() {
                 min_v = min_v.min(*v);
                 max_v = max_v.max(*v);
@@ -287,22 +342,52 @@ impl Cosim {
                     traces[sm].push(self.rig.time(), *v);
                 }
             }
-            for layer in 0..n_layers {
+            for (layer, slot) in layer_min.iter_mut().enumerate() {
                 let lo = voltages[layer * layer_columns..(layer + 1) * layer_columns]
                     .iter()
                     .copied()
                     .fold(f64::INFINITY, f64::min);
+                *slot = lo;
                 if lo < sup.v_guardband {
                     below_guard_cycles[layer] += 1;
                 }
             }
             histogram.record(&sm_watts, &voltages, v_nominal);
 
+            // Decimated telemetry sample: the physical state this cycle plus
+            // the smoothing commands currently in effect (the ones the GPU
+            // tick above just ran under).
+            if self.telemetry.is_enabled() && cycle.is_multiple_of(stride) {
+                let cycle_min = voltages.iter().copied().fold(f64::INFINITY, f64::min);
+                let cycle_max = voltages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let throttled = self.controller.as_ref().map_or(0, |c| {
+                    c.active_commands()
+                        .iter()
+                        .filter(|cmd| !cmd.is_neutral(issue_max))
+                        .count()
+                });
+                for &lo in &layer_min {
+                    self.telemetry
+                        .registry
+                        .observe("voltage.layer_min_v", &LAYER_MIN_V_BOUNDS, lo);
+                }
+                let sample = CycleSample {
+                    cycle,
+                    time_s: self.rig.time(),
+                    min_sm_v: cycle_min,
+                    max_sm_v: cycle_max,
+                    layer_min_v: layer_min.clone(),
+                    throttled_sms: throttled as u32,
+                };
+                self.telemetry.emit(|| Event::Sample(sample));
+            }
+
             // Architecture-level voltage smoothing, through the (possibly
             // faulted) sensing and actuation chains. Physical statistics
             // above use the true voltages; the controller sees the sensed
             // ones.
             if let Some(ctrl) = self.controller.as_mut() {
+                let span = self.telemetry.stages.start();
                 let mut sensed = voltages.clone();
                 for (i, ev) in plan.events().iter().enumerate() {
                     if let FaultKind::Detector { sm, fault } = ev.kind {
@@ -327,10 +412,12 @@ impl Cosim {
                     self.gpu.set_sm_control(sm, c);
                     dcc_power[sm] = cmd.dcc_power_w;
                 }
+                self.telemetry.stages.stop(Stage::ControllerUpdate, span);
             }
 
             // Higher-level power management on epoch boundaries.
             if self.gpu.cycle().is_multiple_of(epoch_cycles) {
+                let span = self.telemetry.stages.start();
                 if let Some(gov) = self.dfs.as_mut() {
                     let stats = self.gpu.sm_stats();
                     let instr: Vec<u64> = (0..n_sms)
@@ -372,6 +459,7 @@ impl Cosim {
                         }
                     }
                 }
+                self.telemetry.stages.stop(Stage::HypervisorRemap, span);
             }
             freq_scale_acc += (0..n_sms)
                 .map(|i| self.gpu.sm_control(i).freq_scale)
@@ -418,6 +506,71 @@ impl Cosim {
         );
         let below_guardband_s =
             below_guard_cycles.iter().copied().max().unwrap_or(0) as f64 * dt;
+        if self.telemetry.is_enabled() {
+            let stats = self.gpu.sm_stats();
+            for (sm, s) in stats.iter().enumerate() {
+                let sm_label = sm.to_string();
+                let labels = [("sm", sm_label.as_str())];
+                self.telemetry
+                    .registry
+                    .set_gauge(&labeled("gpu.ipc", &labels), s.ipc());
+                self.telemetry
+                    .registry
+                    .set_gauge(&labeled("gpu.stall_fraction", &labels), s.stall_fraction());
+            }
+            self.telemetry
+                .registry
+                .inc("solver.retries", u64::from(recovery.retries));
+            self.telemetry.registry.inc(
+                "solver.sanitized_controls",
+                u64::from(recovery.sanitized_controls),
+            );
+            let solver = SolverHealth {
+                retries: u64::from(recovery.retries),
+                sanitized_controls: u64::from(recovery.sanitized_controls),
+                max_halvings: recovery.halvings,
+                used_backward_euler: recovery.used_backward_euler,
+            };
+            self.telemetry.emit(|| Event::Solver(solver));
+            if let Some(ctrl) = self.controller.as_ref() {
+                let a = ctrl.actuator_stats();
+                let duty = ActuatorDuty {
+                    diws_duty: a.diws_duty(),
+                    fii_duty: a.fii_duty(),
+                    dcc_duty: a.dcc_duty(),
+                    saturated_duty: a.saturated_duty(),
+                    throttle_fraction: ctrl.throttle_fraction(),
+                };
+                self.telemetry.emit(|| Event::Actuators(duty));
+            }
+            let guard = GuardbandStats {
+                v_guardband: sup.v_guardband,
+                cycles,
+                below_cycles: below_guard_cycles.clone(),
+            };
+            self.telemetry.emit(|| Event::Guardband(guard));
+            let gpu = GpuCounters {
+                per_sm_ipc: stats.iter().map(SmStats::ipc).collect(),
+                per_sm_stall_fraction: stats.iter().map(SmStats::stall_fraction).collect(),
+                instructions: self.gpu.total_instructions(),
+                fake_instructions: stats.iter().map(|s| s.fake_instructions).sum(),
+            };
+            self.telemetry.emit(|| Event::Gpu(gpu));
+            let summary = RunSummary {
+                cycles,
+                completed,
+                verdict: verdict.label().to_string(),
+                pde: report.pde(),
+                min_sm_v: report.min_sm_voltage,
+                max_sm_v: report.max_sm_voltage,
+                board_input_j: report.ledger.board_input_j,
+            };
+            self.telemetry.emit(|| Event::Summary(summary));
+        }
+        let telemetry = self
+            .telemetry
+            .is_enabled()
+            .then(|| std::mem::take(&mut self.telemetry).into_artifact());
         SupervisedReport {
             verdict,
             report,
@@ -425,6 +578,7 @@ impl Cosim {
             below_guardband_s,
             recovery,
             error,
+            telemetry,
         }
     }
 }

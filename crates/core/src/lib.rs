@@ -22,6 +22,11 @@
 //!   seeded fault schedule (sensing, actuation, CR-IVR, load faults), a
 //!   watchdog tracking time below the 0.8 V guardband per layer, and a
 //!   [`RunVerdict`] per run instead of a panic when the solver gives up.
+//! * [`Cosim::set_telemetry`] — observability: hand the run an enabled
+//!   [`vs_telemetry::Telemetry`] and [`SupervisedReport::telemetry`] comes
+//!   back with a machine-readable JSONL artifact (run manifest, decimated
+//!   cycle samples, per-stage wall times, solver health, actuator duty,
+//!   guardband and GPU counters).
 //!
 //! # Examples
 //!

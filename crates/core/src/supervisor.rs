@@ -11,6 +11,7 @@
 use std::fmt;
 
 use vs_circuit::{RecoveryPolicy, SolverError, StepReport};
+use vs_telemetry::RunArtifact;
 
 use crate::cosim::CosimReport;
 
@@ -121,6 +122,10 @@ pub struct SupervisedReport {
     pub recovery: StepReport,
     /// The failure that aborted the run, if any.
     pub error: Option<CosimError>,
+    /// The machine-readable run artifact (manifest, decimated cycle samples,
+    /// stage profile, end-of-run stats). `Some` only when the run was given
+    /// an enabled handle via [`crate::Cosim::set_telemetry`].
+    pub telemetry: Option<RunArtifact>,
 }
 
 impl SupervisedReport {
@@ -237,6 +242,7 @@ mod tests {
             below_guardband_s: 0.0,
             recovery: StepReport::default(),
             error: None,
+            telemetry: None,
         };
         assert!((r.below_guardband_fraction() - 0.25).abs() < 1e-12);
     }

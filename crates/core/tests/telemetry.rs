@@ -1,0 +1,122 @@
+//! End-to-end telemetry: an instrumented run must produce a JSONL artifact
+//! that round-trips through the parser into the same per-stage wall-time,
+//! per-layer guardband, and actuator duty-cycle summaries the run reported.
+
+use vs_core::{Cosim, CosimConfig, FaultPlan, PdsKind, SupervisorConfig};
+use vs_telemetry::{RunArtifact, Telemetry, SCHEMA_VERSION};
+
+fn quick_config() -> CosimConfig {
+    CosimConfig {
+        pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+        workload_scale: 0.02,
+        max_cycles: 120_000,
+        trace_stride: 16,
+        ..CosimConfig::default()
+    }
+}
+
+fn instrumented_run(cfg: &CosimConfig) -> (vs_core::SupervisedReport, RunArtifact) {
+    let profile = vs_gpu::benchmark("heartwall").expect("known benchmark");
+    let mut cosim = Cosim::new(cfg, &profile);
+    cosim.set_telemetry(Telemetry::enabled());
+    let run = cosim.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
+    let artifact = run.telemetry.clone().expect("enabled run must yield an artifact");
+    (run, artifact)
+}
+
+#[test]
+fn disabled_telemetry_yields_no_artifact() {
+    let profile = vs_gpu::benchmark("heartwall").expect("known benchmark");
+    let run = Cosim::new(&quick_config(), &profile)
+        .run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
+    assert!(run.report.completed);
+    assert!(run.telemetry.is_none(), "default runs carry no artifact");
+}
+
+#[test]
+fn artifact_round_trips_and_matches_the_run() {
+    let cfg = quick_config();
+    let (run, artifact) = instrumented_run(&cfg);
+    assert!(run.report.completed, "run must finish ({} cycles)", run.report.cycles);
+
+    // Round-trip: serialize to JSONL, parse back, compare summaries.
+    let text = artifact.to_jsonl();
+    let parsed = RunArtifact::parse_jsonl(&text).expect("own output must parse");
+
+    for a in [&artifact, &parsed] {
+        // Manifest reflects the configuration that ran.
+        let m = a.manifest().expect("manifest present");
+        assert_eq!(m.schema_version, SCHEMA_VERSION);
+        assert_eq!(m.benchmark, "heartwall");
+        assert_eq!(m.seed, cfg.seed);
+        assert_eq!(m.sample_stride, cfg.trace_stride);
+
+        // Per-stage wall time: the three per-cycle stages ran every cycle
+        // and accumulated measurable time.
+        let stages = a.stages().expect("stage profile present");
+        for name in ["gpu_step", "power_model", "circuit_solve"] {
+            let s = stages
+                .iter()
+                .find(|s| s.stage == name)
+                .unwrap_or_else(|| panic!("stage {name} missing"));
+            assert_eq!(s.count, run.report.cycles, "{name} spans one per cycle");
+            assert!(s.total_s > 0.0, "{name} accumulated no time");
+        }
+        let ctrl = stages.iter().find(|s| s.stage == "controller_update").unwrap();
+        assert_eq!(ctrl.count, run.report.cycles);
+
+        // Per-layer guardband matches the supervisor's accounting.
+        let g = a.guardband().expect("guardband stats present");
+        assert_eq!(g.cycles, run.report.cycles);
+        assert_eq!(g.below_cycles, run.below_guardband_cycles);
+
+        // Actuator duty cycles are fractions of SM-cycles.
+        let duty = a.actuators().expect("actuator duty present");
+        for d in [duty.diws_duty, duty.fii_duty, duty.dcc_duty, duty.saturated_duty] {
+            assert!((0.0..=1.0).contains(&d), "duty {d} out of range");
+        }
+        assert!((duty.throttle_fraction - run.report.throttle_fraction).abs() < 1e-12);
+
+        // GPU counters cover all 16 SMs with sane IPC.
+        let gpu = a.gpu().expect("gpu counters present");
+        assert_eq!(gpu.per_sm_ipc.len(), 16);
+        assert_eq!(gpu.per_sm_stall_fraction.len(), 16);
+        assert!(gpu.per_sm_ipc.iter().all(|&i| (0.0..=2.0).contains(&i)));
+        assert_eq!(gpu.instructions, run.report.instructions);
+
+        // Summary agrees with the report.
+        let s = a.summary().expect("summary present");
+        assert_eq!(s.cycles, run.report.cycles);
+        assert!(s.completed);
+        assert_eq!(s.verdict, run.verdict.label());
+        assert!((s.pde - run.report.pde()).abs() < 1e-12);
+        assert!((s.min_sm_v - run.report.min_sm_voltage).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn trace_stride_decimates_the_sample_stream() {
+    let mut cfg = quick_config();
+    cfg.trace_stride = 32;
+    let (run, artifact) = instrumented_run(&cfg);
+    let samples: Vec<_> = artifact.samples().collect();
+    assert!(!samples.is_empty(), "some samples must be recorded");
+    assert!(
+        samples.iter().all(|s| s.cycle % 32 == 0),
+        "samples must land on stride boundaries"
+    );
+    // Decimation bound: at most one sample per stride window (+1 slack).
+    let max_expected = run.report.cycles / 32 + 1;
+    assert!(
+        (samples.len() as u64) <= max_expected,
+        "{} samples for {} cycles at stride 32",
+        samples.len(),
+        run.report.cycles
+    );
+    // Samples carry physical per-layer minima: 4 layers, plausible volts.
+    for s in &samples {
+        assert_eq!(s.layer_min_v.len(), 4);
+        assert!(s.min_sm_v > 0.5 && s.max_sm_v < 1.5);
+        assert!(s.min_sm_v <= s.max_sm_v + 1e-12);
+    }
+}

@@ -38,9 +38,18 @@ impl Trace {
         &self.name
     }
 
-    /// Appends a sample. Times should be non-decreasing; this is not
-    /// enforced but quantile helpers assume it.
+    /// Appends a sample.
+    ///
+    /// Times must be non-decreasing (checked by a `debug_assert!`): the
+    /// time axis is what plots and windowed statistics index by. Values may
+    /// arrive in any order — quantile helpers sort a copy internally.
     pub fn push(&mut self, time_s: f64, value: f64) {
+        debug_assert!(
+            self.times.last().is_none_or(|&last| time_s >= last),
+            "trace '{}': sample time {time_s} precedes previous {:?}",
+            self.name,
+            self.times.last()
+        );
         self.times.push(time_s);
         self.values.push(value);
     }
@@ -265,6 +274,33 @@ mod tests {
         t.push(0.0, f64::NAN);
         t.push(1.0, f64::NAN);
         assert_eq!(t.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_correct_on_unsorted_values() {
+        // Values arrive in scrambled order (a realistic voltage waveform is
+        // anything but monotonic); quantiles must not depend on push order.
+        let mut t = Trace::new("scrambled");
+        for (i, v) in [7.0, 2.0, 9.0, 0.0, 5.0, 3.0, 8.0, 1.0, 6.0, 4.0]
+            .into_iter()
+            .enumerate()
+        {
+            t.push(i as f64, v);
+        }
+        assert_eq!(t.quantile(0.0), 0.0);
+        assert_eq!(t.quantile(0.5), 5.0);
+        assert_eq!(t.quantile(1.0), 9.0);
+        let s = t.summary();
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "precedes previous")]
+    fn decreasing_time_is_rejected_in_debug() {
+        let mut t = Trace::new("backwards");
+        t.push(1.0, 0.0);
+        t.push(0.5, 0.0);
     }
 
     #[test]

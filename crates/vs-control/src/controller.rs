@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 
-use crate::actuators::{ActuatorWeights, DccDac, SmCommand};
+use crate::actuators::{ActuatorStats, ActuatorWeights, DccDac, SmCommand};
 use crate::detector::{Detector, DetectorKind};
 
 /// Static configuration of the voltage-smoothing controller.
@@ -87,6 +87,7 @@ pub struct VoltageController {
     active: Vec<SmCommand>,
     sm_cycles: u64,
     throttled_sm_cycles: u64,
+    stats: ActuatorStats,
 }
 
 impl VoltageController {
@@ -115,6 +116,7 @@ impl VoltageController {
             active: neutral,
             sm_cycles: 0,
             throttled_sm_cycles: 0,
+            stats: ActuatorStats::default(),
         }
     }
 
@@ -202,6 +204,10 @@ impl VoltageController {
             .iter()
             .filter(|c| !c.is_neutral(self.cfg.issue_max))
             .count() as u64;
+        let dcc_max_w = self.cfg.dcc.max_power_w();
+        for cmd in &self.active {
+            self.stats.record(cmd, self.cfg.issue_max, dcc_max_w);
+        }
         &self.active
     }
 
@@ -220,10 +226,17 @@ impl VoltageController {
         }
     }
 
+    /// Cumulative per-mechanism actuator activity (duty cycles and
+    /// saturation time) over commands that have taken effect.
+    pub fn actuator_stats(&self) -> ActuatorStats {
+        self.stats
+    }
+
     /// Resets the statistics counters (not the pipeline).
     pub fn reset_stats(&mut self) {
         self.sm_cycles = 0;
         self.throttled_sm_cycles = 0;
+        self.stats = ActuatorStats::default();
     }
 }
 
@@ -347,6 +360,64 @@ mod tests {
         let f = c.throttle_fraction();
         // One drooping SM out of 16, commands active almost every cycle.
         assert!(f > 0.04 && f < 0.1, "fraction {f}");
+    }
+
+    #[test]
+    fn actuator_stats_track_duty_per_mechanism() {
+        let mut c = VoltageController::new(ControllerConfig {
+            weights: ActuatorWeights::new(1.0, 1.0, 1.0),
+            latency_cycles: 1,
+            ..cfg()
+        });
+        let mut v = nominal(16);
+        v[c.sm_index(1, 0)] = 0.7;
+        for _ in 0..100 {
+            c.update(&v);
+        }
+        let s = c.actuator_stats();
+        assert_eq!(s.sm_cycles, 100 * 16);
+        assert!(s.diws_duty() > 0.0, "DIWS fired: {s:?}");
+        assert!(s.fii_duty() > 0.0, "FII fired: {s:?}");
+        assert!(s.dcc_duty() > 0.0, "DCC fired: {s:?}");
+        // One drooping SM throttled, its neighbor raised: duty stays small.
+        assert!(s.diws_duty() < 0.2 && s.fii_duty() < 0.2);
+        c.reset_stats();
+        assert_eq!(c.actuator_stats(), ActuatorStats::default());
+    }
+
+    #[test]
+    fn extreme_droop_saturates_actuators() {
+        let mut c = VoltageController::new(ControllerConfig {
+            weights: ActuatorWeights::new(1.0, 1.0, 1.0),
+            latency_cycles: 1,
+            k1: 100.0,
+            k2: 100.0,
+            k3: 100.0,
+            ..cfg()
+        });
+        let mut v = nominal(16);
+        v[c.sm_index(0, 0)] = 0.0;
+        for _ in 0..50 {
+            c.update(&v);
+        }
+        let s = c.actuator_stats();
+        assert!(s.saturated_duty() > 0.0, "saturation tracked: {s:?}");
+        assert!(s.saturated_sm_cycles <= s.sm_cycles);
+    }
+
+    #[test]
+    fn neutral_commands_record_no_actuator_activity() {
+        let mut c = VoltageController::new(cfg());
+        for _ in 0..20 {
+            c.update(&nominal(16));
+        }
+        let s = c.actuator_stats();
+        assert_eq!(s.sm_cycles, 20 * 16);
+        assert_eq!(s.diws_sm_cycles, 0);
+        assert_eq!(s.fii_sm_cycles, 0);
+        assert_eq!(s.dcc_sm_cycles, 0);
+        assert_eq!(s.saturated_sm_cycles, 0);
+        assert_eq!(s.diws_duty(), 0.0);
     }
 
     #[test]

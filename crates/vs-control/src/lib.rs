@@ -47,7 +47,7 @@ mod ss;
 mod stack_model;
 
 pub use actuators::{
-    quantize_issue_width, ActuationTimescales, ActuatorWeights, DccDac, SmCommand,
+    quantize_issue_width, ActuationTimescales, ActuatorStats, ActuatorWeights, DccDac, SmCommand,
 };
 pub use controller::{ControllerConfig, VoltageController};
 pub use fault::{ActuatorFault, DetectorFault};

@@ -130,6 +130,21 @@ impl SmStats {
             self.instructions as f64 / self.active_cycles as f64
         }
     }
+
+    /// Cycles the SM was clocked but issued nothing (stalled on memory,
+    /// scoreboard hazards, or an empty warp pool).
+    pub fn stall_cycles(&self) -> u64 {
+        self.active_cycles.saturating_sub(self.issue_cycles)
+    }
+
+    /// Fraction of active cycles spent stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.active_cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles() as f64 / self.active_cycles as f64
+        }
+    }
 }
 
 /// Shared pool of kernel-body batches, drained by all SMs — the analogue of
@@ -856,6 +871,22 @@ mod tests {
         let cycles = run_to_completion(&mut sm, &mut mem, 2_000_000);
         assert!(sm.done(), "did not finish in {cycles} cycles");
         assert!(sm.stats().instructions > 0);
+    }
+
+    #[test]
+    fn stall_counters_partition_active_cycles() {
+        let cfg = GpuConfig::default();
+        let k = small_kernel();
+        let mut sm = Sm::new(0, &cfg, &k, SchedulerKind::Gto);
+        let mut mem = MemorySystem::new(&cfg);
+        run_to_completion(&mut sm, &mut mem, 2_000_000);
+        let s = sm.stats();
+        assert_eq!(s.stall_cycles() + s.issue_cycles, s.active_cycles);
+        let f = s.stall_fraction();
+        assert!((0.0..=1.0).contains(&f), "stall fraction {f}");
+        // heartwall has memory phases: some stall cycles must show up.
+        assert!(s.stall_cycles() > 0, "no stalls recorded: {s:?}");
+        assert_eq!(SmStats::default().stall_fraction(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,736 @@
+//! The machine-readable run-artifact schema: typed events, JSONL
+//! serialization, and the parser that turns a stream back into summaries.
+//!
+//! Every instrumented run emits one JSON object per line. The first line is
+//! the [`RunManifest`] (config snapshot + seed + crate versions); decimated
+//! [`CycleSample`]s follow; end-of-run summaries close the stream. Figures,
+//! fault campaigns, and regression tooling all consume this one schema
+//! instead of scraping stdout — `schema_version` is bumped on any breaking
+//! change.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use crate::json::{self, Json};
+use crate::metrics::MetricsSnapshot;
+
+/// Version of the JSONL schema emitted by this crate.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// First line of every artifact: enough to reproduce the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Schema version of the stream ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Benchmark (or campaign) name.
+    pub benchmark: String,
+    /// PDS configuration label.
+    pub pds: String,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Kernel-iteration scale factor.
+    pub workload_scale: f64,
+    /// Hard cycle cap of the run.
+    pub max_cycles: u64,
+    /// Telemetry sample decimation: cycle samples every Nth cycle.
+    pub sample_stride: u32,
+    /// `(crate, version)` pairs of the producing crates.
+    pub crate_versions: Vec<(String, String)>,
+}
+
+/// One decimated per-cycle sample of the physical state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleSample {
+    /// GPU cycle the sample was taken at.
+    pub cycle: u64,
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Minimum SM supply voltage this cycle, volts.
+    pub min_sm_v: f64,
+    /// Maximum SM supply voltage this cycle, volts.
+    pub max_sm_v: f64,
+    /// Per-layer minimum SM voltage, volts (one entry per stack layer).
+    pub layer_min_v: Vec<f64>,
+    /// SMs with a non-neutral smoothing command in effect this cycle.
+    pub throttled_sms: u32,
+}
+
+/// Accumulated wall time of one co-simulation stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSample {
+    /// Stage name (see [`crate::Stage::name`]).
+    pub stage: String,
+    /// Total wall time attributed to the stage, seconds.
+    pub total_s: f64,
+    /// Number of spans recorded.
+    pub count: u64,
+}
+
+/// Circuit-solver health over the run (from accumulated `StepReport`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverHealth {
+    /// Retry attempts consumed.
+    pub retries: u64,
+    /// Non-finite control inputs sanitized to zero.
+    pub sanitized_controls: u64,
+    /// Worst timestep-halving depth of any accepted step.
+    pub max_halvings: u32,
+    /// Whether any step fell back to backward Euler.
+    pub used_backward_euler: bool,
+}
+
+/// Actuator activity over the run, as fractions of SM-cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActuatorDuty {
+    /// SM-cycles with a reduced issue width (DIWS active).
+    pub diws_duty: f64,
+    /// SM-cycles with fake-instruction injection (FII active).
+    pub fii_duty: f64,
+    /// SM-cycles with DCC ballast current flowing.
+    pub dcc_duty: f64,
+    /// SM-cycles with an actuator pinned at its limit.
+    pub saturated_duty: f64,
+    /// SM-cycles with any non-neutral command (the paper's metric).
+    pub throttle_fraction: f64,
+}
+
+/// Guardband accounting over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardbandStats {
+    /// The guardband, volts.
+    pub v_guardband: f64,
+    /// Total run cycles.
+    pub cycles: u64,
+    /// Cycles each layer spent below the guardband.
+    pub below_cycles: Vec<u64>,
+}
+
+impl GuardbandStats {
+    /// Per-layer fraction of run cycles below the guardband.
+    pub fn fractions(&self) -> Vec<f64> {
+        self.below_cycles
+            .iter()
+            .map(|&c| {
+                if self.cycles == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.cycles as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// GPU microarchitectural counters over the run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GpuCounters {
+    /// Per-SM retired-instruction rate over active cycles.
+    pub per_sm_ipc: Vec<f64>,
+    /// Per-SM fraction of active cycles that issued nothing.
+    pub per_sm_stall_fraction: Vec<f64>,
+    /// Real instructions retired, all SMs.
+    pub instructions: u64,
+    /// Fake (injected) instructions, all SMs.
+    pub fake_instructions: u64,
+}
+
+/// Last line of a run artifact: the headline results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Cycles to completion (or the cap).
+    pub cycles: u64,
+    /// Whether the kernel retired completely.
+    pub completed: bool,
+    /// Supervisor verdict label.
+    pub verdict: String,
+    /// System-level power delivery efficiency.
+    pub pde: f64,
+    /// Minimum SM voltage observed, volts.
+    pub min_sm_v: f64,
+    /// Maximum SM voltage observed, volts.
+    pub max_sm_v: f64,
+    /// Board input energy, joules.
+    pub board_input_j: f64,
+}
+
+/// One row of a fault-campaign resilience table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaignRow {
+    /// PDS configuration label.
+    pub pds: String,
+    /// Fault-scenario name.
+    pub fault: String,
+    /// Supervisor verdict label.
+    pub verdict: String,
+    /// Minimum SM voltage observed, volts.
+    pub min_sm_v: f64,
+    /// Worst-layer fraction of cycles below the guardband.
+    pub below_guardband_fraction: f64,
+    /// Worst-layer time below the guardband, microseconds.
+    pub below_guardband_us: f64,
+    /// Solver retry attempts.
+    pub retries: u64,
+    /// Non-finite controls sanitized.
+    pub sanitized: u64,
+    /// Abort error, if the run died.
+    pub error: Option<String>,
+}
+
+/// One line of the JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Run manifest (first line).
+    Manifest(RunManifest),
+    /// Decimated per-cycle sample.
+    Sample(CycleSample),
+    /// Per-stage wall-time breakdown.
+    Stages(Vec<StageSample>),
+    /// Solver-recovery totals.
+    Solver(SolverHealth),
+    /// Actuator duty cycles.
+    Actuators(ActuatorDuty),
+    /// Guardband accounting.
+    Guardband(GuardbandStats),
+    /// GPU counters.
+    Gpu(GpuCounters),
+    /// Metrics-registry export.
+    Metrics(MetricsSnapshot),
+    /// Headline results (last line of a cosim run).
+    Summary(RunSummary),
+    /// Fault-campaign table row.
+    FaultRow(FaultCampaignRow),
+}
+
+fn f64s(items: &[f64]) -> Json {
+    Json::Arr(items.iter().map(|&x| Json::from(x)).collect())
+}
+
+fn u64s(items: &[u64]) -> Json {
+    Json::Arr(items.iter().map(|&x| Json::from(x)).collect())
+}
+
+fn parse_f64s(v: &Json) -> Option<Vec<f64>> {
+    v.as_arr()?.iter().map(Json::as_f64).collect()
+}
+
+fn parse_u64s(v: &Json) -> Option<Vec<u64>> {
+    v.as_arr()?.iter().map(Json::as_u64).collect()
+}
+
+impl Event {
+    /// The `type` tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Manifest(_) => "manifest",
+            Event::Sample(_) => "sample",
+            Event::Stages(_) => "stages",
+            Event::Solver(_) => "solver",
+            Event::Actuators(_) => "actuators",
+            Event::Guardband(_) => "guardband",
+            Event::Gpu(_) => "gpu",
+            Event::Metrics(_) => "metrics",
+            Event::Summary(_) => "summary",
+            Event::FaultRow(_) => "fault_row",
+        }
+    }
+
+    /// Serializes the event as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("type".to_string(), Json::from(self.kind()))];
+        match self {
+            Event::Manifest(m) => pairs.extend([
+                ("schema_version".to_string(), Json::from(m.schema_version)),
+                ("benchmark".to_string(), Json::from(m.benchmark.clone())),
+                ("pds".to_string(), Json::from(m.pds.clone())),
+                ("seed".to_string(), Json::from(m.seed)),
+                ("workload_scale".to_string(), Json::from(m.workload_scale)),
+                ("max_cycles".to_string(), Json::from(m.max_cycles)),
+                ("sample_stride".to_string(), Json::from(m.sample_stride)),
+                (
+                    "crate_versions".to_string(),
+                    Json::Obj(
+                        m.crate_versions
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::from(v.clone())))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Sample(s) => pairs.extend([
+                ("cycle".to_string(), Json::from(s.cycle)),
+                ("time_s".to_string(), Json::from(s.time_s)),
+                ("min_sm_v".to_string(), Json::from(s.min_sm_v)),
+                ("max_sm_v".to_string(), Json::from(s.max_sm_v)),
+                ("layer_min_v".to_string(), f64s(&s.layer_min_v)),
+                ("throttled_sms".to_string(), Json::from(s.throttled_sms)),
+            ]),
+            Event::Stages(stages) => pairs.push((
+                "stages".to_string(),
+                Json::Arr(
+                    stages
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("stage", Json::from(s.stage.clone())),
+                                ("total_s", Json::from(s.total_s)),
+                                ("count", Json::from(s.count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )),
+            Event::Solver(s) => pairs.extend([
+                ("retries".to_string(), Json::from(s.retries)),
+                ("sanitized_controls".to_string(), Json::from(s.sanitized_controls)),
+                ("max_halvings".to_string(), Json::from(s.max_halvings)),
+                ("used_backward_euler".to_string(), Json::from(s.used_backward_euler)),
+            ]),
+            Event::Actuators(a) => pairs.extend([
+                ("diws_duty".to_string(), Json::from(a.diws_duty)),
+                ("fii_duty".to_string(), Json::from(a.fii_duty)),
+                ("dcc_duty".to_string(), Json::from(a.dcc_duty)),
+                ("saturated_duty".to_string(), Json::from(a.saturated_duty)),
+                ("throttle_fraction".to_string(), Json::from(a.throttle_fraction)),
+            ]),
+            Event::Guardband(g) => pairs.extend([
+                ("v_guardband".to_string(), Json::from(g.v_guardband)),
+                ("cycles".to_string(), Json::from(g.cycles)),
+                ("below_cycles".to_string(), u64s(&g.below_cycles)),
+            ]),
+            Event::Gpu(g) => pairs.extend([
+                ("per_sm_ipc".to_string(), f64s(&g.per_sm_ipc)),
+                (
+                    "per_sm_stall_fraction".to_string(),
+                    f64s(&g.per_sm_stall_fraction),
+                ),
+                ("instructions".to_string(), Json::from(g.instructions)),
+                ("fake_instructions".to_string(), Json::from(g.fake_instructions)),
+            ]),
+            Event::Metrics(m) => pairs.push(("metrics".to_string(), m.to_json())),
+            Event::Summary(s) => pairs.extend([
+                ("cycles".to_string(), Json::from(s.cycles)),
+                ("completed".to_string(), Json::from(s.completed)),
+                ("verdict".to_string(), Json::from(s.verdict.clone())),
+                ("pde".to_string(), Json::from(s.pde)),
+                ("min_sm_v".to_string(), Json::from(s.min_sm_v)),
+                ("max_sm_v".to_string(), Json::from(s.max_sm_v)),
+                ("board_input_j".to_string(), Json::from(s.board_input_j)),
+            ]),
+            Event::FaultRow(r) => pairs.extend([
+                ("pds".to_string(), Json::from(r.pds.clone())),
+                ("fault".to_string(), Json::from(r.fault.clone())),
+                ("verdict".to_string(), Json::from(r.verdict.clone())),
+                ("min_sm_v".to_string(), Json::from(r.min_sm_v)),
+                (
+                    "below_guardband_fraction".to_string(),
+                    Json::from(r.below_guardband_fraction),
+                ),
+                (
+                    "below_guardband_us".to_string(),
+                    Json::from(r.below_guardband_us),
+                ),
+                ("retries".to_string(), Json::from(r.retries)),
+                ("sanitized".to_string(), Json::from(r.sanitized)),
+                (
+                    "error".to_string(),
+                    r.error.clone().map_or(Json::Null, Json::from),
+                ),
+            ]),
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses one event object (the inverse of [`Event::to_json`]).
+    ///
+    /// Returns `None` when the object is malformed or its `type` is unknown
+    /// — callers decide whether unknown types are fatal (the strict JSONL
+    /// parser treats them as errors so schema drift is caught early).
+    pub fn from_json(v: &Json) -> Option<Event> {
+        match v.get("type")?.as_str()? {
+            "manifest" => Some(Event::Manifest(RunManifest {
+                schema_version: u32::try_from(v.get("schema_version")?.as_u64()?).ok()?,
+                benchmark: v.get("benchmark")?.as_str()?.to_string(),
+                pds: v.get("pds")?.as_str()?.to_string(),
+                seed: v.get("seed")?.as_u64()?,
+                workload_scale: v.get("workload_scale")?.as_f64()?,
+                max_cycles: v.get("max_cycles")?.as_u64()?,
+                sample_stride: u32::try_from(v.get("sample_stride")?.as_u64()?).ok()?,
+                crate_versions: match v.get("crate_versions")? {
+                    Json::Obj(pairs) => pairs
+                        .iter()
+                        .map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+                        .collect::<Option<Vec<_>>>()?,
+                    _ => return None,
+                },
+            })),
+            "sample" => Some(Event::Sample(CycleSample {
+                cycle: v.get("cycle")?.as_u64()?,
+                time_s: v.get("time_s")?.as_f64()?,
+                min_sm_v: v.get("min_sm_v")?.as_f64()?,
+                max_sm_v: v.get("max_sm_v")?.as_f64()?,
+                layer_min_v: parse_f64s(v.get("layer_min_v")?)?,
+                throttled_sms: u32::try_from(v.get("throttled_sms")?.as_u64()?).ok()?,
+            })),
+            "stages" => Some(Event::Stages(
+                v.get("stages")?
+                    .as_arr()?
+                    .iter()
+                    .map(|s| {
+                        Some(StageSample {
+                            stage: s.get("stage")?.as_str()?.to_string(),
+                            total_s: s.get("total_s")?.as_f64()?,
+                            count: s.get("count")?.as_u64()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+            "solver" => Some(Event::Solver(SolverHealth {
+                retries: v.get("retries")?.as_u64()?,
+                sanitized_controls: v.get("sanitized_controls")?.as_u64()?,
+                max_halvings: u32::try_from(v.get("max_halvings")?.as_u64()?).ok()?,
+                used_backward_euler: v.get("used_backward_euler")?.as_bool()?,
+            })),
+            "actuators" => Some(Event::Actuators(ActuatorDuty {
+                diws_duty: v.get("diws_duty")?.as_f64()?,
+                fii_duty: v.get("fii_duty")?.as_f64()?,
+                dcc_duty: v.get("dcc_duty")?.as_f64()?,
+                saturated_duty: v.get("saturated_duty")?.as_f64()?,
+                throttle_fraction: v.get("throttle_fraction")?.as_f64()?,
+            })),
+            "guardband" => Some(Event::Guardband(GuardbandStats {
+                v_guardband: v.get("v_guardband")?.as_f64()?,
+                cycles: v.get("cycles")?.as_u64()?,
+                below_cycles: parse_u64s(v.get("below_cycles")?)?,
+            })),
+            "gpu" => Some(Event::Gpu(GpuCounters {
+                per_sm_ipc: parse_f64s(v.get("per_sm_ipc")?)?,
+                per_sm_stall_fraction: parse_f64s(v.get("per_sm_stall_fraction")?)?,
+                instructions: v.get("instructions")?.as_u64()?,
+                fake_instructions: v.get("fake_instructions")?.as_u64()?,
+            })),
+            "metrics" => Some(Event::Metrics(MetricsSnapshot::from_json(
+                v.get("metrics")?,
+            )?)),
+            "summary" => Some(Event::Summary(RunSummary {
+                cycles: v.get("cycles")?.as_u64()?,
+                completed: v.get("completed")?.as_bool()?,
+                verdict: v.get("verdict")?.as_str()?.to_string(),
+                pde: v.get("pde")?.as_f64()?,
+                min_sm_v: v.get("min_sm_v")?.as_f64()?,
+                max_sm_v: v.get("max_sm_v")?.as_f64()?,
+                board_input_j: v.get("board_input_j")?.as_f64()?,
+            })),
+            "fault_row" => Some(Event::FaultRow(FaultCampaignRow {
+                pds: v.get("pds")?.as_str()?.to_string(),
+                fault: v.get("fault")?.as_str()?.to_string(),
+                verdict: v.get("verdict")?.as_str()?.to_string(),
+                min_sm_v: v.get("min_sm_v")?.as_f64()?,
+                below_guardband_fraction: v.get("below_guardband_fraction")?.as_f64()?,
+                below_guardband_us: v.get("below_guardband_us")?.as_f64()?,
+                retries: v.get("retries")?.as_u64()?,
+                sanitized: v.get("sanitized")?.as_u64()?,
+                error: match v.get("error")? {
+                    Json::Null => None,
+                    other => Some(other.as_str()?.to_string()),
+                },
+            })),
+            _ => None,
+        }
+    }
+}
+
+/// A failure parsing a JSONL artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "artifact line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A complete run artifact: the ordered event stream of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunArtifact {
+    /// Events in emission order (manifest first by convention).
+    pub events: Vec<Event>,
+}
+
+impl RunArtifact {
+    /// Serializes to JSONL: one compact JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL stream to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Parses a JSONL stream back into events. Blank lines are skipped;
+    /// malformed lines and unknown event types are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the first bad line.
+    pub fn parse_jsonl(text: &str) -> Result<RunArtifact, ParseError> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|e| ParseError {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            let event = Event::from_json(&value).ok_or_else(|| ParseError {
+                line: i + 1,
+                message: format!(
+                    "unknown or malformed event (type {:?})",
+                    value.get("type").and_then(Json::as_str).unwrap_or("?")
+                ),
+            })?;
+            events.push(event);
+        }
+        Ok(RunArtifact { events })
+    }
+
+    /// The manifest, if the stream has one.
+    pub fn manifest(&self) -> Option<&RunManifest> {
+        self.events.iter().find_map(|e| match e {
+            Event::Manifest(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Decimated cycle samples, in order.
+    pub fn samples(&self) -> impl Iterator<Item = &CycleSample> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Sample(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The per-stage wall-time breakdown, if present.
+    pub fn stages(&self) -> Option<&[StageSample]> {
+        self.events.iter().find_map(|e| match e {
+            Event::Stages(s) => Some(s.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Solver health, if present.
+    pub fn solver(&self) -> Option<&SolverHealth> {
+        self.events.iter().find_map(|e| match e {
+            Event::Solver(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Actuator duty cycles, if present.
+    pub fn actuators(&self) -> Option<&ActuatorDuty> {
+        self.events.iter().find_map(|e| match e {
+            Event::Actuators(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Guardband accounting, if present.
+    pub fn guardband(&self) -> Option<&GuardbandStats> {
+        self.events.iter().find_map(|e| match e {
+            Event::Guardband(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// GPU counters, if present.
+    pub fn gpu(&self) -> Option<&GpuCounters> {
+        self.events.iter().find_map(|e| match e {
+            Event::Gpu(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// The metrics-registry export, if present.
+    pub fn metrics(&self) -> Option<&MetricsSnapshot> {
+        self.events.iter().find_map(|e| match e {
+            Event::Metrics(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// The run summary, if present.
+    pub fn summary(&self) -> Option<&RunSummary> {
+        self.events.iter().find_map(|e| match e {
+            Event::Summary(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Fault-campaign rows, in order.
+    pub fn fault_rows(&self) -> impl Iterator<Item = &FaultCampaignRow> {
+        self.events.iter().filter_map(|e| match e {
+            Event::FaultRow(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> RunArtifact {
+        RunArtifact {
+            events: vec![
+                Event::Manifest(RunManifest {
+                    schema_version: SCHEMA_VERSION,
+                    benchmark: "heartwall".to_string(),
+                    pds: "VS cross-layer".to_string(),
+                    seed: 42,
+                    workload_scale: 0.15,
+                    max_cycles: 1_200_000,
+                    sample_stride: 8,
+                    crate_versions: vec![("vs-telemetry".to_string(), "0.1.0".to_string())],
+                }),
+                Event::Sample(CycleSample {
+                    cycle: 8,
+                    time_s: 1.142e-8,
+                    min_sm_v: 0.97,
+                    max_sm_v: 1.04,
+                    layer_min_v: vec![0.99, 0.97, 1.01, 1.0],
+                    throttled_sms: 2,
+                }),
+                Event::Stages(vec![StageSample {
+                    stage: "circuit_solve".to_string(),
+                    total_s: 1.25,
+                    count: 100_000,
+                }]),
+                Event::Solver(SolverHealth {
+                    retries: 3,
+                    sanitized_controls: 1,
+                    max_halvings: 2,
+                    used_backward_euler: true,
+                }),
+                Event::Actuators(ActuatorDuty {
+                    diws_duty: 0.05,
+                    fii_duty: 0.01,
+                    dcc_duty: 0.002,
+                    saturated_duty: 0.0,
+                    throttle_fraction: 0.06,
+                }),
+                Event::Guardband(GuardbandStats {
+                    v_guardband: 0.8,
+                    cycles: 100_000,
+                    below_cycles: vec![0, 25, 0, 0],
+                }),
+                Event::Gpu(GpuCounters {
+                    per_sm_ipc: vec![1.5, 1.25],
+                    per_sm_stall_fraction: vec![0.2, 0.3],
+                    instructions: 123_456,
+                    fake_instructions: 78,
+                }),
+                Event::Summary(RunSummary {
+                    cycles: 100_000,
+                    completed: true,
+                    verdict: "degraded".to_string(),
+                    pde: 0.93,
+                    min_sm_v: 0.79,
+                    max_sm_v: 1.06,
+                    board_input_j: 0.021,
+                }),
+                Event::FaultRow(FaultCampaignRow {
+                    pds: "VS cross-layer".to_string(),
+                    fault: "detector stuck at 0.0 V".to_string(),
+                    verdict: "degraded".to_string(),
+                    min_sm_v: 0.82,
+                    below_guardband_fraction: 0.0,
+                    below_guardband_us: 0.0,
+                    retries: 0,
+                    sanitized: 0,
+                    error: None,
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_event() {
+        let a = sample_artifact();
+        let text = a.to_jsonl();
+        assert_eq!(text.lines().count(), a.events.len());
+        let parsed = RunArtifact::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn accessors_find_their_events() {
+        let a = sample_artifact();
+        assert_eq!(a.manifest().unwrap().benchmark, "heartwall");
+        assert_eq!(a.samples().count(), 1);
+        assert_eq!(a.stages().unwrap()[0].stage, "circuit_solve");
+        assert_eq!(a.solver().unwrap().retries, 3);
+        assert!((a.actuators().unwrap().diws_duty - 0.05).abs() < 1e-12);
+        assert_eq!(a.guardband().unwrap().below_cycles[1], 25);
+        assert_eq!(a.gpu().unwrap().instructions, 123_456);
+        assert_eq!(a.summary().unwrap().verdict, "degraded");
+        assert_eq!(a.fault_rows().count(), 1);
+    }
+
+    #[test]
+    fn guardband_fractions() {
+        let g = GuardbandStats {
+            v_guardband: 0.8,
+            cycles: 1_000,
+            below_cycles: vec![10, 0],
+        };
+        assert_eq!(g.fractions(), vec![0.01, 0.0]);
+        let empty = GuardbandStats {
+            v_guardband: 0.8,
+            cycles: 0,
+            below_cycles: vec![5],
+        };
+        assert_eq!(empty.fractions(), vec![0.0]);
+    }
+
+    #[test]
+    fn unknown_event_type_is_an_error() {
+        let err = RunArtifact::parse_jsonl("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("mystery"));
+    }
+
+    #[test]
+    fn malformed_json_names_the_line() {
+        let text = "{\"type\":\"solver\",\"retries\":0,\"sanitized_controls\":0,\
+                    \"max_halvings\":0,\"used_backward_euler\":false}\nnot json\n";
+        let err = RunArtifact::parse_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let a = RunArtifact {
+            events: vec![Event::Solver(SolverHealth::default())],
+        };
+        let text = format!("\n{}\n\n", a.to_jsonl());
+        assert_eq!(RunArtifact::parse_jsonl(&text).unwrap(), a);
+    }
+}

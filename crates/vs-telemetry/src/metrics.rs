@@ -1,0 +1,455 @@
+//! Low-overhead metrics: counters, gauges, and fixed-bucket histograms in a
+//! name-keyed registry.
+//!
+//! The registry is meant for *aggregation-rate* updates (per epoch, per
+//! sample, per run) — the co-simulation hot loop keeps plain local counters
+//! and flushes them here at decimated boundaries, so the string-keyed map is
+//! never touched every cycle. Per-SM and per-layer dimensions are encoded as
+//! labels (`name{sm=3}`) with the [`labeled`] helper.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Builds a labeled metric key: `name{k1=v1,k2=v2}` (stable label order is
+/// the caller's responsibility; the registry treats the key as opaque).
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A fixed-bucket histogram with Prometheus-style `le` (less-or-equal)
+/// bucket semantics: a sample `v` lands in the first bucket whose upper
+/// bound satisfies `v <= bound`; samples above every bound land in the
+/// implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly-increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite samples count toward `total` (so data
+    /// loss is visible) but land in the overflow bucket and do not poison
+    /// `sum`/`min`/`max`.
+    pub fn observe(&mut self, v: f64) {
+        self.total += 1;
+        if !v.is_finite() {
+            *self.counts.last_mut().expect("overflow bucket") += 1;
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Upper bounds of the finite buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples observed (including non-finite ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let finite = self.total - self.counts.last().copied().unwrap_or(0);
+        if finite == 0 {
+            0.0
+        } else {
+            self.sum / finite as f64
+        }
+    }
+
+    /// Smallest finite sample; `None` when no finite sample was observed.
+    pub fn min(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.min)
+    }
+
+    /// Largest finite sample; `None` when no finite sample was observed.
+    pub fn max(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.max)
+    }
+}
+
+/// A serializable snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric key (possibly labeled).
+    pub name: String,
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, overflow last.
+    pub counts: Vec<u64>,
+    /// Sum of finite samples.
+    pub sum: f64,
+    /// Total samples observed.
+    pub total: u64,
+}
+
+/// A point-in-time export of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by key.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by key.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots by key.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by exact key.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by exact key.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by exact key.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            Json::obj([
+                                ("name", Json::from(h.name.clone())),
+                                ("bounds", Json::from(h.bounds.clone())),
+                                (
+                                    "counts",
+                                    Json::Arr(h.counts.iter().map(|c| Json::from(*c)).collect()),
+                                ),
+                                ("sum", Json::from(h.sum)),
+                                ("total", Json::from(h.total)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Option<MetricsSnapshot> {
+        let counters = match v.get("counters")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let gauges = match v.get("gauges")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let histograms = v
+            .get("histograms")?
+            .as_arr()?
+            .iter()
+            .map(|h| {
+                Some(HistogramSnapshot {
+                    name: h.get("name")?.as_str()?.to_string(),
+                    bounds: h
+                        .get("bounds")?
+                        .as_arr()?
+                        .iter()
+                        .map(Json::as_f64)
+                        .collect::<Option<Vec<_>>>()?,
+                    counts: h
+                        .get("counts")?
+                        .as_arr()?
+                        .iter()
+                        .map(Json::as_u64)
+                        .collect::<Option<Vec<_>>>()?,
+                    sum: h.get("sum")?.as_f64()?,
+                    total: h.get("total")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+/// A name-keyed store of counters, gauges, and histograms.
+///
+/// When built disabled every mutator is a cheap early-return, so call sites
+/// do not need their own `if telemetry` guards.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An active registry.
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            ..Registry::default()
+        }
+    }
+
+    /// A registry whose mutators are all no-ops.
+    pub fn disabled() -> Self {
+        Registry::default()
+    }
+
+    /// Whether mutators record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero.
+    #[inline]
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    #[inline]
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Observes `value` in the histogram `name`, creating it with `bounds`
+    /// on first touch (later calls ignore `bounds`).
+    #[inline]
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .observe(value);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Exports everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| HistogramSnapshot {
+                    name: k.clone(),
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.clone(),
+                    sum: h.sum,
+                    total: h.total,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_le_inclusive() {
+        let mut h = Histogram::with_bounds(&[0.8, 0.9, 1.0]);
+        // A sample exactly on a bound lands in that bound's bucket.
+        h.observe(0.8);
+        h.observe(0.9);
+        h.observe(1.0);
+        assert_eq!(h.counts(), &[1, 1, 1, 0]);
+        // Just above a bound spills into the next bucket.
+        h.observe(0.800_001);
+        assert_eq!(h.counts(), &[1, 2, 1, 0]);
+        // Below every bound: first bucket; above every bound: overflow.
+        h.observe(-5.0);
+        h.observe(2.0);
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_stats_track_finite_samples() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(f64::NAN);
+        assert_eq!(h.total(), 3);
+        assert_eq!(*h.counts().last().unwrap(), 1, "NaN goes to overflow");
+        assert!((h.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(1.5));
+        assert!(h.sum().is_finite());
+    }
+
+    #[test]
+    fn empty_histogram_min_max_are_none() {
+        let h = Histogram::with_bounds(&[1.0]);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::with_bounds(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn registry_records_and_snapshots() {
+        let mut r = Registry::new();
+        r.inc("solver.retries", 2);
+        r.inc("solver.retries", 3);
+        r.set_gauge(&labeled("gpu.ipc", &[("sm", "3")]), 1.25);
+        r.observe("v.layer_min", &[0.8, 0.9, 1.0, 1.1], 0.95);
+        let s = r.snapshot();
+        assert_eq!(s.counter("solver.retries"), Some(5));
+        assert_eq!(s.gauge("gpu.ipc{sm=3}"), Some(1.25));
+        assert_eq!(s.histogram("v.layer_min").unwrap().total, 1);
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let mut r = Registry::disabled();
+        r.inc("a", 1);
+        r.set_gauge("b", 2.0);
+        r.observe("c", &[1.0], 0.5);
+        assert!(r.is_empty());
+        assert_eq!(r.counter("a"), 0);
+        assert_eq!(r.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut r = Registry::new();
+        r.inc("x", 7);
+        r.set_gauge("y", -0.5);
+        r.observe("z", &[1.0, 2.0], 1.5);
+        let s = r.snapshot();
+        let parsed =
+            MetricsSnapshot::from_json(&crate::json::parse(&s.to_json().to_string_compact()).unwrap())
+                .unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn labeled_key_format() {
+        assert_eq!(labeled("a", &[]), "a");
+        assert_eq!(labeled("a", &[("sm", "0"), ("layer", "2")]), "a{sm=0,layer=2}");
+    }
+}

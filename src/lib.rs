@@ -19,6 +19,7 @@
 //! | [`power`] | GPUWattch-style per-event power model |
 //! | [`pds`] | the four power-delivery-subsystem configurations |
 //! | [`hypervisor`] | DFS, power gating, the Algorithm-2 command mapper |
+//! | [`telemetry`] | metrics, stage profiling, machine-readable run artifacts |
 //! | [`core`] | the lock-step co-simulation engine and experiments |
 //!
 //! See the `examples/` directory for runnable entry points and the
@@ -49,3 +50,4 @@ pub use vs_hypervisor as hypervisor;
 pub use vs_num as num;
 pub use vs_pds as pds;
 pub use vs_power as power;
+pub use vs_telemetry as telemetry;
