@@ -1,110 +1,9 @@
-//! Validation: the discrete closed-loop disturbance gain predicted by the
-//! control model (paper eq. (8) / Section IV-B) versus the amplification
-//! actually measured on the circuit netlist with sampled proportional
-//! feedback.
+//! Validation: the discrete closed-loop disturbance gain predicted by the control model versus the amplification measured on the circuit netlist.
 //!
-//! A sinusoidal imbalance current is injected into one layer and the layer
-//! voltage swing is measured; the analytic curve is the infinity-norm
-//! disturbance gain of `(zI - Ad)^{-1}` scaled to the same units.
-
-use vs_bench::print_table;
-use vs_circuit::{Integration, Netlist, Transient, Waveform};
-use vs_control::StackModel;
-use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
-
-/// Measured layer-voltage swing (V per ampere of disturbance) at `freq_hz`
-/// with sampled proportional feedback of gain `k` every `t_cycles` cycles.
-fn measured_gain(freq_hz: f64, k: f64, t_cycles: u64) -> f64 {
-    let params = PdnParams::default();
-    let am = AreaModel::default();
-    let crivr = CrIvrConfig::sized_by_gpu_area(0.2, &am);
-    let mut net_owner: Option<Netlist> = None;
-    let pdn = StackedPdn::build(&params, Some((&crivr, &am)));
-    let mut netlist = pdn.netlist.clone();
-    // Disturbance: 1 A sinusoid across layer 1 of column 0.
-    netlist.current_source(
-        pdn.sm_top[1][0],
-        pdn.sm_bottom[1][0],
-        Waveform::Sine {
-            offset: 0.0,
-            amplitude: 1.0,
-            freq_hz,
-            phase_rad: 0.0,
-        },
-    );
-    net_owner.replace(netlist);
-    let netlist = net_owner.as_ref().expect("set above");
-    let (mut v0, g2) = pdn.balanced_initial_state();
-    v0.resize(netlist.n_nodes(), 0.0);
-    let mut sim =
-        Transient::with_initial_state(netlist, 1.0 / 700e6, Integration::Trapezoidal, &v0, &g2)
-            .expect("valid netlist");
-    let v_nom = params.vdd_stack / params.n_layers as f64;
-    let mut held = [[8.0f64; 4]; 4];
-    let cycles = 60_000u64;
-    let mut v_min = f64::INFINITY;
-    let mut v_max = f64::NEG_INFINITY;
-    for cycle in 0..cycles {
-        if cycle % t_cycles == 0 {
-            for (layer, row) in held.iter_mut().enumerate() {
-                for (col, h) in row.iter_mut().enumerate() {
-                    let v = pdn.sm_voltage(&sim, layer, col);
-                    *h = (8.0 + k * (v - v_nom)).clamp(0.0, 40.0);
-                }
-            }
-        }
-        for (layer, row) in held.iter().enumerate() {
-            for (col, h) in row.iter().enumerate() {
-                sim.set_control(pdn.sm_load[layer][col], h / v_nom);
-            }
-        }
-        sim.step().expect("step");
-        if cycle > cycles / 2 {
-            let v = pdn.sm_voltage(&sim, 1, 0);
-            v_min = v_min.min(v);
-            v_max = v_max.max(v);
-        }
-    }
-    (v_max - v_min) / 2.0
-}
+//! Thin shim over the experiment library: `ExperimentId::AblationBode` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let params = PdnParams::default();
-    let t_cycles = 60u64;
-    let t = t_cycles as f64 / 700e6;
-    let model = StackModel::new(
-        params.n_layers,
-        params.c_layer * params.n_columns as f64,
-        params.vdd_stack,
-    );
-    let k = 0.4 * model.max_stable_gain(t);
-    let closed = model.sampled_closed_loop(k, t);
-
-    let freqs = [0.05e6, 0.2e6, 0.8e6, 2.0e6, 5.0e6];
-    let mut rows = Vec::new();
-    for f in freqs {
-        eprintln!("  measuring {f:.2e} Hz ...");
-        let measured = measured_gain(f, k, t_cycles);
-        // Analytic: per-step injection of a 1 A disturbance into one node is
-        // (I * T / C_node); the state response is that times the z-domain
-        // gain.
-        let injection = t / (params.c_layer * params.n_columns as f64);
-        let analytic = closed.disturbance_gain(f) * injection;
-        rows.push(vec![
-            format!("{:.2}", f / 1e6),
-            format!("{:.1}", 1e3 * analytic),
-            format!("{:.1}", 1e3 * measured),
-            format!("{:.2}", measured / analytic),
-        ]);
-    }
-    print_table(
-        "Validation: closed-loop disturbance gain, model vs circuit (mV per A)",
-        &["freq (MHz)", "analytic", "measured", "ratio"],
-        &rows,
-    );
-    println!("\nthe eq.-(8) model excludes the CR-IVR and lateral grid, so it is a");
-    println!("conservative *upper bound* on the circuit's low-frequency gain");
-    println!("(ratio < 1) and converges toward the measurement as frequency");
-    println!("approaches the loop's Nyquist band — exactly the property the");
-    println!("paper's guardband proof needs from the analytic model.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::AblationBode.run(&settings).text);
 }

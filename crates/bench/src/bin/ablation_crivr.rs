@@ -1,62 +1,9 @@
-//! Ablation: distributed vs lumped CR-IVR (paper Section III cites prior
-//! work that distribution improves regulation; Fig. 2 uses 4 sub-IVRs).
+//! Ablation: distributed vs lumped CR-IVR (paper Section III cites prior work that distribution improves regulation; Fig. 2 uses 4 sub-IVRs).
 //!
-//! The same total conductance is deployed as 4 per-column ladders vs one
-//! lumped ladder on column 0, and a single-SM imbalance is applied at the
-//! far column (column 3): the lumped design must serve it through the
-//! lateral grid.
-
-use vs_bench::print_table;
-use vs_circuit::{Integration, Transient};
-use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
-
-fn droop_at_far_column(n_sub_ivrs: usize) -> f64 {
-    let params = PdnParams::default();
-    let am = AreaModel::default();
-    let crivr = CrIvrConfig {
-        n_sub_ivrs,
-        ..CrIvrConfig::sized_by_gpu_area(1.0, &am)
-    };
-    let pdn = StackedPdn::build(&params, Some((&crivr, &am)));
-    let (v0, g2) = pdn.balanced_initial_state();
-    let mut sim = Transient::with_initial_state(
-        &pdn.netlist,
-        1.0 / 700e6,
-        Integration::Trapezoidal,
-        &v0,
-        &g2,
-    )
-    .expect("valid netlist");
-    // Balanced 8 A everywhere, except SM(0, 3) draws 4 A extra: a sustained
-    // single-SM imbalance at the column farthest from a lumped regulator.
-    for layer in 0..4 {
-        for col in 0..4 {
-            let amps = if layer == 0 && col == 3 { 12.0 } else { 8.0 };
-            sim.set_control(pdn.sm_load[layer][col], amps);
-        }
-    }
-    for _ in 0..60_000 {
-        sim.step().expect("transient step");
-    }
-    pdn.sm_voltage(&sim, 0, 3)
-}
+//! Thin shim over the experiment library: `ExperimentId::AblationCrivr` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let distributed = droop_at_far_column(4);
-    let lumped = droop_at_far_column(1);
-    let rows = vec![
-        vec!["distributed (4 sub-IVRs)".to_string(), format!("{distributed:.3}")],
-        vec!["lumped (1 ladder, column 0)".to_string(), format!("{lumped:.3}")],
-    ];
-    print_table(
-        "Ablation: CR-IVR distribution (1x area, +4 A on SM(0,3))",
-        &["topology", "aggressor SM voltage (V)"],
-        &rows,
-    );
-    println!(
-        "\ndistribution advantage: {:.1} mV less droop at the far column",
-        1e3 * (distributed - lumped)
-    );
-    println!("(the lumped ladder serves remote imbalance through the lateral grid's");
-    println!("resistance, as prior IVR work found — the reason Fig. 2 distributes).");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::AblationCrivr.run(&settings).text);
 }

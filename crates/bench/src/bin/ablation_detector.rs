@@ -1,42 +1,9 @@
 //! Ablation: which Table-II voltage detector closes the loop best?
 //!
-//! The detector contributes latency (pushing the loop toward the Fig. 10
-//! cliff) and quantization error. The worst-case scenario is rerun with each
-//! option, with the total loop latency = 58 cycles of controller/
-//! communication/actuation + the detector's own response time.
-
-use vs_bench::print_table;
-use vs_control::DetectorKind;
-use vs_core::{run_worst_case, WorstCaseConfig};
+//! Thin shim over the experiment library: `ExperimentId::AblationDetector` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let detectors = [
-        ("ODDD", DetectorKind::Oddd),
-        ("ADC (8-bit)", DetectorKind::Adc { bits: 8 }),
-        ("CPM", DetectorKind::Cpm),
-    ];
-    let mut rows = Vec::new();
-    for (name, kind) in detectors {
-        let latency = 58 + kind.latency_cycles();
-        let r = run_worst_case(&WorstCaseConfig {
-            detector: kind,
-            latency_cycles: latency,
-            ..WorstCaseConfig::default()
-        });
-        rows.push(vec![
-            name.to_string(),
-            format!("{}", latency),
-            format!("{:.1}", kind.resolution_v(2.0) * 1e3),
-            format!("{:.3}", r.worst_voltage),
-            format!("{:.3}", r.final_voltage),
-        ]);
-    }
-    print_table(
-        "Ablation: detector choice vs worst-case reliability (0.2x CR-IVR)",
-        &["detector", "loop latency (cyc)", "resolution (mV)", "worst V", "final V"],
-        &rows,
-    );
-    println!("\nexpected: the fast ODDD/ADC keep the loop on the good side of the");
-    println!("Fig. 10 latency cliff; the slow CPM gives the imbalance ~50 extra");
-    println!("cycles to discharge the rails before the first command lands.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::AblationDetector.run(&settings).text);
 }

@@ -1,65 +1,9 @@
-//! Ablation: integration method of the circuit solver. Trapezoidal (the
-//! SPICE default, used throughout) versus backward Euler on an LC tank:
-//! period error and artificial damping versus step size.
-
-use vs_bench::print_table;
-use vs_circuit::{Integration, Netlist, Transient};
-
-fn tank_metrics(method: Integration, steps_per_period: usize) -> (f64, f64) {
-    let mut net = Netlist::new();
-    let top = net.node("top");
-    net.capacitor(top, Netlist::GROUND, 1e-9);
-    net.inductor(top, Netlist::GROUND, 1e-6);
-    net.resistor(top, Netlist::GROUND, 1e9);
-    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
-    let period = 1.0 / f0;
-    let dt = period / steps_per_period as f64;
-    let mut sim =
-        Transient::with_initial_state(&net, dt, method, &[0.0, 1.0], &[0.0]).expect("valid");
-    let mut crossings = Vec::new();
-    let mut peak_after: f64 = 0.0;
-    let mut prev = sim.voltage(top);
-    let total = steps_per_period * 12;
-    for i in 0..total {
-        sim.step().expect("step");
-        let v = sim.voltage(top);
-        if prev > 0.0 && v <= 0.0 {
-            crossings.push(sim.time());
-        }
-        if i > total - steps_per_period {
-            peak_after = peak_after.max(v.abs());
-        }
-        prev = v;
-    }
-    let measured = if crossings.len() >= 2 {
-        (crossings[crossings.len() - 1] - crossings[0]) / (crossings.len() - 1) as f64
-    } else {
-        f64::NAN
-    };
-    ((measured - period).abs() / period, peak_after)
-}
+//! Ablation: integration method of the circuit solver — trapezoidal versus backward Euler on an LC tank.
+//!
+//! Thin shim over the experiment library: `ExperimentId::AblationIntegration` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let mut rows = Vec::new();
-    for steps in [20usize, 50, 100, 400] {
-        for (name, m) in [
-            ("trapezoidal", Integration::Trapezoidal),
-            ("backward Euler", Integration::BackwardEuler),
-        ] {
-            let (period_err, amplitude) = tank_metrics(m, steps);
-            rows.push(vec![
-                format!("{steps}"),
-                name.to_string(),
-                format!("{:.3}%", 100.0 * period_err),
-                format!("{:.3}", amplitude),
-            ]);
-        }
-    }
-    print_table(
-        "Ablation: LC-tank integration accuracy (amplitude after 11 periods; ideal = 1.000)",
-        &["steps/period", "method", "period error", "amplitude"],
-        &rows,
-    );
-    println!("\ntrapezoidal preserves oscillation energy (SPICE's default, ours too);");
-    println!("backward Euler's numerical damping would fake supply-noise decay.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::AblationIntegration.run(&settings).text);
 }

@@ -1,56 +1,9 @@
-//! Ablation: stack depth. The paper builds a 4-layer stack; the model
-//! generalizes — deeper stacks deliver at higher board voltage (less PDN
-//! current) but have more internal nodes to destabilize and a tighter
-//! control-stability budget.
-
-use vs_bench::print_table;
-use vs_control::StackModel;
-use vs_core::{PdsKind, PdsRig};
-use vs_pds::PdnParams;
+//! Ablation: stack depth. The paper builds a 4-layer stack; the model generalizes.
+//!
+//! Thin shim over the experiment library: `ExperimentId::AblationStack` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let mut rows = Vec::new();
-    for n_layers in [2usize, 4, 8] {
-        let params = PdnParams {
-            n_layers,
-            vdd_stack: 1.025 * n_layers as f64,
-            ..PdnParams::default()
-        };
-        // Balanced run through the rig: uniform 8 W per SM.
-        let mut rig = PdsRig::with_params(
-            PdsKind::VsCrossLayer { area_mult: 0.2 },
-            &params,
-            1.0 / 700e6,
-            0.08,
-        );
-        let p = vec![8.0; rig.n_sms()];
-        let z = vec![0.0; rig.n_sms()];
-        for _ in 0..20_000 {
-            rig.step(&p, &z, &z).expect("ablation step");
-        }
-        let ledger = rig.ledger();
-        let v_spread = {
-            let v = rig.sm_voltages();
-            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            hi - lo
-        };
-        // Control budget: critical proportional gain at the 60-cycle loop.
-        let model = StackModel::new(n_layers, params.c_layer * params.n_columns as f64, params.vdd_stack);
-        let k_max = model.max_stable_gain(60.0 / 700e6);
-        rows.push(vec![
-            format!("{n_layers}"),
-            format!("{:.2} V", params.vdd_stack),
-            format!("{:.1}%", 100.0 * ledger.pde()),
-            format!("{:.1} mV", 1e3 * v_spread),
-            format!("{:.1} W/V", k_max),
-        ]);
-    }
-    print_table(
-        "Ablation: stack depth (balanced load, 0.2x CR-IVR)",
-        &["layers", "board V", "PDE", "SM voltage spread", "max stable gain"],
-        &rows,
-    );
-    println!("\nexpected: PDE rises with depth (PDN current falls as 1/N) while the");
-    println!("stability budget for the smoothing loop tightens with more stacked nodes.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::AblationStack.run(&settings).text);
 }

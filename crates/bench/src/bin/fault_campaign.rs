@@ -200,7 +200,7 @@ fn json_sink() -> Option<String> {
 }
 
 fn main() {
-    let settings = RunSettings::from_env();
+    let settings = RunSettings::from_env_or_exit();
     let supervisor = SupervisorConfig::default();
     let benchmark = vs_gpu::benchmark("heartwall").expect("known benchmark");
     let pds_under_test = [

@@ -1,45 +1,9 @@
-//! Fig. 10: worst-case droop sensitivity to CR-IVR area (a) and control
-//! latency (b) for the cross-layer design.
-
-use vs_bench::print_table;
-use vs_core::worst_voltage_for;
+//! Fig. 10: worst-case droop sensitivity to CR-IVR area (a) and control latency (b) for the cross-layer design.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig10` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    // (a) worst voltage vs area for several latencies.
-    let areas = [0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 2.0];
-    let latencies = [60u32, 80, 120, 140];
-    let mut rows = Vec::new();
-    for area in areas {
-        eprintln!("  area {area} ...");
-        let mut row = vec![format!("{area:.1}")];
-        for lat in latencies {
-            row.push(format!("{:.3}", worst_voltage_for(area, lat, true)));
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Fig. 10(a): worst voltage (V) vs CR-IVR area (x GPU die)",
-        &["area", "lat 60", "lat 80", "lat 120", "lat 140"],
-        &rows,
-    );
-
-    // (b) worst voltage vs latency for several areas.
-    let lats = [20u32, 40, 60, 80, 100, 120, 140, 160];
-    let areas_b = [2.0, 0.8, 0.4, 0.2];
-    let mut rows_b = Vec::new();
-    for lat in lats {
-        eprintln!("  latency {lat} ...");
-        let mut row = vec![format!("{lat}")];
-        for area in areas_b {
-            row.push(format!("{:.3}", worst_voltage_for(area, lat, true)));
-        }
-        rows_b.push(row);
-    }
-    print_table(
-        "Fig. 10(b): worst voltage (V) vs control latency (cycles)",
-        &["latency", "2.0x", "0.8x", "0.4x", "0.2x"],
-        &rows_b,
-    );
-    println!("\npaper shape: droop becomes latency-sensitive below ~0.8x area and");
-    println!("area-sensitive above ~80-cycle latency; (0.2x, 60 cycles) is the chosen point.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig10.run(&settings).text);
 }

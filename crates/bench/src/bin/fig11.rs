@@ -1,64 +1,9 @@
-//! Fig. 11: supply-noise distribution across benchmarks (all 16 SMs),
-//! circuit-only vs cross-layer at 0.2x CR-IVR area, plus the worst case.
-
-use vs_bench::{benchmark_names, print_table, RunSettings};
-use vs_core::{run_worst_case, CosimConfig, PdsKind, WorstCaseConfig};
-
-fn pooled(summaries: &[vs_circuit::TraceSummary]) -> (f64, f64, f64, f64, f64) {
-    let min = summaries.iter().map(|s| s.min).fold(f64::INFINITY, f64::min);
-    let max = summaries.iter().map(|s| s.max).fold(f64::NEG_INFINITY, f64::max);
-    let n = summaries.len() as f64;
-    let q1 = summaries.iter().map(|s| s.q1).sum::<f64>() / n;
-    let med = summaries.iter().map(|s| s.median).sum::<f64>() / n;
-    let q3 = summaries.iter().map(|s| s.q3).sum::<f64>() / n;
-    (min, q1, med, q3, max)
-}
+//! Fig. 11: supply-noise distribution across benchmarks (all 16 SMs), circuit-only vs cross-layer at 0.2x CR-IVR area, plus the worst case.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig11` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    let mut rows = Vec::new();
-    for name in benchmark_names() {
-        eprintln!("  running {name} (circuit-only / cross-layer) ...");
-        let mk = |pds| CosimConfig {
-            record_traces: true,
-            // Noise-scaled equivalent of the paper's 0.9 V threshold.
-            v_threshold: 0.97,
-            ..settings.config(pds)
-        };
-        let co = vs_core::run_benchmark(&mk(PdsKind::VsCircuitOnly { area_mult: 0.2 }), &name);
-        let cl = vs_core::run_benchmark(&mk(PdsKind::VsCrossLayer { area_mult: 0.2 }), &name);
-        let (omin, oq1, omed, oq3, omax) = pooled(&co.sm_voltage_summaries);
-        let (cmin, cq1, cmed, cq3, cmax) = pooled(&cl.sm_voltage_summaries);
-        rows.push(vec![
-            name.clone(),
-            format!("{omin:.3}/{oq1:.3}/{omed:.3}/{oq3:.3}/{omax:.3}"),
-            format!("{cmin:.3}/{cq1:.3}/{cmed:.3}/{cq3:.3}/{cmax:.3}"),
-        ]);
-    }
-    // Worst-case box.
-    let wc_co = run_worst_case(&WorstCaseConfig {
-        cross_layer: false,
-        ..WorstCaseConfig::default()
-    });
-    let wc_cl = run_worst_case(&WorstCaseConfig::default());
-    let s_co = wc_co.trace.summary();
-    let s_cl = wc_cl.trace.summary();
-    rows.push(vec![
-        "worst case".into(),
-        format!(
-            "{:.3}/{:.3}/{:.3}/{:.3}/{:.3}",
-            s_co.min, s_co.q1, s_co.median, s_co.q3, s_co.max
-        ),
-        format!(
-            "{:.3}/{:.3}/{:.3}/{:.3}/{:.3}",
-            s_cl.min, s_cl.q1, s_cl.median, s_cl.q3, s_cl.max
-        ),
-    ]);
-    print_table(
-        "Fig. 11: SM voltage distribution (min/q1/median/q3/max, V) at 0.2x CR-IVR",
-        &["benchmark", "circuit-only", "cross-layer"],
-        &rows,
-    );
-    println!("\npaper shape: most benchmarks see modest noise reduction from smoothing;");
-    println!("the worst case is where the cross-layer guarantee matters (bounded >= 0.8 V).");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig11.run(&settings).text);
 }

@@ -1,37 +1,9 @@
-//! Fig. 12: performance penalty of voltage smoothing vs the controller's
-//! trigger threshold.
-
-use vs_bench::{pct, print_table, run_suite, BaselineCache, RunSettings};
-use vs_core::{CosimConfig, PdsKind};
+//! Fig. 12: performance penalty of voltage smoothing vs the controller's trigger threshold.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig12` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    eprintln!("building conventional baselines ...");
-    let baseline = BaselineCache::build(&settings);
-    // Our PDN's effective decap (die + package) compresses benchmark
-    // supply noise into ~0.97-1.0 V, so the sweep spans that band; the
-    // paper's 0.7-1.0 V axis maps onto it (see EXPERIMENTS.md).
-    let thresholds = [0.90, 0.94, 0.96, 0.98, 1.00];
-    let mut rows: Vec<Vec<String>> = vs_bench::benchmark_names()
-        .into_iter()
-        .map(|n| vec![n])
-        .collect();
-    for th in thresholds {
-        eprintln!("threshold {th} ...");
-        let cfg = CosimConfig {
-            v_threshold: th,
-            ..settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 })
-        };
-        let runs = run_suite(&cfg);
-        for (row, run) in rows.iter_mut().zip(&runs) {
-            row.push(pct(baseline.perf_penalty(run).max(0.0)));
-        }
-    }
-    print_table(
-        "Fig. 12: performance penalty vs controller threshold voltage",
-        &["benchmark", "0.90 V", "0.94 V", "0.96 V", "0.98 V", "1.00 V"],
-        &rows,
-    );
-    println!("\npaper shape: penalty grows with the threshold (more triggering);");
-    println!("at the default 0.9 V it stays in the low single digits.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig12.run(&settings).text);
 }

@@ -1,43 +1,9 @@
-//! Fig. 13: net-energy-saving vs performance-penalty trade-off space for
-//! DIWS / FII / DCC weight combinations.
-
-use vs_bench::{pct, print_table, run_suite, BaselineCache, RunSettings};
-use vs_control::ActuatorWeights;
-use vs_core::{CosimConfig, PdsKind};
+//! Fig. 13: net-energy-saving vs performance-penalty trade-off space for DIWS / FII / DCC weight combinations.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig13` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    eprintln!("building conventional baselines ...");
-    let baseline = BaselineCache::build(&settings);
-    let combos = [
-        ("DIWS", ActuatorWeights::DIWS_ONLY),
-        ("FII", ActuatorWeights::FII_ONLY),
-        ("DCC", ActuatorWeights::DCC_ONLY),
-        ("0.8 DIWS + 0.2 FII", ActuatorWeights::new(0.8, 0.2, 0.0)),
-        ("0.8 DIWS + 0.2 DCC", ActuatorWeights::new(0.8, 0.0, 0.2)),
-        ("0.6 DIWS + 0.2 FII + 0.2 DCC", ActuatorWeights::new(0.6, 0.2, 0.2)),
-    ];
-    let mut rows = Vec::new();
-    for (label, weights) in combos {
-        eprintln!("weights {label} ...");
-        let cfg = CosimConfig {
-            weights,
-            // Noise-scaled equivalent of the paper's 0.9 V threshold (our
-            // effective decap compresses the noise band; EXPERIMENTS.md).
-            v_threshold: 0.97,
-            ..settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 })
-        };
-        let runs = run_suite(&cfg);
-        let n = runs.len() as f64;
-        let penalty: f64 = runs.iter().map(|r| baseline.perf_penalty(r).max(0.0)).sum::<f64>() / n;
-        let saving: f64 = runs.iter().map(|r| baseline.net_energy_saving(r)).sum::<f64>() / n;
-        rows.push(vec![label.to_string(), pct(penalty), pct(saving)]);
-    }
-    print_table(
-        "Fig. 13: actuator-weight trade-off space (suite averages)",
-        &["weights", "perf penalty", "net energy saving"],
-        &rows,
-    );
-    println!("\npaper shape: DIWS maximizes net savings; FII (and DCC) trade some saving");
-    println!("for lower penalty; DCC is dominated where FII is applicable.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig13.run(&settings).text);
 }

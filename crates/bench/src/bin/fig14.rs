@@ -1,39 +1,9 @@
-//! Fig. 14: per-benchmark performance penalty and net energy saving of the
-//! cross-layer VS GPU vs the conventional PDS.
-
-use vs_bench::{pct, print_table, run_suite, BaselineCache, RunSettings};
-use vs_core::PdsKind;
+//! Fig. 14: per-benchmark performance penalty and net energy saving of the cross-layer VS GPU vs the conventional PDS.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig14` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    eprintln!("building conventional baselines ...");
-    let baseline = BaselineCache::build(&settings);
-    eprintln!("running cross-layer suite ...");
-    let cfg = vs_core::CosimConfig {
-        // Noise-scaled equivalent of the paper's 0.9 V threshold.
-        v_threshold: 0.97,
-        ..settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 })
-    };
-    let runs = run_suite(&cfg);
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            vec![
-                r.benchmark.clone(),
-                pct(baseline.perf_penalty(r).max(0.0)),
-                pct(baseline.net_energy_saving(r)),
-                pct(r.throttle_fraction),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 14: performance penalty and net energy saving per benchmark",
-        &["benchmark", "perf penalty", "net energy saving", "throttled SM-cycles"],
-        &rows,
-    );
-    let n = runs.len() as f64;
-    let avg_p: f64 = runs.iter().map(|r| baseline.perf_penalty(r).max(0.0)).sum::<f64>() / n;
-    let avg_s: f64 = runs.iter().map(|r| baseline.net_energy_saving(r)).sum::<f64>() / n;
-    println!("\naverages: penalty {} | net saving {}", pct(avg_p), pct(avg_s));
-    println!("paper: penalties within 2-4%, net savings 10-15%.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig14.run(&settings).text);
 }

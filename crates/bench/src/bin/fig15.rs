@@ -1,56 +1,9 @@
-//! Fig. 15: DFS on the conventional vs the voltage-stacked GPU — total
-//! normalized energy (computation + delivery loss).
-
-use vs_bench::{print_table, run_suite_with_pm, BaselineCache, RunSettings};
-use vs_core::{PdsKind, PowerManagement};
-use vs_hypervisor::DfsConfig;
+//! Fig. 15: DFS on the conventional vs the voltage-stacked GPU — total normalized energy (computation + delivery loss).
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig15` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    eprintln!("building no-DFS conventional baselines ...");
-    let baseline = BaselineCache::build(&settings);
-    let pm_conv = PowerManagement {
-        dfs: Some(DfsConfig::with_goal(0.7)),
-        ..PowerManagement::default()
-    };
-    let pm_vs = PowerManagement {
-        dfs: Some(DfsConfig::with_goal(0.7)),
-        use_hypervisor: true,
-        ..PowerManagement::default()
-    };
-    eprintln!("running DFS on the conventional PDS ...");
-    let conv = run_suite_with_pm(&settings.config(PdsKind::ConventionalVrm), &pm_conv);
-    eprintln!("running DFS on the cross-layer VS PDS (with VS-aware hypervisor) ...");
-    let vs = run_suite_with_pm(
-        &settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 }),
-        &pm_vs,
-    );
-    let rows: Vec<Vec<String>> = conv
-        .iter()
-        .zip(&vs)
-        .map(|(c, v)| {
-            let base = baseline.get(&c.benchmark).ledger.board_input_j;
-            vec![
-                c.benchmark.clone(),
-                format!("{:.3}", c.ledger.board_input_j / base),
-                format!("{:.3}", v.ledger.board_input_j / base),
-                format!("{:.3}", c.avg_freq_scale),
-                format!("{:.3}", v.avg_freq_scale),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 15: DFS (70% goal) — total energy normalized to no-DFS conventional",
-        &["benchmark", "conv + DFS", "VS + DFS", "conv avg f", "VS avg f"],
-        &rows,
-    );
-    let avg = |runs: &[vs_core::CosimReport]| {
-        runs.iter()
-            .map(|r| r.ledger.board_input_j / baseline.get(&r.benchmark).ledger.board_input_j)
-            .sum::<f64>()
-            / runs.len() as f64
-    };
-    println!("\naverages: conv+DFS {:.3} | VS+DFS {:.3}", avg(&conv), avg(&vs));
-    println!("paper: the VS GPU with DFS saves 7-13% over DFS on the conventional PDS");
-    println!("(superior PDE outweighs the hypervisor's slight computational-energy cost).");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig15.run(&settings).text);
 }

@@ -1,55 +1,9 @@
 //! Fig. 16: power gating on the conventional vs the voltage-stacked GPU.
-
-use vs_bench::{print_table, run_suite_with_pm, BaselineCache, RunSettings};
-use vs_core::{PdsKind, PowerManagement};
-use vs_hypervisor::PgConfig;
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig16` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    eprintln!("building no-PG conventional baselines ...");
-    let baseline = BaselineCache::build(&settings);
-    let pm_conv = PowerManagement {
-        pg: Some(PgConfig::default()),
-        ..PowerManagement::default()
-    };
-    let pm_vs = PowerManagement {
-        pg: Some(PgConfig::default()),
-        use_hypervisor: true,
-        ..PowerManagement::default()
-    };
-    eprintln!("running PG on the conventional PDS ...");
-    let conv = run_suite_with_pm(&settings.config(PdsKind::ConventionalVrm), &pm_conv);
-    eprintln!("running PG on the cross-layer VS PDS (with VS-aware hypervisor) ...");
-    let vs = run_suite_with_pm(
-        &settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 }),
-        &pm_vs,
-    );
-    let rows: Vec<Vec<String>> = conv
-        .iter()
-        .zip(&vs)
-        .map(|(c, v)| {
-            let base = baseline.get(&c.benchmark).ledger.board_input_j;
-            vec![
-                c.benchmark.clone(),
-                format!("{:.3}", c.ledger.board_input_j / base),
-                format!("{:.3}", v.ledger.board_input_j / base),
-                format!("{:.2e}", c.gating_saved_j),
-                format!("{:.2e}", v.gating_saved_j),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 16: power gating — total energy normalized to no-PG conventional",
-        &["benchmark", "conv + PG", "VS + PG", "conv saved (J)", "VS saved (J)"],
-        &rows,
-    );
-    let avg = |runs: &[vs_core::CosimReport]| {
-        runs.iter()
-            .map(|r| r.ledger.board_input_j / baseline.get(&r.benchmark).ledger.board_input_j)
-            .sum::<f64>()
-            / runs.len() as f64
-    };
-    println!("\naverages: conv+PG {:.3} | VS+PG {:.3}", avg(&conv), avg(&vs));
-    println!("paper: the hypervisor slightly constrains gating, but superior PDE keeps");
-    println!("the VS GPU ahead of PG on the conventional PDS.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig16.run(&settings).text);
 }

@@ -1,88 +1,9 @@
-//! Fig. 17: distribution of normalized inter-layer current imbalance under
-//! no power management, DFS at several performance goals, and power gating.
-
-use vs_bench::{pct, print_table, run_suite_with_pm, RunSettings};
-use vs_core::{ImbalanceHistogram, PdsKind, PowerManagement};
-use vs_hypervisor::{DfsConfig, PgConfig};
+//! Fig. 17: distribution of normalized inter-layer current imbalance under no power management, DFS at several performance goals, and power gating.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig17` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    let configs: Vec<(&str, PowerManagement)> = vec![
-        ("No PM", PowerManagement::default()),
-        (
-            "DFS 70%",
-            PowerManagement {
-                dfs: Some(DfsConfig::with_goal(0.7)),
-                use_hypervisor: true,
-                ..PowerManagement::default()
-            },
-        ),
-        (
-            "DFS 50%",
-            PowerManagement {
-                dfs: Some(DfsConfig::with_goal(0.5)),
-                use_hypervisor: true,
-                ..PowerManagement::default()
-            },
-        ),
-        (
-            "DFS 20%",
-            PowerManagement {
-                dfs: Some(DfsConfig::with_goal(0.2)),
-                use_hypervisor: true,
-                ..PowerManagement::default()
-            },
-        ),
-        (
-            "PG",
-            PowerManagement {
-                pg: Some(PgConfig::default()),
-                use_hypervisor: true,
-                ..PowerManagement::default()
-            },
-        ),
-    ];
-    let mut rows = Vec::new();
-    for (label, pm) in configs {
-        eprintln!("running suite: {label} ...");
-        let runs = run_suite_with_pm(
-            &settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 }),
-            &pm,
-        );
-        // Worst, average, best by the balanced (<10%) fraction.
-        let mut by_balance: Vec<_> = runs.iter().collect();
-        by_balance.sort_by(|a, b| {
-            a.imbalance.fractions()[0]
-                .partial_cmp(&b.imbalance.fractions()[0])
-                .expect("finite")
-        });
-        let worst = by_balance.first().expect("nonempty suite");
-        let best = by_balance.last().expect("nonempty suite");
-        let mut merged = ImbalanceHistogram::new((4, 4));
-        for r in &runs {
-            merged.merge(&r.imbalance);
-        }
-        for (tag, name, f) in [
-            ("worst", worst.benchmark.as_str(), worst.imbalance.fractions()),
-            ("average", "all", merged.fractions()),
-            ("best", best.benchmark.as_str(), best.imbalance.fractions()),
-        ] {
-            rows.push(vec![
-                label.to_string(),
-                tag.to_string(),
-                name.to_string(),
-                pct(f[0]),
-                pct(f[1]),
-                pct(f[2]),
-                pct(f[3]),
-            ]);
-        }
-    }
-    print_table(
-        "Fig. 17: normalized vertical current-imbalance distribution",
-        &["config", "case", "benchmark", "0-10%", "10-20%", "20-40%", ">40%"],
-        &rows,
-    );
-    println!("\npaper shape: >= 50% of cycles below 10% imbalance on average, ~93% below 40%;");
-    println!("DFS/PG via the hypervisor do not fundamentally disturb the balance.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig17.run(&settings).text);
 }

@@ -1,44 +1,9 @@
-//! Fig. 3: effective impedance of the voltage-stacked GPU, without (a) and
-//! with (b) the CR-IVR.
-
-use vs_bench::print_table;
-use vs_pds::{impedance_profile, AreaModel, CrIvrConfig, ImpedanceProfile, PdnParams, StackedPdn};
+//! Fig. 3: effective impedance of the voltage-stacked GPU, without (a) and with (b) the CR-IVR.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig3` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let params = PdnParams::default();
-    let am = AreaModel::default();
-    let crivr = CrIvrConfig::sized_by_gpu_area(0.2, &am);
-    let without = StackedPdn::build(&params, None);
-    let with = StackedPdn::build(&params, Some((&crivr, &am)));
-
-    for (label, pdn) in [
-        ("Fig. 3(a): effective impedance WITHOUT CR-IVR", &without),
-        ("Fig. 3(b): effective impedance WITH CR-IVR (0.2x GPU area)", &with),
-    ] {
-        let p = impedance_profile(pdn, 1e5, 500e6, 36).expect("AC analysis");
-        let rows: Vec<Vec<String>> = p
-            .freqs
-            .iter()
-            .enumerate()
-            .map(|(i, f)| {
-                vec![
-                    format!("{:.3e}", f),
-                    format!("{:.4e}", p.z_global[i]),
-                    format!("{:.4e}", p.z_stack[i]),
-                    format!("{:.4e}", p.z_residual_same_layer[i]),
-                    format!("{:.4e}", p.z_residual_diff_layer[i]),
-                ]
-            })
-            .collect();
-        print_table(
-            label,
-            &["freq (Hz)", "Z_G (ohm)", "Z_ST (ohm)", "Z_R same (ohm)", "Z_R diff (ohm)"],
-            &rows,
-        );
-        let (fg, zg) = ImpedanceProfile::peak(&p.z_global, &p.freqs);
-        let (fr, zr) = ImpedanceProfile::peak(&p.z_residual_same_layer, &p.freqs);
-        println!("peaks: Z_G {:.4e} ohm @ {:.1} MHz | Z_R(same) {:.4e} ohm @ {:.2} MHz", zg, fg / 1e6, zr, fr / 1e6);
-    }
-    println!("\npaper shape: Z_R dominates at low frequency and peaks toward DC;");
-    println!("Z_G resonates in the tens of MHz; the CR-IVR crushes the low-frequency Z_R peak.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig3.run(&settings).text);
 }

@@ -1,37 +1,9 @@
-//! Fig. 5: time scales of GPU power-actuation mechanisms and which qualify
-//! for the voltage-smoothing loop.
-
-use vs_bench::print_table;
-use vs_control::ActuationTimescales;
+//! Fig. 5: time scales of GPU power-actuation mechanisms and which qualify for the voltage-smoothing loop.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig5` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let rows = [
-        ("DCC (current DAC)", ActuationTimescales::DCC_CYCLES),
-        ("DIWS (issue width)", ActuationTimescales::DIWS_CYCLES),
-        ("FII (fake instructions)", ActuationTimescales::FII_CYCLES),
-        ("Power gating", ActuationTimescales::POWER_GATING_CYCLES),
-        ("Thread migration", ActuationTimescales::THREAD_MIGRATION_CYCLES),
-        ("DFS (DPLL re-lock)", ActuationTimescales::DFS_CYCLES),
-    ];
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|(name, cycles)| {
-            vec![
-                (*name).to_string(),
-                format!("{cycles}"),
-                format!("{:.2e}", f64::from(*cycles) / 700e6),
-                if ActuationTimescales::fast_enough(*cycles) {
-                    "yes".into()
-                } else {
-                    "no".into()
-                },
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 5: actuation mechanism time scales (700 MHz clock)",
-        &["mechanism", "cycles", "seconds", "fast enough for smoothing"],
-        &table,
-    );
-    println!("\npaper: DIWS/FII/DCC qualify (<= hundreds of cycles); PG, migration and DFS do not.");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig5.run(&settings).text);
 }

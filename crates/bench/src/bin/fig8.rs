@@ -1,43 +1,9 @@
-//! Fig. 8: power delivery efficiency and loss breakdown across benchmarks
-//! and PDS configurations.
-
-use vs_bench::{pct, pds_configs, print_table, run_suite, RunSettings};
+//! Fig. 8: power delivery efficiency and loss breakdown across benchmarks and PDS configurations.
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig8` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    let mut summary_rows = Vec::new();
-    for pds in pds_configs() {
-        let cfg = settings.config(pds);
-        let runs = run_suite(&cfg);
-        let rows: Vec<Vec<String>> = runs
-            .iter()
-            .map(|r| {
-                let l = &r.ledger;
-                let input = l.board_input_j.max(1e-30);
-                vec![
-                    r.benchmark.clone(),
-                    pct(r.pde()),
-                    pct(l.vrm_loss_j / input),
-                    pct(l.ivr_loss_j / input),
-                    pct(l.pdn_loss_j / input),
-                    pct(l.crivr_loss_j / input),
-                    pct((l.level_shifter_j + l.controller_j + l.crivr_overhead_j) / input),
-                    pct((l.dcc_j + l.fake_j) / input),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!("Fig. 8: {} (per-benchmark PDE and loss breakdown)", pds.label()),
-            &["benchmark", "PDE", "VRM", "IVR", "PDN", "CR-IVR", "overheads", "DCC+FII"],
-            &rows,
-        );
-        let avg: f64 = runs.iter().map(vs_core::CosimReport::pde).sum::<f64>() / runs.len() as f64;
-        summary_rows.push(vec![pds.label().to_string(), pct(avg)]);
-    }
-    print_table(
-        "Fig. 8 summary: average PDE per PDS configuration",
-        &["configuration", "avg PDE"],
-        &summary_rows,
-    );
-    println!("\npaper: ~80% (VRM), ~85% (IVR), ~93.0% (VS circuit-only), ~92.3% (VS cross-layer).");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig8.run(&settings).text);
 }

@@ -1,62 +1,9 @@
-//! Fig. 9: transient layer voltage under the worst-case imbalance event
-//! (one layer's SMs gated at 3 us).
-
-use vs_bench::{print_table, volts};
-use vs_core::{run_worst_case, WorstCaseConfig};
+//! Fig. 9: transient layer voltage under the worst-case imbalance event (one layer's SMs gated at 3 us).
+//!
+//! Thin shim over the experiment library: `ExperimentId::Fig9` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let configs = [
-        ("circuit-only 2.0x", 2.0, false),
-        ("circuit-only 1.0x", 1.0, false),
-        ("circuit-only 0.2x", 0.2, false),
-        ("cross-layer 0.2x", 0.2, true),
-    ];
-    let results: Vec<_> = configs
-        .iter()
-        .map(|(label, area, cross)| {
-            eprintln!("  running worst case: {label} ...");
-            let r = run_worst_case(&WorstCaseConfig {
-                area_mult: *area,
-                cross_layer: *cross,
-                ..WorstCaseConfig::default()
-            });
-            (*label, r)
-        })
-        .collect();
-
-    // Sampled waveform table (every ~70 ns).
-    let n = results[0].1.trace.len();
-    let stride = (n / 64).max(1);
-    let mut rows = Vec::new();
-    for i in (0..n).step_by(stride) {
-        let t = results[0].1.trace.times()[i];
-        let mut row = vec![format!("{:.2}", t * 1e6)];
-        for (_, r) in &results {
-            row.push(format!("{:.3}", r.trace.values()[i]));
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Fig. 9: min loaded-SM voltage vs time (V); layer gated at 3.00 us",
-        &["t (us)", "circ 2.0x", "circ 1.0x", "circ 0.2x", "cross 0.2x"],
-        &rows,
-    );
-
-    let summary: Vec<Vec<String>> = results
-        .iter()
-        .map(|(label, r)| {
-            vec![
-                (*label).to_string(),
-                volts(r.worst_voltage),
-                volts(r.final_voltage),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 9 summary",
-        &["configuration", "worst V after event", "final V"],
-        &summary,
-    );
-    println!("\npaper shape: circuit-only needs ~2x GPU area to stay above 0.8 V;");
-    println!("the cross-layer design does it with 0.2x (an ~88% area reduction).");
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Fig9.run(&settings).text);
 }

@@ -42,7 +42,7 @@ fn benchmark_arg() -> String {
 }
 
 fn main() {
-    let settings = RunSettings::from_env();
+    let settings = RunSettings::from_env_or_exit();
     let name = benchmark_arg();
     let profile = vs_gpu::benchmark(&name)
         .unwrap_or_else(|| panic!("unknown benchmark {name}"));

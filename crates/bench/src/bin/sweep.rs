@@ -1,0 +1,290 @@
+//! The parallel experiment runner and golden-artifact diff tool.
+//!
+//! ```text
+//! sweep [run] [--jobs N] [--out DIR] [--only id,...]
+//!             [--profile env|golden|tiny] [--seed N] [--deterministic]
+//!             [--diff GOLDEN_DIR] [--tolerances FILE]
+//! sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]
+//! sweep list
+//! ```
+//!
+//! `run` executes the catalogue across a worker pool, writes one JSONL
+//! artifact per experiment plus `manifest.jsonl` into `--out` (default
+//! `target/sweep`), and checks the EXPERIMENTS.md headline claims. With
+//! `--diff` it then compares every artifact against the goldens. Exit code
+//! is non-zero when a claim or diff fails.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vs_bench::claims::{check_claims, ClaimResult};
+use vs_bench::sweep::{run_sweep, SweepOptions};
+use vs_bench::{ExperimentId, RunSettings};
+use vs_telemetry::{diff_artifacts, RunArtifact, ToleranceSpec};
+
+const DEFAULT_TOLERANCES: &str = "goldens/tolerances.json";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [run] [--jobs N] [--out DIR] [--only id,...] \
+         [--profile env|golden|tiny] [--seed N] [--deterministic] \
+         [--diff GOLDEN_DIR] [--tolerances FILE]\n\
+         \x20      sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]\n\
+         \x20      sweep list"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for id in ExperimentId::ALL {
+                println!(
+                    "{:22} {}",
+                    id.name(),
+                    if id.settings_dependent() {
+                        "settings-dependent"
+                    } else {
+                        "constant"
+                    }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("diff") => diff_main(&args[1..]),
+        Some("run") => run_main(&args[1..]),
+        _ => run_main(&args),
+    }
+}
+
+fn parse_only(raw: &str) -> Vec<ExperimentId> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            ExperimentId::from_name(name.trim())
+                .unwrap_or_else(|| fail(&format!("unknown experiment {name:?} (see `sweep list`)")))
+        })
+        .collect()
+}
+
+fn load_tolerances(path: Option<&str>) -> ToleranceSpec {
+    let (path, required) = match path {
+        Some(p) => (p, true),
+        None => (DEFAULT_TOLERANCES, false),
+    };
+    match std::fs::read_to_string(path) {
+        Ok(text) => ToleranceSpec::from_json_str(&text)
+            .unwrap_or_else(|e| fail(&format!("bad tolerance file {path}: {e}"))),
+        Err(e) if required => fail(&format!("cannot read tolerance file {path}: {e}")),
+        Err(_) => ToleranceSpec::exact(),
+    }
+}
+
+fn run_main(args: &[String]) -> ExitCode {
+    let mut jobs = 0usize;
+    let mut out = PathBuf::from("target/sweep");
+    let mut only: Option<Vec<ExperimentId>> = None;
+    let mut profile = "env".to_string();
+    let mut seed: Option<u64> = None;
+    let mut diff_dir: Option<PathBuf> = None;
+    let mut tolerances: Option<String> = None;
+    let mut deterministic = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--jobs must be an integer"));
+            }
+            "--out" => out = PathBuf::from(value("--out")),
+            "--only" => only = Some(parse_only(&value("--only"))),
+            "--profile" => profile = value("--profile"),
+            "--seed" => {
+                seed = Some(
+                    value("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--seed must be an integer")),
+                );
+            }
+            "--diff" => diff_dir = Some(PathBuf::from(value("--diff"))),
+            "--tolerances" => tolerances = Some(value("--tolerances")),
+            "--deterministic" => deterministic = true,
+            _ => usage(),
+        }
+    }
+    let mut settings = match profile.as_str() {
+        "env" => match RunSettings::try_from_env() {
+            Ok(s) => s,
+            Err(e) => fail(&e.to_string()),
+        },
+        "golden" => RunSettings::golden_profile(),
+        "tiny" => RunSettings::tiny_profile(),
+        other => fail(&format!("unknown profile {other:?} (env|golden|tiny)")),
+    };
+    if let Some(seed) = seed {
+        settings.seed = seed;
+    }
+
+    let result = run_sweep(&SweepOptions { jobs, only, settings });
+    let written = if deterministic {
+        result.write_deterministic_to(&out)
+    } else {
+        result.write_to(&out)
+    };
+    if let Err(e) = written {
+        fail(&format!("cannot write sweep to {}: {e}", out.display()));
+    }
+    eprintln!(
+        "[sweep] {} experiments in {:.1}s on {} worker(s) -> {}",
+        result.runs.len(),
+        result.total_wall_s,
+        result.jobs,
+        out.display()
+    );
+
+    let artifacts: Vec<(ExperimentId, &RunArtifact)> = result
+        .runs
+        .iter()
+        .map(|r| (r.id, &r.output.artifact))
+        .collect();
+    let claim_results = check_claims(&artifacts);
+    let run_ids: Vec<ExperimentId> = result.runs.iter().map(|r| r.id).collect();
+    let relevant: Vec<&ClaimResult> = claim_results
+        .iter()
+        .filter(|c| run_ids.contains(&c.claim.experiment))
+        .collect();
+    let mut ok = true;
+    if relevant.is_empty() {
+        println!("no headline claims cover the selected experiments");
+    } else {
+        println!("headline claims:");
+        for c in &relevant {
+            let shown = match c.value {
+                Some(v) => format!("{v:.4}"),
+                None => "missing".to_string(),
+            };
+            println!(
+                "  {} {:28} {} in [{}, {}]  ({})",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.claim.name,
+                shown,
+                c.claim.lo,
+                c.claim.hi,
+                c.claim.paper
+            );
+            ok &= c.pass;
+        }
+    }
+
+    if let Some(golden) = diff_dir {
+        let spec = load_tolerances(tolerances.as_deref());
+        ok &= diff_trees(&golden, &out, &spec);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn diff_main(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerances: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerances" => {
+                tolerances = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--tolerances needs a value"))
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => usage(),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let spec = load_tolerances(tolerances.as_deref());
+    if diff_trees(&paths[0], &paths[1], &spec) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn read_artifact(path: &Path) -> RunArtifact {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    RunArtifact::parse_jsonl(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", path.display())))
+}
+
+/// Diffs candidate against golden (both either single artifact files or
+/// directories of `<experiment>.jsonl`). Prints per-experiment results;
+/// returns overall pass.
+fn diff_trees(golden: &Path, candidate: &Path, spec: &ToleranceSpec) -> bool {
+    let pairs: Vec<(String, PathBuf, PathBuf)> = if golden.is_dir() {
+        let mut stems: Vec<String> = std::fs::read_dir(golden)
+            .unwrap_or_else(|e| fail(&format!("cannot list {}: {e}", golden.display())))
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let stem = name.strip_suffix(".jsonl")?;
+                // The suite manifest carries wall time, not metrics.
+                (stem != "manifest").then(|| stem.to_string())
+            })
+            .collect();
+        stems.sort();
+        stems
+            .into_iter()
+            .map(|stem| {
+                let file = format!("{stem}.jsonl");
+                (stem, golden.join(&file), candidate.join(&file))
+            })
+            .collect()
+    } else {
+        let stem = golden
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "artifact".to_string());
+        vec![(stem, golden.to_path_buf(), candidate.to_path_buf())]
+    };
+    if pairs.is_empty() {
+        fail(&format!("no *.jsonl artifacts in {}", golden.display()));
+    }
+
+    let mut all_pass = true;
+    println!("golden diff ({} artifacts):", pairs.len());
+    for (stem, golden_path, candidate_path) in pairs {
+        if !candidate_path.exists() {
+            println!("  FAIL {stem}: missing candidate artifact {}", candidate_path.display());
+            all_pass = false;
+            continue;
+        }
+        let g = read_artifact(&golden_path);
+        let c = read_artifact(&candidate_path);
+        let report = diff_artifacts(&g, &c, spec);
+        if report.is_pass() {
+            println!("  PASS {stem}: {} metrics within tolerance", report.compared());
+        } else {
+            println!("  FAIL {stem}:");
+            print!("{report}");
+            all_pass = false;
+        }
+    }
+    all_pass
+}

@@ -1,27 +1,9 @@
 //! Table I: voltage-stacked GPU system configuration.
-
-use vs_bench::print_table;
-use vs_gpu::GpuConfig;
-use vs_pds::PdnParams;
+//!
+//! Thin shim over the experiment library: `ExperimentId::Table1` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let g = GpuConfig::default();
-    let p = PdnParams::default();
-    let rows = vec![
-        vec!["PCB voltage".into(), format!("{} V", p.vdd_stack)],
-        vec!["SM voltage".into(), format!("{} V", p.v_sm)],
-        vec!["Number of SMs".into(), format!("{}", g.n_sms)],
-        vec!["SM clock freq.".into(), format!("{} MHz", g.clock_hz / 1e6)],
-        vec!["Threads per SM".into(), format!("{}", g.threads_per_sm)],
-        vec!["Threads per warp".into(), format!("{}", g.threads_per_warp)],
-        vec!["Registers per SM".into(), format!("{} KB", g.register_file_bytes / 1024)],
-        vec!["Mem controller".into(), "FR-FCFS".into()],
-        vec!["Shared memory".into(), format!("{} KB", g.shared_mem_bytes / 1024)],
-        vec!["Mem bandwidth".into(), format!("{:.1} GB/s", g.mem_bandwidth_bps / 1e9)],
-        vec!["Memory channels".into(), format!("{}", g.mem_channels)],
-        vec!["Warp scheduler".into(), "GTO".into()],
-        vec!["Stack arrangement".into(), format!("{} layers x {} SMs", p.n_layers, p.n_columns)],
-        vec!["Process technology".into(), "40 nm (energy calibration)".into()],
-    ];
-    print_table("Table I: system configuration", &["parameter", "value"], &rows);
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Table1.run(&settings).text);
 }

@@ -1,28 +1,9 @@
 //! Table II: voltage detector options.
-
-use vs_bench::print_table;
-use vs_control::DetectorKind;
+//!
+//! Thin shim over the experiment library: `ExperimentId::Table2` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let rows: Vec<Vec<String>> = [
-        ("ODDD", DetectorKind::Oddd, "droop indicator"),
-        ("CPM", DetectorKind::Cpm, "timing variation"),
-        ("ADC (8b)", DetectorKind::Adc { bits: 8 }, "N-bit digital"),
-    ]
-    .into_iter()
-    .map(|(name, kind, output)| {
-        vec![
-            name.to_string(),
-            format!("{}", kind.latency_cycles()),
-            format!("{:.0}", kind.power_w() * 1e3),
-            format!("{:.1}", kind.resolution_v(2.0) * 1e3),
-            output.to_string(),
-        ]
-    })
-    .collect();
-    print_table(
-        "Table II: voltage detector options",
-        &["sensor", "latency (cyc)", "power (mW)", "resolution (mV)", "output"],
-        &rows,
-    );
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Table2.run(&settings).text);
 }

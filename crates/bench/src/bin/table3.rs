@@ -1,59 +1,9 @@
 //! Table III: PDE and die-area overhead of the four PDS configurations.
-
-use vs_bench::{pct, pds_configs, print_table, run_suite, RunSettings};
-use vs_pds::AreaModel;
+//!
+//! Thin shim over the experiment library: `ExperimentId::Table3` does the
+//! work; the sweep runner executes the same function in parallel.
 
 fn main() {
-    let settings = RunSettings::from_env();
-    let am = AreaModel::default();
-    let mut rows = Vec::new();
-    let mut conventional_loss = 0.0;
-    let mut cross_layer = (0.0, 0.0);
-    for pds in pds_configs() {
-        let runs = run_suite(&settings.config(pds));
-        let n = runs.len() as f64;
-        let pde: f64 = runs.iter().map(vs_core::CosimReport::pde).sum::<f64>() / n;
-        let area = match pds {
-            vs_core::PdsKind::ConventionalVrm => "N/A".to_string(),
-            vs_core::PdsKind::SingleLayerIvr => format!(
-                "{:.1} mm2 ({:.2}x GPU die)",
-                AreaModel::SINGLE_LAYER_IVR_MM2,
-                am.as_gpu_multiple(AreaModel::SINGLE_LAYER_IVR_MM2)
-            ),
-            vs_core::PdsKind::VsCircuitOnly { .. } => format!(
-                "{:.0} mm2 ({:.2}x GPU die)",
-                AreaModel::CIRCUIT_ONLY_MM2,
-                am.as_gpu_multiple(AreaModel::CIRCUIT_ONLY_MM2)
-            ),
-            vs_core::PdsKind::VsCrossLayer { .. } => format!(
-                "{:.1} mm2 ({:.2}x GPU die)",
-                AreaModel::CROSS_LAYER_MM2,
-                am.as_gpu_multiple(AreaModel::CROSS_LAYER_MM2)
-            ),
-        };
-        match pds {
-            vs_core::PdsKind::ConventionalVrm => conventional_loss = 1.0 - pde,
-            vs_core::PdsKind::VsCrossLayer { .. } => cross_layer = (pde, 1.0 - pde),
-            _ => {}
-        }
-        rows.push(vec![pds.label().to_string(), pct(pde), area]);
-    }
-    print_table(
-        "Table III: comparison of power delivery subsystems",
-        &["PDS configuration", "PDE", "die area overhead"],
-        &rows,
-    );
-    let eliminated = 1.0 - cross_layer.1 / conventional_loss;
-    println!(
-        "\ncross-layer VS eliminates {} of the conventional PDS loss (paper: 61.5%)",
-        pct(eliminated)
-    );
-    println!(
-        "PDE improvement over conventional: {} (paper: +12.3%)",
-        pct(cross_layer.0 - (1.0 - conventional_loss))
-    );
-    println!(
-        "area saving vs circuit-only: {} (paper: 88%)",
-        pct(1.0 - AreaModel::CROSS_LAYER_MM2 / AreaModel::CIRCUIT_ONLY_MM2)
-    );
+    let settings = vs_bench::RunSettings::from_env_or_exit();
+    print!("{}", vs_bench::ExperimentId::Table3.run(&settings).text);
 }

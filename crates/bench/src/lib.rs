@@ -1,30 +1,74 @@
-//! # vs-bench — table/figure regeneration harness
+//! # vs-bench — experiment library, parallel sweep runner, and golden diffs
 //!
-//! One binary per table and figure of the paper's evaluation section (run
-//! `cargo run --release -p vs-bench --bin <id>`; `--bin all` runs the whole
-//! set). This library holds the shared machinery: run settings, suite
-//! drivers, and plain-text table formatting.
+//! Every table and figure of the paper's evaluation section is a named,
+//! seeded experiment function ([`ExperimentId::run`]); the per-figure
+//! binaries (`cargo run --release -p vs-bench --bin <id>`) are thin shims
+//! over it. The `sweep` binary executes the whole catalogue across a worker
+//! pool, writes one versioned `vs-telemetry` JSONL artifact per experiment
+//! plus a suite manifest, checks the EXPERIMENTS.md headline claims, and can
+//! diff a run against the checked-in goldens (`goldens/`) under per-metric
+//! tolerances.
 //!
 //! Figure runs honour two environment variables:
 //!
 //! * `VS_BENCH_SCALE` — kernel-iteration scale factor (default 0.15; the
 //!   paper-length runs use 1.0 and take correspondingly longer),
 //! * `VS_BENCH_MAX_CYCLES` — per-run cycle cap (default 1,200,000).
+//!
+//! Malformed values are rejected with an error naming the variable — never
+//! silently replaced by a default.
+//!
+//! Determinism contract: an experiment's artifact depends only on its
+//! [`RunSettings`], never on thread count, scheduling order, or wall time.
+//! Wall-clock timings travel in schema-tagged wall-time events
+//! ([`vs_telemetry::Event::is_wall_time`]) that every comparison excludes.
 
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use vs_core::{CosimConfig, CosimReport, PdsKind, PowerManagement};
 use vs_gpu::all_benchmarks;
+
+pub mod claims;
+pub mod experiments;
+pub mod sweep;
+
+pub use experiments::{ExperimentId, ExperimentOutput, Recorder};
 
 /// Benchmark names in the paper's presentation order.
 pub fn benchmark_names() -> Vec<String> {
     all_benchmarks().into_iter().map(|b| b.name).collect()
 }
 
-/// Run settings shared by every figure binary.
-#[derive(Debug, Clone, Copy)]
+/// A malformed run-settings value: which variable, what it held, and why it
+/// was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettingsError {
+    /// The environment variable (or CLI option) at fault.
+    pub var: &'static str,
+    /// The offending value.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for SettingsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: {}",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for SettingsError {}
+
+/// Run settings shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunSettings {
     /// Kernel-iteration scale.
     pub workload_scale: f64,
@@ -34,20 +78,104 @@ pub struct RunSettings {
     pub seed: u64,
 }
 
-impl RunSettings {
-    /// Reads settings from the environment (see crate docs).
-    pub fn from_env() -> Self {
-        let workload_scale = std::env::var("VS_BENCH_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0.15);
-        let max_cycles = std::env::var("VS_BENCH_MAX_CYCLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1_200_000);
+impl Default for RunSettings {
+    fn default() -> Self {
         RunSettings {
-            workload_scale,
-            max_cycles,
+            workload_scale: 0.15,
+            max_cycles: 1_200_000,
+            seed: 42,
+        }
+    }
+}
+
+impl RunSettings {
+    /// Parses settings from optional raw strings (`None` = use the
+    /// default). This is the pure core of [`RunSettings::try_from_env`],
+    /// testable without touching the process environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SettingsError`] naming the variable when a value is
+    /// present but malformed: the scale must parse as a finite float > 0,
+    /// the cycle cap as an integer > 0.
+    pub fn parse(
+        scale: Option<&str>,
+        max_cycles: Option<&str>,
+    ) -> Result<RunSettings, SettingsError> {
+        let mut settings = RunSettings::default();
+        if let Some(raw) = scale {
+            let parsed: f64 = raw.trim().parse().map_err(|_| SettingsError {
+                var: "VS_BENCH_SCALE",
+                value: raw.to_string(),
+                reason: "must be a number",
+            })?;
+            if !parsed.is_finite() || parsed <= 0.0 {
+                return Err(SettingsError {
+                    var: "VS_BENCH_SCALE",
+                    value: raw.to_string(),
+                    reason: "must be finite and > 0",
+                });
+            }
+            settings.workload_scale = parsed;
+        }
+        if let Some(raw) = max_cycles {
+            let parsed: u64 = raw.trim().parse().map_err(|_| SettingsError {
+                var: "VS_BENCH_MAX_CYCLES",
+                value: raw.to_string(),
+                reason: "must be a positive integer",
+            })?;
+            if parsed == 0 {
+                return Err(SettingsError {
+                    var: "VS_BENCH_MAX_CYCLES",
+                    value: raw.to_string(),
+                    reason: "must be > 0",
+                });
+            }
+            settings.max_cycles = parsed;
+        }
+        Ok(settings)
+    }
+
+    /// Reads settings from `VS_BENCH_SCALE` / `VS_BENCH_MAX_CYCLES`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SettingsError`] when a variable is set but malformed
+    /// (unset variables fall back to the defaults).
+    pub fn try_from_env() -> Result<RunSettings, SettingsError> {
+        let scale = std::env::var("VS_BENCH_SCALE").ok();
+        let cycles = std::env::var("VS_BENCH_MAX_CYCLES").ok();
+        RunSettings::parse(scale.as_deref(), cycles.as_deref())
+    }
+
+    /// [`RunSettings::try_from_env`] for binaries: prints the error and
+    /// exits with status 2 on malformed input.
+    pub fn from_env_or_exit() -> RunSettings {
+        match RunSettings::try_from_env() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The reduced-cycle profile the checked-in goldens are generated at
+    /// (fast enough for CI, still reproduces every headline claim).
+    pub fn golden_profile() -> RunSettings {
+        RunSettings {
+            workload_scale: 0.04,
+            max_cycles: 250_000,
+            seed: 42,
+        }
+    }
+
+    /// A minimal profile for determinism tests: small enough to run the
+    /// settings-dependent experiments in seconds.
+    pub fn tiny_profile() -> RunSettings {
+        RunSettings {
+            workload_scale: 0.02,
+            max_cycles: 60_000,
             seed: 42,
         }
     }
@@ -74,20 +202,47 @@ pub fn pds_configs() -> [PdsKind; 4] {
     ]
 }
 
+/// The process-wide suite memo: full-suite runs keyed by their complete
+/// configuration. Experiments sharing a suite (every figure that rebuilds
+/// the conventional baseline, fig13's DIWS point vs fig14, fig15/16 vs
+/// fig17's PM rows) compute it once; a parallel sweep blocks duplicate
+/// requests on the same cell instead of running the suite twice.
+type SuiteCell = Arc<OnceLock<Arc<Vec<CosimReport>>>>;
+
+fn suite_cache() -> &'static Mutex<HashMap<String, SuiteCell>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, SuiteCell>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Runs every benchmark under `cfg`, in order; reports progress on stderr.
-pub fn run_suite(cfg: &CosimConfig) -> Vec<CosimReport> {
+/// Results are memoized process-wide (see the determinism contract in the
+/// crate docs: a suite's reports depend only on `cfg` and `pm`).
+pub fn run_suite(cfg: &CosimConfig) -> Arc<Vec<CosimReport>> {
     run_suite_with_pm(cfg, &PowerManagement::default())
 }
 
-/// Runs every benchmark under `cfg` with power management enabled.
-pub fn run_suite_with_pm(cfg: &CosimConfig, pm: &PowerManagement) -> Vec<CosimReport> {
-    all_benchmarks()
-        .iter()
-        .map(|profile| {
-            eprintln!("  running {} under {} ...", profile.name, cfg.pds.label());
-            vs_core::Cosim::with_power_management(cfg, profile, pm.clone()).run()
-        })
-        .collect()
+/// Runs every benchmark under `cfg` with power management enabled
+/// (memoized).
+pub fn run_suite_with_pm(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<CosimReport>> {
+    let key = format!("{cfg:?}|{pm:?}");
+    let cell = {
+        let mut cache = suite_cache().lock().expect("suite cache poisoned");
+        cache.entry(key).or_default().clone()
+    };
+    // Compute outside the map lock so unrelated suites run concurrently;
+    // OnceLock serializes duplicate requests for the same suite.
+    cell.get_or_init(|| {
+        Arc::new(
+            all_benchmarks()
+                .iter()
+                .map(|profile| {
+                    eprintln!("  running {} under {} ...", profile.name, cfg.pds.label());
+                    vs_core::Cosim::with_power_management(cfg, profile, pm.clone()).run()
+                })
+                .collect(),
+        )
+    })
+    .clone()
 }
 
 /// Runs one benchmark under `cfg` with power management.
@@ -107,8 +262,8 @@ impl BaselineCache {
     pub fn build(settings: &RunSettings) -> Self {
         let cfg = settings.config(PdsKind::ConventionalVrm);
         let runs = run_suite(&cfg)
-            .into_iter()
-            .map(|r| (r.benchmark.clone(), r))
+            .iter()
+            .map(|r| (r.benchmark.clone(), r.clone()))
             .collect();
         BaselineCache { runs }
     }
@@ -136,9 +291,11 @@ impl BaselineCache {
     }
 }
 
-/// Prints a plain-text table: header row plus aligned columns.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+/// Formats a plain-text table (header row plus aligned columns) with a
+/// leading blank line, as every figure prints it.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -152,15 +309,23 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .enumerate()
         .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
         .collect();
-    println!("{}", header_line.join("  "));
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
     for row in rows {
         let line: Vec<String> = row
             .iter()
             .enumerate()
             .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
             .collect();
-        println!("{}", line.join("  "));
+        out.push_str(&line.join("  "));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints a plain-text table: header row plus aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(title, headers, rows));
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -197,8 +362,51 @@ mod tests {
     }
 
     #[test]
+    fn parse_defaults_when_unset() {
+        assert_eq!(
+            RunSettings::parse(None, None).unwrap(),
+            RunSettings::default()
+        );
+    }
+
+    #[test]
+    fn parse_accepts_valid_overrides() {
+        let s = RunSettings::parse(Some("0.5"), Some("9000")).unwrap();
+        assert_eq!(s.workload_scale, 0.5);
+        assert_eq!(s.max_cycles, 9000);
+        // Whitespace is tolerated; seed stays fixed.
+        let s = RunSettings::parse(Some(" 1.0 "), None).unwrap();
+        assert_eq!(s.workload_scale, 1.0);
+        assert_eq!(s.seed, 42);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_with_named_variable() {
+        for bad in ["abc", "", "NaN", "inf", "-0.1", "0"] {
+            let e = RunSettings::parse(Some(bad), None).unwrap_err();
+            assert_eq!(e.var, "VS_BENCH_SCALE", "scale {bad:?}");
+            assert!(e.to_string().contains("VS_BENCH_SCALE"));
+        }
+        for bad in ["abc", "", "1.5", "-3", "0"] {
+            let e = RunSettings::parse(None, Some(bad)).unwrap_err();
+            assert_eq!(e.var, "VS_BENCH_MAX_CYCLES", "cycles {bad:?}");
+            assert!(e.to_string().contains(&format!("{bad:?}")));
+        }
+    }
+
+    #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.923), "92.3%");
         assert_eq!(volts(0.8), "0.800 V");
+    }
+
+    #[test]
+    fn format_table_matches_printed_layout() {
+        let t = format_table(
+            "T",
+            &["a", "long"],
+            &[vec!["xx".into(), "1".into()]],
+        );
+        assert_eq!(t, "\n== T ==\n a  long\nxx     1\n");
     }
 }

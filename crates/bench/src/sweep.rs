@@ -1,0 +1,209 @@
+//! The parallel sweep runner: executes a set of experiments across a worker
+//! pool and writes one JSONL artifact per experiment plus a suite manifest.
+//!
+//! Determinism: each worker pops the next experiment index off an atomic
+//! queue, runs it with a *copy* of the shared [`RunSettings`], and stores
+//! the result at its canonical slot. Experiments share no RNG stream or
+//! mutable state (the process-wide suite memo is value-identical however it
+//! is filled), so artifacts are bit-identical whatever the thread count or
+//! scheduling order — only the schema-tagged wall-time events differ.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vs_telemetry::{json::Json, Event, StageSample};
+
+use crate::{ExperimentId, ExperimentOutput, RunSettings};
+
+/// What to run and how.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 = one per available core.
+    pub jobs: usize,
+    /// Restrict to these experiments (canonical order is imposed);
+    /// `None` = the full catalogue.
+    pub only: Option<Vec<ExperimentId>>,
+    /// Settings every experiment runs under.
+    pub settings: RunSettings,
+}
+
+/// One completed experiment inside a sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Which experiment.
+    pub id: ExperimentId,
+    /// Its text + artifact.
+    pub output: ExperimentOutput,
+    /// Wall time of this run, seconds (excluded from every diff by schema).
+    pub wall_s: f64,
+}
+
+/// A completed sweep, experiments in canonical order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The runs, ordered as [`ExperimentId::ALL`].
+    pub runs: Vec<ExperimentRun>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// The settings everything ran under.
+    pub settings: RunSettings,
+    /// Total sweep wall time, seconds.
+    pub total_wall_s: f64,
+}
+
+/// Resolves `jobs = 0` to the machine's available parallelism.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        return jobs;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs the sweep: a pool of `jobs` workers drains the experiment list.
+pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
+    let ids: Vec<ExperimentId> = match &opts.only {
+        Some(list) => ExperimentId::ALL
+            .into_iter()
+            .filter(|id| list.contains(id))
+            .collect(),
+        None => ExperimentId::ALL.to_vec(),
+    };
+    let jobs = effective_jobs(opts.jobs).min(ids.len().max(1));
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ExperimentRun>>> = Mutex::new(vec![None; ids.len()]);
+    let settings = opts.settings;
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&id) = ids.get(i) else { break };
+                eprintln!("[sweep] {} ...", id.name());
+                let t0 = Instant::now();
+                let output = id.run(&settings);
+                let wall_s = t0.elapsed().as_secs_f64();
+                eprintln!("[sweep] {} done in {wall_s:.2}s", id.name());
+                slots.lock().expect("result slots poisoned")[i] =
+                    Some(ExperimentRun { id, output, wall_s });
+            });
+        }
+    });
+    let runs = slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("every experiment slot filled"))
+        .collect();
+    SweepResult {
+        runs,
+        jobs,
+        settings,
+        total_wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The suite-manifest file name inside a sweep output directory.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+impl SweepResult {
+    /// Writes the sweep to `dir`: one `<experiment>.jsonl` artifact per run
+    /// (the deterministic events plus one appended wall-time event) and a
+    /// `manifest.jsonl` suite summary (a `suite` header line followed by one
+    /// `experiment` line per run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        self.write_impl(dir, false)
+    }
+
+    /// Like [`SweepResult::write_to`] but with every wall-time field left
+    /// out — artifacts carry only schema-deterministic events and the
+    /// manifest omits `wall_s`/`total_wall_s`. This is the mode goldens are
+    /// blessed in, so re-running it produces byte-identical files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_deterministic_to(&self, dir: &Path) -> io::Result<()> {
+        self.write_impl(dir, true)
+    }
+
+    fn write_impl(&self, dir: &Path, deterministic: bool) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut suite = vec![
+            ("type", Json::from("suite")),
+            ("schema_version", Json::from(vs_telemetry::SCHEMA_VERSION)),
+            ("workload_scale", Json::from(self.settings.workload_scale)),
+            ("max_cycles", Json::from(self.settings.max_cycles)),
+            ("seed", Json::from(self.settings.seed)),
+            ("jobs", Json::from(self.jobs as u64)),
+            ("experiments", Json::from(self.runs.len() as u64)),
+        ];
+        if !deterministic {
+            suite.push(("total_wall_s", Json::from(self.total_wall_s)));
+        }
+        let mut manifest_lines = vec![Json::obj(suite)];
+        for run in &self.runs {
+            let mut artifact = run.output.artifact.clone();
+            if !deterministic {
+                artifact.events.push(Event::Stages(vec![StageSample {
+                    stage: "experiment".to_string(),
+                    total_s: run.wall_s,
+                    count: 1,
+                }]));
+            }
+            let file = format!("{}.jsonl", run.id.name());
+            std::fs::write(dir.join(&file), artifact.to_jsonl())?;
+            let mut line = vec![
+                ("type", Json::from("experiment")),
+                ("id", Json::from(run.id.name())),
+                ("artifact", Json::from(file)),
+                ("settings_dependent", Json::from(run.id.settings_dependent())),
+            ];
+            if !deterministic {
+                line.push(("wall_s", Json::from(run.wall_s)));
+            }
+            manifest_lines.push(Json::obj(line));
+        }
+        let mut text = String::new();
+        for line in manifest_lines {
+            text.push_str(&line.to_string_compact());
+            text.push('\n');
+        }
+        std::fs::write(dir.join(MANIFEST_FILE), text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn only_filter_preserves_canonical_order() {
+        // Request out of order; the sweep must still run canonical order.
+        let opts = SweepOptions {
+            jobs: 2,
+            only: Some(vec![ExperimentId::Fig5, ExperimentId::Table2, ExperimentId::Table1]),
+            settings: RunSettings::tiny_profile(),
+        };
+        let result = run_sweep(&opts);
+        let ids: Vec<_> = result.runs.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Fig5]
+        );
+    }
+}

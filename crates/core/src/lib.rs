@@ -50,6 +50,7 @@ mod fault;
 mod imbalance;
 mod rig;
 mod scenarios;
+mod seed;
 mod supervisor;
 
 pub use config::{CosimConfig, PdsKind};
@@ -58,4 +59,5 @@ pub use fault::{CrIvrFault, FaultEvent, FaultKind, FaultPlan, FaultWindow, LoadG
 pub use imbalance::ImbalanceHistogram;
 pub use rig::{EnergyLedger, PdsRig};
 pub use scenarios::{run_worst_case, worst_voltage_for, WorstCaseConfig, WorstCaseResult};
+pub use seed::derive_seed;
 pub use supervisor::{CosimError, RunVerdict, SupervisedReport, SupervisorConfig};

@@ -1,0 +1,54 @@
+//! Deterministic seed derivation for parallel experiment runs.
+//!
+//! A sweep executing many experiments across a worker pool must give each
+//! experiment an RNG stream that depends only on *what* it is, never on
+//! *when* or *where* it ran. [`derive_seed`] folds a domain string into a
+//! base seed so two experiments sharing a base seed still draw independent
+//! streams, and the same `(base, domain)` pair always yields the same seed
+//! on every thread count and scheduling order.
+
+/// Derives a per-domain seed from a base seed: an FNV-1a fold of the domain
+/// string mixed into the base, finished with a SplitMix64-style avalanche so
+/// related domains ("fig9", "fig10") land far apart.
+///
+/// Deterministic and order-free: no global state, no time, no thread
+/// identity.
+pub fn derive_seed(base: u64, domain: &str) -> u64 {
+    // FNV-1a over the domain bytes.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in domain.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Mix with the base and avalanche (SplitMix64 finalizer).
+    let mut z = base ^ h;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(derive_seed(42, "fig9"), derive_seed(42, "fig9"));
+    }
+
+    #[test]
+    fn domain_and_base_both_matter() {
+        assert_ne!(derive_seed(42, "fig9"), derive_seed(42, "fig10"));
+        assert_ne!(derive_seed(42, "fig9"), derive_seed(43, "fig9"));
+        assert_ne!(derive_seed(42, ""), derive_seed(42, "x"));
+    }
+
+    #[test]
+    fn spreads_similar_domains() {
+        // Related names must not collide or sit in adjacent values.
+        let a = derive_seed(0, "bench-0");
+        let b = derive_seed(0, "bench-1");
+        assert!(a.abs_diff(b) > 1 << 32);
+    }
+}

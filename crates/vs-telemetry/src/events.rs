@@ -218,6 +218,14 @@ fn parse_u64s(v: &Json) -> Option<Vec<u64>> {
 }
 
 impl Event {
+    /// Whether this event carries wall-clock timing (and is therefore
+    /// excluded from determinism comparisons and golden diffs). This is the
+    /// schema-level notion of "wall-time field": tooling filters on it
+    /// instead of string-matching event payloads.
+    pub fn is_wall_time(&self) -> bool {
+        matches!(self, Event::Stages(_))
+    }
+
     /// The `type` tag this event serializes under.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -468,6 +476,22 @@ impl RunArtifact {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
+            out.push_str(&e.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to JSONL with wall-time events ([`Event::is_wall_time`])
+    /// dropped: the deterministic view of a run, byte-identical across
+    /// repeats of the same seeded experiment regardless of machine load,
+    /// thread count, or scheduling.
+    pub fn deterministic_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            if e.is_wall_time() {
+                continue;
+            }
             out.push_str(&e.to_json().to_string_compact());
             out.push('\n');
         }

@@ -39,11 +39,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod diff;
 mod events;
 pub mod json;
 mod metrics;
 mod profile;
 
+pub use diff::{
+    base_name, canonical_key, diff_artifacts, diff_snapshots, DiffEntry, DiffOutcome, DiffReport,
+    Tolerance, ToleranceSpec,
+};
 pub use events::{
     ActuatorDuty, CycleSample, Event, FaultCampaignRow, GpuCounters, GuardbandStats, ParseError,
     RunArtifact, RunManifest, RunSummary, SolverHealth, StageSample, SCHEMA_VERSION,

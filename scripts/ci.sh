@@ -1,10 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must pass before merging.
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [--golden]
+#   (no flag)  tier-1: build + tests + clippy + rustdoc
+#   --golden   tier-2: the golden-artifact regression suite on the
+#              reduced-cycle golden profile. Re-runs the full experiment
+#              catalogue, diffs it against goldens/*.jsonl under
+#              goldens/tolerances.json, asserts every EXPERIMENTS.md
+#              headline claim, and checks sweep determinism across worker
+#              counts. Leaves the suite manifest at target/sweep/ as the
+#              uploadable artifact.
+#
 # Runs from the repository root regardless of the caller's cwd.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--golden" ]]; then
+    echo "== golden suite (tier-2) =="
+    cargo build --release -p vs-bench
+    cargo test --release -q -p vs-bench --test golden -- --ignored
+    echo "== sweep artifact =="
+    cargo run --release -q -p vs-bench --bin sweep -- \
+        run --profile golden --out target/sweep --diff goldens
+    echo "suite manifest artifact: target/sweep/manifest.jsonl"
+    echo "tier-2 golden gate: OK"
+    exit 0
+fi
 
 echo "== build (release) =="
 cargo build --release --workspace
