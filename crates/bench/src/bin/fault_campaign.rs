@@ -15,10 +15,11 @@
 //! `vs-telemetry` run-artifact schema: a manifest line followed by one
 //! `fault_row` event per campaign cell.
 
-use vs_bench::{pct, print_table, volts, RunSettings};
+use vs_bench::{pct, print_table, volts, BenchEnv};
 use vs_control::{ActuatorFault, DetectorFault};
 use vs_core::{
-    Cosim, CrIvrFault, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, SupervisorConfig,
+    CosimPool, CrIvrFault, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, ScenarioId,
+    SupervisorConfig,
 };
 use vs_telemetry::{Event, FaultCampaignRow, RunArtifact, RunManifest, SCHEMA_VERSION};
 
@@ -189,20 +190,21 @@ fn scenarios(seed: u64) -> Vec<Scenario> {
 
 /// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
 /// over `VS_FAULT_JSON`; `-` means stdout.
-fn json_sink() -> Option<String> {
+fn json_sink(env: &BenchEnv) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--json" {
             return Some(args.next().unwrap_or_else(|| "-".to_string()));
         }
     }
-    std::env::var("VS_FAULT_JSON").ok()
+    env.fault_json.clone()
 }
 
 fn main() {
-    let settings = RunSettings::from_env_or_exit();
+    let env = BenchEnv::from_env_or_exit();
+    let settings = env.settings;
     let supervisor = SupervisorConfig::default();
-    let benchmark = vs_gpu::benchmark("heartwall").expect("known benchmark");
+    let benchmark = ScenarioId::Heartwall.profile();
     let pds_under_test = [
         PdsKind::VsCircuitOnly { area_mult: 1.72 },
         PdsKind::VsCrossLayer { area_mult: 0.2 },
@@ -222,6 +224,10 @@ fn main() {
             vs_telemetry::crate_version().to_string(),
         )],
     })];
+    // All campaign cells share the heartwall workload; the pool recycles the
+    // solver workspace across the ~28 runs without changing a bit of any of
+    // them.
+    let mut pool = CosimPool::new();
     for pds in pds_under_test {
         let cfg = settings.config(pds);
         for sc in scenarios(settings.seed) {
@@ -229,7 +235,7 @@ fn main() {
                 continue;
             }
             eprintln!("  {} under {} ...", sc.name, pds.label());
-            let run = Cosim::new(&cfg, &benchmark).run_supervised(&supervisor, &sc.plan);
+            let run = pool.run_supervised(&cfg, &benchmark, &supervisor, &sc.plan);
             events.push(Event::FaultRow(FaultCampaignRow {
                 pds: pds.label().to_string(),
                 fault: sc.name.to_string(),
@@ -282,7 +288,7 @@ fn main() {
         volts(supervisor.v_guardband),
     );
 
-    if let Some(sink) = json_sink() {
+    if let Some(sink) = json_sink(&env) {
         let artifact = RunArtifact { events };
         if sink == "-" {
             print!("{}", artifact.to_jsonl());

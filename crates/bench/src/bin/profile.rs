@@ -12,8 +12,8 @@
 //! (or set `VS_PROFILE_JSON=<path>`; `-` means stdout) to also write the
 //! full JSONL run artifact for offline analysis.
 
-use vs_bench::{pct, print_table, volts, RunSettings};
-use vs_core::{Cosim, FaultPlan, PdsKind, SupervisorConfig};
+use vs_bench::{pct, print_table, volts, BenchEnv};
+use vs_core::{Cosim, FaultPlan, PdsKind, ScenarioId, SupervisorConfig};
 use vs_telemetry::Telemetry;
 
 /// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
@@ -42,15 +42,19 @@ fn benchmark_arg() -> String {
 }
 
 fn main() {
-    let settings = RunSettings::from_env_or_exit();
+    let env = BenchEnv::from_env_or_exit();
     let name = benchmark_arg();
-    let profile = vs_gpu::benchmark(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let cfg = settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 });
+    let id: ScenarioId = name.parse().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let profile = id.profile();
+    let cfg = env.settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 });
 
-    eprintln!("  profiling {name} under {} ...", cfg.pds.label());
-    let mut cosim = Cosim::new(&cfg, &profile);
-    cosim.set_telemetry(Telemetry::enabled());
+    eprintln!("  profiling {id} under {} ...", cfg.pds.label());
+    let mut cosim = Cosim::builder(&cfg, &profile)
+        .telemetry(Telemetry::enabled())
+        .build();
     let run = cosim.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
     let artifact = run.telemetry.as_ref().expect("telemetry was enabled");
 

@@ -289,7 +289,9 @@ pub(super) fn fig11(settings: &RunSettings, r: &mut Recorder) {
             r.gauge_labeled("v_box", &[("bench", bench), ("cfg", cfg), ("stat", stat)], v);
         }
     };
-    for name in benchmark_names() {
+    let mut pool = vs_core::CosimPool::new();
+    for id in vs_core::ScenarioId::ALL {
+        let name = id.name();
         eprintln!("  running {name} (circuit-only / cross-layer) ...");
         let mk = |pds| CosimConfig {
             record_traces: true,
@@ -297,14 +299,20 @@ pub(super) fn fig11(settings: &RunSettings, r: &mut Recorder) {
             v_threshold: 0.97,
             ..settings.config(pds)
         };
-        let co = vs_core::run_benchmark(&mk(PdsKind::VsCircuitOnly { area_mult: 0.2 }), &name);
-        let cl = vs_core::run_benchmark(&mk(PdsKind::VsCrossLayer { area_mult: 0.2 }), &name);
+        let profile = id.profile();
+        let pm = vs_core::PowerManagement::default();
+        let co = pool.run_profile(
+            &mk(PdsKind::VsCircuitOnly { area_mult: 0.2 }),
+            &profile,
+            pm.clone(),
+        );
+        let cl = pool.run_profile(&mk(PdsKind::VsCrossLayer { area_mult: 0.2 }), &profile, pm);
         let (omin, oq1, omed, oq3, omax) = pooled(&co.sm_voltage_summaries);
         let (cmin, cq1, cmed, cq3, cmax) = pooled(&cl.sm_voltage_summaries);
-        record_box(r, &name, "co", (omin, oq1, omed, oq3, omax));
-        record_box(r, &name, "cl", (cmin, cq1, cmed, cq3, cmax));
+        record_box(r, name, "co", (omin, oq1, omed, oq3, omax));
+        record_box(r, name, "cl", (cmin, cq1, cmed, cq3, cmax));
         rows.push(vec![
-            name.clone(),
+            name.to_string(),
             format!("{omin:.3}/{oq1:.3}/{omed:.3}/{oq3:.3}/{omax:.3}"),
             format!("{cmin:.3}/{cq1:.3}/{cmed:.3}/{cq3:.3}/{cmax:.3}"),
         ]);

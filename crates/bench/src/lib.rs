@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use vs_core::{CosimConfig, CosimReport, PdsKind, PowerManagement};
+use vs_core::{CosimConfig, CosimPool, CosimReport, PdsKind, PowerManagement, ScenarioId};
 use vs_gpu::all_benchmarks;
 
 pub mod claims;
@@ -192,6 +192,51 @@ impl RunSettings {
     }
 }
 
+/// Typed view of the bench-process environment: the run settings plus the
+/// optional JSONL sink path honoured by the artifact-writing binaries
+/// (`VS_FAULT_JSON` for `fault_campaign`, with `-` meaning stdout).
+///
+/// Binaries read the environment exactly once, through this type, instead
+/// of scattering `std::env::var` calls; malformed values are rejected with
+/// the same exit-2 semantics as [`RunSettings::from_env_or_exit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEnv {
+    /// Scale / cycle-cap / seed settings from `VS_BENCH_SCALE` and
+    /// `VS_BENCH_MAX_CYCLES`.
+    pub settings: RunSettings,
+    /// JSONL artifact sink from `VS_FAULT_JSON` (CLI `--json` overrides it).
+    pub fault_json: Option<String>,
+}
+
+impl BenchEnv {
+    /// Reads the bench environment (`VS_BENCH_SCALE`, `VS_BENCH_MAX_CYCLES`,
+    /// `VS_FAULT_JSON`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SettingsError`] when a settings variable is set but
+    /// malformed (unset variables fall back to the defaults; the sink is
+    /// free-form and never rejected).
+    pub fn try_from_env() -> Result<BenchEnv, SettingsError> {
+        Ok(BenchEnv {
+            settings: RunSettings::try_from_env()?,
+            fault_json: std::env::var("VS_FAULT_JSON").ok(),
+        })
+    }
+
+    /// [`BenchEnv::try_from_env`] for binaries: prints the error and exits
+    /// with status 2 on malformed input.
+    pub fn from_env_or_exit() -> BenchEnv {
+        match BenchEnv::try_from_env() {
+            Ok(env) => env,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// The four PDS configurations in Table III order.
 pub fn pds_configs() -> [PdsKind; 4] {
     [
@@ -232,12 +277,17 @@ pub fn run_suite_with_pm(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<Cos
     // Compute outside the map lock so unrelated suites run concurrently;
     // OnceLock serializes duplicate requests for the same suite.
     cell.get_or_init(|| {
+        // One pool for the whole suite: all twelve runs share the PDS
+        // netlist, so every run after the first reuses the solver buffers
+        // and cached DC operating point (see vs_core::CosimPool).
+        let mut pool = CosimPool::new();
         Arc::new(
-            all_benchmarks()
-                .iter()
-                .map(|profile| {
-                    eprintln!("  running {} under {} ...", profile.name, cfg.pds.label());
-                    vs_core::Cosim::with_power_management(cfg, profile, pm.clone()).run()
+            ScenarioId::ALL
+                .into_iter()
+                .map(|id| {
+                    eprintln!("  running {} under {} ...", id, cfg.pds.label());
+                    let profile = id.profile();
+                    pool.run_profile(cfg, &profile, pm.clone())
                 })
                 .collect(),
         )
@@ -245,10 +295,13 @@ pub fn run_suite_with_pm(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<Cos
     .clone()
 }
 
-/// Runs one benchmark under `cfg` with power management.
-pub fn run_one_with_pm(cfg: &CosimConfig, name: &str, pm: &PowerManagement) -> CosimReport {
-    let profile = vs_gpu::benchmark(name).expect("known benchmark");
-    vs_core::Cosim::with_power_management(cfg, &profile, pm.clone()).run()
+/// Runs one scenario under `cfg` with power management.
+pub fn run_one_with_pm(cfg: &CosimConfig, id: ScenarioId, pm: &PowerManagement) -> CosimReport {
+    let profile = id.profile();
+    vs_core::Cosim::builder(cfg, &profile)
+        .power_management(pm.clone())
+        .build()
+        .run()
 }
 
 /// Baseline cache: conventional-PDS runs per benchmark, used to normalize

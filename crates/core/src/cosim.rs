@@ -9,9 +9,9 @@
 //! controller's (latency-delayed) commands feed back into the next cycle's
 //! issue widths, fake-instruction rates, and DCC ballast currents.
 
-use vs_circuit::StepReport;
-use vs_control::{ControllerConfig, VoltageController};
-use vs_gpu::{build_kernel, Gpu, GpuConfig, SchedulerKind, SmStats, WorkloadProfile};
+use vs_circuit::{SolverWorkspace, StepReport};
+use vs_control::{ControllerConfig, SmCommand, VoltageController};
+use vs_gpu::{build_kernel, Gpu, GpuConfig, GpuCycleEvents, SchedulerKind, SmStats, WorkloadProfile};
 use vs_hypervisor::{DfsConfig, DfsGovernor, GatingAccountant, PgConfig, VsAwareHypervisor};
 use vs_power::{PowerModel, SmPower};
 use vs_telemetry::{
@@ -23,7 +23,138 @@ use crate::config::{CosimConfig, PdsKind};
 use crate::fault::{FaultKind, FaultPlan, LoadGlitch};
 use crate::imbalance::ImbalanceHistogram;
 use crate::rig::{EnergyLedger, PdsRig};
+use crate::scenarios::ScenarioId;
 use crate::supervisor::{classify, CosimError, SupervisedReport, SupervisorConfig};
+
+/// Configures and constructs a [`Cosim`] — the single typed entry point
+/// replacing the historical `Cosim::new` / `Cosim::with_power_management` /
+/// `set_telemetry` trio.
+///
+/// # Examples
+///
+/// ```no_run
+/// use vs_core::{Cosim, CosimConfig, ScenarioId};
+///
+/// let cfg = CosimConfig::default();
+/// let profile = ScenarioId::Heartwall.profile();
+/// let report = Cosim::builder(&cfg, &profile).build().run();
+/// println!("PDE = {:.1}%", 100.0 * report.pde());
+/// ```
+#[must_use = "a builder does nothing until `build` is called"]
+pub struct CosimBuilder<'a> {
+    cfg: &'a CosimConfig,
+    profile: &'a WorkloadProfile,
+    pm: PowerManagement,
+    sup: SupervisorConfig,
+    telemetry: Telemetry,
+    workspace: SolverWorkspace,
+}
+
+impl<'a> CosimBuilder<'a> {
+    /// Starts a builder for running `profile` under `cfg` with no power
+    /// management, the default supervisor, and telemetry disabled.
+    pub fn new(cfg: &'a CosimConfig, profile: &'a WorkloadProfile) -> Self {
+        CosimBuilder {
+            cfg,
+            profile,
+            pm: PowerManagement::default(),
+            sup: SupervisorConfig::default(),
+            telemetry: Telemetry::disabled(),
+            workspace: SolverWorkspace::new(),
+        }
+    }
+
+    /// Enables DFS / PG / hypervisor power management for the run.
+    pub fn power_management(mut self, pm: PowerManagement) -> Self {
+        self.pm = pm;
+        self
+    }
+
+    /// Sets the supervisor policy [`Cosim::run`] applies (recovery policy,
+    /// guardband, tolerance). [`Cosim::run_supervised`] still takes its
+    /// supervisor explicitly.
+    pub fn supervisor(mut self, sup: SupervisorConfig) -> Self {
+        self.sup = sup;
+        self
+    }
+
+    /// Installs an instrumentation handle. With [`Telemetry::enabled`] the
+    /// run records stage wall times, solver health, actuator duty,
+    /// guardband and GPU counters, plus decimated cycle samples (every
+    /// [`CosimConfig::trace_stride`]th cycle), and
+    /// [`SupervisedReport::telemetry`] carries the machine-readable
+    /// artifact. The default ([`Telemetry::disabled`]) reduces every
+    /// instrumentation point to a branch.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Builds the circuit solver inside a reusable [`SolverWorkspace`]
+    /// (see [`crate::CosimPool`] for the batch API that recycles one
+    /// workspace across scenarios). Reuse never changes results.
+    pub fn workspace(mut self, workspace: SolverWorkspace) -> Self {
+        self.workspace = workspace;
+        self
+    }
+
+    /// Assembles the co-simulation: GPU, power model, PDS rig, controller,
+    /// and the optional power-management governors.
+    pub fn build(self) -> Cosim {
+        let cfg = self.cfg;
+        let pm = self.pm;
+        let gpu_config = GpuConfig::default();
+        let mut kernel = build_kernel(self.profile, &gpu_config, cfg.seed);
+        if cfg.workload_scale < 1.0 {
+            kernel.iterations =
+                ((f64::from(kernel.iterations) * cfg.workload_scale).round() as u32).max(1);
+        }
+        let scheduler = if pm.pg.is_some_and(|p| p.gates_scheduler) {
+            SchedulerKind::TwoLevelGates
+        } else {
+            SchedulerKind::Gto
+        };
+        let gpu = Gpu::new(&gpu_config, &kernel, scheduler);
+        let power = PowerModel::fermi_40nm();
+        let controller_cfg = ControllerConfig {
+            v_threshold: cfg.v_threshold,
+            weights: cfg.weights,
+            latency_cycles: cfg.latency_cycles,
+            detector: cfg.detector,
+            ..ControllerConfig::default()
+        };
+        let overhead_w = controller_cfg.controller_power_w
+            + cfg.detector.power_w() * gpu_config.n_sms as f64;
+        let rig = PdsRig::new_in(
+            cfg.pds,
+            gpu_config.clock_period_s(),
+            overhead_w,
+            self.workspace,
+        );
+        let controller = cfg
+            .pds
+            .has_controller()
+            .then(|| VoltageController::new(controller_cfg));
+        let dfs = pm.dfs.map(|d| DfsGovernor::new(d, gpu_config.n_sms));
+        let hypervisor = pm.use_hypervisor.then(|| {
+            VsAwareHypervisor::new(pm.hypervisor_config.unwrap_or_default())
+        });
+        Cosim {
+            cfg: cfg.clone(),
+            pm,
+            sup: self.sup,
+            gpu,
+            power,
+            rig,
+            controller,
+            dfs,
+            hypervisor,
+            gating_acc: GatingAccountant::new(),
+            benchmark: self.profile.name.clone(),
+            telemetry: self.telemetry,
+        }
+    }
+}
 
 /// Optional higher-level power management active during a run.
 #[derive(Debug, Clone, Default)]
@@ -77,9 +208,14 @@ impl CosimReport {
 }
 
 /// Runs one benchmark under one configuration.
+///
+/// Construct it with [`Cosim::builder`]; a `Cosim` represents a single run
+/// from cycle zero (running it a second time returns immediately with the
+/// finished state).
 pub struct Cosim {
     cfg: CosimConfig,
     pm: PowerManagement,
+    sup: SupervisorConfig,
     gpu: Gpu,
     power: PowerModel,
     rig: PdsRig,
@@ -96,96 +232,59 @@ pub struct Cosim {
 const LAYER_MIN_V_BOUNDS: [f64; 9] = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10];
 
 impl Cosim {
+    /// Starts a [`CosimBuilder`] for running `profile` under `cfg`.
+    pub fn builder<'a>(cfg: &'a CosimConfig, profile: &'a WorkloadProfile) -> CosimBuilder<'a> {
+        CosimBuilder::new(cfg, profile)
+    }
+
     /// Prepares a run of `profile` under `cfg` with no higher-level power
     /// management.
+    #[deprecated(note = "use `Cosim::builder(cfg, profile).build()`")]
     pub fn new(cfg: &CosimConfig, profile: &WorkloadProfile) -> Self {
-        Self::with_power_management(cfg, profile, PowerManagement::default())
+        Self::builder(cfg, profile).build()
     }
 
     /// Prepares a run with DFS / PG / hypervisor options.
+    #[deprecated(note = "use `Cosim::builder(cfg, profile).power_management(pm).build()`")]
     pub fn with_power_management(
         cfg: &CosimConfig,
         profile: &WorkloadProfile,
         pm: PowerManagement,
     ) -> Self {
-        let gpu_config = GpuConfig::default();
-        let mut kernel = build_kernel(profile, &gpu_config, cfg.seed);
-        if cfg.workload_scale < 1.0 {
-            kernel.iterations =
-                ((f64::from(kernel.iterations) * cfg.workload_scale).round() as u32).max(1);
-        }
-        let scheduler = if pm.pg.is_some_and(|p| p.gates_scheduler) {
-            SchedulerKind::TwoLevelGates
-        } else {
-            SchedulerKind::Gto
-        };
-        let gpu = Gpu::new(&gpu_config, &kernel, scheduler);
-        let power = PowerModel::fermi_40nm();
-        let controller_cfg = ControllerConfig {
-            v_threshold: cfg.v_threshold,
-            weights: cfg.weights,
-            latency_cycles: cfg.latency_cycles,
-            detector: cfg.detector,
-            ..ControllerConfig::default()
-        };
-        let overhead_w = controller_cfg.controller_power_w
-            + cfg.detector.power_w() * gpu_config.n_sms as f64;
-        let rig = PdsRig::new(cfg.pds, gpu_config.clock_period_s(), overhead_w);
-        let controller = cfg
-            .pds
-            .has_controller()
-            .then(|| VoltageController::new(controller_cfg));
-        let dfs = pm
-            .dfs
-            .map(|d| DfsGovernor::new(d, gpu_config.n_sms));
-        let hypervisor = pm.use_hypervisor.then(|| {
-            VsAwareHypervisor::new(
-                pm.hypervisor_config
-                    .unwrap_or_default(),
-            )
-        });
-        Cosim {
-            cfg: cfg.clone(),
-            pm,
-            gpu,
-            power,
-            rig,
-            controller,
-            dfs,
-            hypervisor,
-            gating_acc: GatingAccountant::new(),
-            benchmark: profile.name.clone(),
-            telemetry: Telemetry::disabled(),
-        }
+        Self::builder(cfg, profile).power_management(pm).build()
     }
 
-    /// Installs an instrumentation handle for the next run. With
-    /// [`Telemetry::enabled`] the run records stage wall times, solver
-    /// health, actuator duty, guardband and GPU counters, plus decimated
-    /// cycle samples (every [`CosimConfig::trace_stride`]th cycle), and
-    /// [`SupervisedReport::telemetry`] carries the machine-readable
-    /// artifact. The default ([`Telemetry::disabled`]) reduces every
-    /// instrumentation point to a branch.
+    /// Installs an instrumentation handle for the next run.
+    #[deprecated(note = "use `CosimBuilder::telemetry` when constructing the run")]
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Tears the finished run down into the circuit solver's reusable
+    /// [`SolverWorkspace`] so the next scenario skips its warm-up
+    /// allocations (the mechanism behind [`crate::CosimPool`]).
+    pub fn into_workspace(self) -> SolverWorkspace {
+        self.rig.into_workspace()
     }
 
     /// Runs to kernel completion (or the cycle cap) and reports.
     ///
     /// Equivalent to a fault-free [`Cosim::run_supervised`] under the
-    /// default [`SupervisorConfig`].
+    /// builder's supervisor ([`SupervisorConfig::default`] unless
+    /// [`CosimBuilder::supervisor`] overrode it).
     ///
     /// # Panics
     ///
     /// Panics if the circuit solver fails irrecoverably (the historical
     /// contract of this entry point; use [`Cosim::run_supervised`] to get a
     /// verdict instead of a panic).
-    pub fn run(self) -> CosimReport {
-        let sup = self.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
-        if let Some(e) = sup.error {
+    pub fn run(&mut self) -> CosimReport {
+        let sup = self.sup;
+        let run = self.run_supervised(&sup, &FaultPlan::none());
+        if let Some(e) = run.error {
             panic!("PDS transient step: {e}");
         }
-        sup.report
+        run.report
     }
 
     /// Runs under a supervisor: installs the supervisor's solver-recovery
@@ -194,7 +293,7 @@ impl Cosim {
     /// guardband, and classifies the finished run into a
     /// [`crate::RunVerdict`] instead of panicking on solver failure.
     #[allow(clippy::too_many_lines)]
-    pub fn run_supervised(mut self, sup: &SupervisorConfig, plan: &FaultPlan) -> SupervisedReport {
+    pub fn run_supervised(&mut self, sup: &SupervisorConfig, plan: &FaultPlan) -> SupervisedReport {
         let n_sms = self.rig.n_sms();
         let dt = 1.0 / self.power.clock_hz();
         let v_nominal = self.power.v_nominal();
@@ -242,6 +341,12 @@ impl Cosim {
         let mut sm_watts = vec![0.0; n_sms];
         let mut fake_watts = vec![0.0; n_sms];
         let table_fake = self.power.table().e_fake;
+        // Reusable hot-loop buffers: the steady-state cycle below allocates
+        // nothing (see DESIGN.md, "The zero-allocation hot path").
+        let mut events = GpuCycleEvents::new();
+        let mut voltages: Vec<f64> = Vec::with_capacity(n_sms);
+        let mut sensed: Vec<f64> = Vec::with_capacity(n_sms);
+        let mut commands: Vec<SmCommand> = Vec::with_capacity(n_sms);
 
         let stride = u64::from(self.cfg.trace_stride.max(1));
         let mut layer_min = vec![f64::INFINITY; n_layers];
@@ -273,9 +378,9 @@ impl Cosim {
 
         while !self.gpu.done() && self.gpu.cycle() < self.cfg.max_cycles {
             let span = self.telemetry.stages.start();
-            let events = self.gpu.tick();
+            self.gpu.tick_into(&mut events);
             self.telemetry.stages.stop(Stage::GpuStep, span);
-            let voltages = self.rig.sm_voltages();
+            self.rig.sm_voltages_into(&mut voltages);
 
             let span = self.telemetry.stages.start();
             for sm in 0..n_sms {
@@ -334,7 +439,7 @@ impl Cosim {
                     break;
                 }
             }
-            let voltages = self.rig.sm_voltages();
+            self.rig.sm_voltages_into(&mut voltages);
             for (sm, v) in voltages.iter().enumerate() {
                 min_v = min_v.min(*v);
                 max_v = max_v.max(*v);
@@ -388,7 +493,8 @@ impl Cosim {
             // ones.
             if let Some(ctrl) = self.controller.as_mut() {
                 let span = self.telemetry.stages.start();
-                let mut sensed = voltages.clone();
+                sensed.clear();
+                sensed.extend_from_slice(&voltages);
                 for (i, ev) in plan.events().iter().enumerate() {
                     if let FaultKind::Detector { sm, fault } = ev.kind {
                         if ev.window.active(cycle) {
@@ -397,7 +503,8 @@ impl Cosim {
                     }
                 }
                 held_sample.copy_from_slice(&sensed);
-                let mut commands = ctrl.update(&sensed).to_vec();
+                commands.clear();
+                commands.extend_from_slice(ctrl.update(&sensed));
                 for ev in plan.events() {
                     if let FaultKind::Actuator { sm, fault } = ev.kind {
                         if ev.window.active(cycle) {
@@ -476,7 +583,7 @@ impl Cosim {
             0.0
         };
         let report = CosimReport {
-            benchmark: self.benchmark,
+            benchmark: self.benchmark.clone(),
             pds: self.cfg.pds,
             cycles,
             completed,
@@ -583,19 +690,31 @@ impl Cosim {
     }
 }
 
+/// Convenience: run one scenario from the typed catalogue under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the circuit solver fails irrecoverably (see [`Cosim::run`]).
+pub fn run_scenario(cfg: &CosimConfig, id: ScenarioId) -> CosimReport {
+    let profile = id.profile();
+    Cosim::builder(cfg, &profile).build().run()
+}
+
 /// Convenience: run one benchmark by name under `cfg`.
 ///
 /// # Panics
 ///
 /// Panics if `name` is not one of the twelve benchmarks.
+#[deprecated(note = "use `run_scenario` with a typed `ScenarioId`")]
 pub fn run_benchmark(cfg: &CosimConfig, name: &str) -> CosimReport {
-    let profile = vs_gpu::benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    Cosim::new(cfg, &profile).run()
+    let id: ScenarioId = name.parse().unwrap_or_else(|e| panic!("{e}"));
+    run_scenario(cfg, id)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenarios::ScenarioId;
 
     fn quick(pds: PdsKind) -> CosimConfig {
         CosimConfig {
@@ -608,7 +727,7 @@ mod tests {
 
     #[test]
     fn cross_layer_run_completes_with_high_pde() {
-        let r = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "heartwall");
+        let r = run_scenario(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), ScenarioId::Heartwall);
         assert!(r.completed, "kernel must finish ({} cycles)", r.cycles);
         let pde = r.pde();
         assert!((0.87..=0.97).contains(&pde), "PDE {pde}");
@@ -617,8 +736,8 @@ mod tests {
 
     #[test]
     fn conventional_run_has_lower_pde() {
-        let vs = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "hotspot");
-        let conv = run_benchmark(&quick(PdsKind::ConventionalVrm), "hotspot");
+        let vs = run_scenario(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), ScenarioId::Hotspot);
+        let conv = run_scenario(&quick(PdsKind::ConventionalVrm), ScenarioId::Hotspot);
         assert!(conv.completed && vs.completed);
         assert!(
             vs.pde() > conv.pde() + 0.05,
@@ -630,8 +749,8 @@ mod tests {
 
     #[test]
     fn throttling_costs_few_cycles() {
-        let base = run_benchmark(&quick(PdsKind::ConventionalVrm), "srad");
-        let vs = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "srad");
+        let base = run_scenario(&quick(PdsKind::ConventionalVrm), ScenarioId::Srad);
+        let vs = run_scenario(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), ScenarioId::Srad);
         assert!(base.completed && vs.completed);
         let penalty = vs.cycles as f64 / base.cycles as f64 - 1.0;
         assert!(
@@ -642,7 +761,7 @@ mod tests {
 
     #[test]
     fn imbalance_histogram_mostly_balanced() {
-        let r = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "heartwall");
+        let r = run_scenario(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), ScenarioId::Heartwall);
         let f = r.imbalance.fractions();
         // Paper Fig. 17: >= 50% of cycles under 10% normalized imbalance.
         assert!(f[0] > 0.5, "balanced fraction {:?}", f);
@@ -656,12 +775,12 @@ mod tests {
             max_cycles: 1_500_000,
             ..CosimConfig::default()
         };
-        let profile = vs_gpu::benchmark("bfs").unwrap();
+        let profile = ScenarioId::Bfs.profile();
         let pm = PowerManagement {
             dfs: Some(DfsConfig::with_goal(0.5)),
             ..PowerManagement::default()
         };
-        let r = Cosim::with_power_management(&cfg, &profile, pm).run();
+        let r = Cosim::builder(&cfg, &profile).power_management(pm).build().run();
         assert!(
             r.avg_freq_scale < 0.9,
             "DFS should lower clocks: {}",
@@ -675,12 +794,12 @@ mod tests {
         // break-even threshold comfortably (compute-dense benchmarks can net
         // negative savings from wake thrash, as Warped Gates reports).
         let cfg = quick(PdsKind::ConventionalVrm);
-        let profile = vs_gpu::benchmark("bfs").unwrap();
+        let profile = ScenarioId::Bfs.profile();
         let pm = PowerManagement {
             pg: Some(PgConfig::default()),
             ..PowerManagement::default()
         };
-        let r = Cosim::with_power_management(&cfg, &profile, pm).run();
+        let r = Cosim::builder(&cfg, &profile).power_management(pm).build().run();
         assert!(r.completed);
         assert!(r.gating_saved_j > 0.0, "saved {}", r.gating_saved_j);
     }

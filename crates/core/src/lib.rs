@@ -9,10 +9,13 @@
 //!
 //! Entry points:
 //!
-//! * [`CosimConfig`] + [`run_benchmark`] / [`Cosim`] — run one of the twelve
-//!   benchmarks under any of the four PDS configurations and get a
-//!   [`CosimReport`] with PDE, loss breakdown, supply-noise statistics, and
-//!   imbalance histograms.
+//! * [`CosimConfig`] + [`run_scenario`] / [`Cosim::builder`] — run one of
+//!   the twelve [`ScenarioId`] benchmarks under any of the four PDS
+//!   configurations and get a [`CosimReport`] with PDE, loss breakdown,
+//!   supply-noise statistics, and imbalance histograms.
+//! * [`CosimPool`] — run many scenarios back-to-back on one recycled
+//!   circuit-solver workspace (the allocation-free batch hot path behind
+//!   the sweep runner; see DESIGN.md, "The zero-allocation hot path").
 //! * [`run_worst_case`] — the synthetic worst-case imbalance scenario
 //!   behind the paper's reliability guarantee (Figs. 9–10).
 //! * [`PowerManagement`] — bolt on DFS, power gating, and the VS-aware
@@ -22,7 +25,7 @@
 //!   seeded fault schedule (sensing, actuation, CR-IVR, load faults), a
 //!   watchdog tracking time below the 0.8 V guardband per layer, and a
 //!   [`RunVerdict`] per run instead of a panic when the solver gives up.
-//! * [`Cosim::set_telemetry`] — observability: hand the run an enabled
+//! * [`CosimBuilder::telemetry`] — observability: hand the run an enabled
 //!   [`vs_telemetry::Telemetry`] and [`SupervisedReport::telemetry`] comes
 //!   back with a machine-readable JSONL artifact (run manifest, decimated
 //!   cycle samples, per-stage wall times, solver health, actuator duty,
@@ -31,19 +34,20 @@
 //! # Examples
 //!
 //! ```no_run
-//! use vs_core::{run_benchmark, CosimConfig, PdsKind};
+//! use vs_core::{run_scenario, CosimConfig, PdsKind, ScenarioId};
 //!
 //! let cfg = CosimConfig {
 //!     pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
 //!     ..CosimConfig::default()
 //! };
-//! let report = run_benchmark(&cfg, "hotspot");
+//! let report = run_scenario(&cfg, ScenarioId::Hotspot);
 //! println!("PDE = {:.1}%", 100.0 * report.pde());
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod config;
 mod cosim;
 mod fault;
@@ -53,11 +57,17 @@ mod scenarios;
 mod seed;
 mod supervisor;
 
+pub use batch::CosimPool;
 pub use config::{CosimConfig, PdsKind};
-pub use cosim::{run_benchmark, Cosim, CosimReport, PowerManagement};
+#[allow(deprecated)]
+pub use cosim::run_benchmark;
+pub use cosim::{run_scenario, Cosim, CosimBuilder, CosimReport, PowerManagement};
 pub use fault::{CrIvrFault, FaultEvent, FaultKind, FaultPlan, FaultWindow, LoadGlitch};
 pub use imbalance::ImbalanceHistogram;
 pub use rig::{EnergyLedger, PdsRig};
-pub use scenarios::{run_worst_case, worst_voltage_for, WorstCaseConfig, WorstCaseResult};
+pub use scenarios::{
+    run_worst_case, worst_voltage_for, ScenarioId, UnknownScenario, WorstCaseConfig,
+    WorstCaseResult,
+};
 pub use seed::derive_seed;
 pub use supervisor::{CosimError, RunVerdict, SupervisedReport, SupervisorConfig};

@@ -2,7 +2,9 @@
 //! currents, step the circuit, read SM voltages, and split the energy ledger
 //! into the paper's loss categories.
 
-use vs_circuit::{Integration, RecoveryPolicy, SolverError, StepReport, Transient};
+use vs_circuit::{
+    Integration, RecoveryPolicy, SolverError, SolverWorkspace, StepReport, Transient,
+};
 use vs_pds::{
     ivr_efficiency, level_shifter_fraction, vrm_efficiency, AreaModel, CrIvrConfig, PdnParams,
     SingleLayerPdn, StackedPdn,
@@ -108,6 +110,18 @@ impl PdsRig {
         Self::with_params(kind, &PdnParams::default(), dt, controller_power_w)
     }
 
+    /// Like [`PdsRig::new`], but constructing the circuit solver inside a
+    /// reusable [`SolverWorkspace`] (preallocated buffers plus the cached DC
+    /// operating point of the previous run with the same netlist).
+    pub fn new_in(
+        kind: PdsKind,
+        dt: f64,
+        controller_power_w: f64,
+        workspace: SolverWorkspace,
+    ) -> Self {
+        Self::with_params_in(kind, &PdnParams::default(), dt, controller_power_w, workspace)
+    }
+
     /// Builds the rig with explicit electrical parameters (used by the
     /// stack-depth and topology ablations).
     pub fn with_params(
@@ -116,6 +130,20 @@ impl PdsRig {
         dt: f64,
         controller_power_w: f64,
     ) -> Self {
+        Self::with_params_in(kind, params, dt, controller_power_w, SolverWorkspace::new())
+    }
+
+    /// [`PdsRig::with_params`] on a reusable [`SolverWorkspace`]. Reuse
+    /// never changes results: the solver re-initializes every buffer from
+    /// the netlist, and the DC cache only applies on an exact netlist
+    /// fingerprint match.
+    pub fn with_params_in(
+        kind: PdsKind,
+        params: &PdnParams,
+        dt: f64,
+        controller_power_w: f64,
+        workspace: SolverWorkspace,
+    ) -> Self {
         let params = *params;
         let n_sms = params.n_sms();
         match kind {
@@ -123,8 +151,9 @@ impl PdsRig {
                 let is_ivr = matches!(kind, PdsKind::SingleLayerIvr);
                 let v = if is_ivr { IVR_DELIVERY_V } else { params.v_sm };
                 let pdn = SingleLayerPdn::build(&params, v);
-                let sim = Transient::new(&pdn.netlist, dt, Integration::Trapezoidal)
-                    .expect("single-layer PDN is well-formed");
+                let sim =
+                    Transient::new_in(&pdn.netlist, dt, Integration::Trapezoidal, workspace)
+                        .expect("single-layer PDN is well-formed");
                 PdsRig {
                     kind: RigKind::Single { pdn, is_ivr },
                     sim,
@@ -143,12 +172,13 @@ impl PdsRig {
                 let crivr = CrIvrConfig::sized_by_gpu_area(area_mult, &area);
                 let pdn = StackedPdn::build(&params, Some((&crivr, &area)));
                 let (v0, g2) = pdn.balanced_initial_state();
-                let sim = Transient::with_initial_state(
+                let sim = Transient::with_initial_state_in(
                     &pdn.netlist,
                     dt,
                     Integration::Trapezoidal,
                     &v0,
                     &g2,
+                    workspace,
                 )
                 .expect("stacked PDN is well-formed");
                 let nominal_recycler_g = pdn
@@ -303,12 +333,34 @@ impl PdsRig {
 
     /// Per-SM supply voltages at the last step (layer-major for stacked).
     pub fn sm_voltages(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_sms);
+        self.sm_voltages_into(&mut out);
+        out
+    }
+
+    /// [`PdsRig::sm_voltages`] into a reusable buffer (cleared and refilled)
+    /// so the per-cycle hot path allocates nothing.
+    pub fn sm_voltages_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         match &self.kind {
-            RigKind::Single { pdn, .. } => (0..self.n_sms)
-                .map(|sm| pdn.sm_voltage(&self.sim, sm))
-                .collect(),
-            RigKind::Stacked { pdn, .. } => pdn.all_sm_voltages(&self.sim),
+            RigKind::Single { pdn, .. } => {
+                out.extend((0..self.n_sms).map(|sm| pdn.sm_voltage(&self.sim, sm)));
+            }
+            RigKind::Stacked { pdn, .. } => {
+                for layer in 0..pdn.params.n_layers {
+                    for col in 0..pdn.params.n_columns {
+                        out.push(pdn.sm_voltage(&self.sim, layer, col));
+                    }
+                }
+            }
         }
+    }
+
+    /// Tears the rig down into the circuit solver's reusable
+    /// [`SolverWorkspace`] so the next rig (e.g. the next scenario in a
+    /// [`crate::CosimPool`] batch) skips its warm-up allocations.
+    pub fn into_workspace(self) -> SolverWorkspace {
+        self.sim.into_workspace()
     }
 
     /// Force-gate (or restore) every SM of one stack layer (worst-case

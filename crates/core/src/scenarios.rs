@@ -8,11 +8,141 @@
 //! the loaded layers and ballast the gated one, surviving with a fraction of
 //! the regulator area.
 
+use std::fmt;
+use std::str::FromStr;
+
 use vs_circuit::Trace;
 use vs_control::{ActuatorWeights, ControllerConfig, DetectorKind, VoltageController};
+use vs_gpu::WorkloadProfile;
 
 use crate::config::PdsKind;
 use crate::rig::PdsRig;
+
+/// Typed identifier for the twelve benchmark scenarios of the paper's
+/// evaluation (six Rodinia 2.0, six CUDA SDK), in presentation order.
+///
+/// This replaces the stringly-typed benchmark-name plumbing: experiments
+/// pass a `ScenarioId` to [`crate::run_scenario`], and CLIs parse user
+/// input with [`FromStr`] / print it with [`fmt::Display`] (both use the
+/// historical lowercase names, so existing command lines keep working).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScenarioId {
+    /// Back-propagation (Rodinia): dense FFMA layers, barriers, the most
+    /// SM-imbalanced profile.
+    Backprop,
+    /// Breadth-first search (Rodinia): pointer chasing, heavy divergence.
+    Bfs,
+    /// Heart-wall tracking (Rodinia): compute-dense, the paper's headline
+    /// benchmark.
+    Heartwall,
+    /// HotSpot thermal simulation (Rodinia): stencil with shared-memory
+    /// tiling.
+    Hotspot,
+    /// PathFinder dynamic programming (Rodinia).
+    Pathfinder,
+    /// SRAD speckle-reducing anisotropic diffusion (Rodinia).
+    Srad,
+    /// Black-Scholes option pricing (CUDA SDK): SFU-heavy streaming.
+    Blackscholes,
+    /// Scalar product (CUDA SDK): bandwidth-bound reduction.
+    Scalarprod,
+    /// Bitonic sorting network (CUDA SDK): barrier-synchronized phases.
+    Sortingnet,
+    /// Face detection (CUDA SDK sample workload).
+    Simpleface,
+    /// Fast Walsh transform (CUDA SDK).
+    Fastwalsh,
+    /// Atomic-intrinsics microbenchmark (CUDA SDK).
+    Simpleatomic,
+}
+
+impl ScenarioId {
+    /// All scenarios in the paper's presentation order (the order
+    /// [`vs_gpu::all_benchmarks`] returns).
+    pub const ALL: [ScenarioId; 12] = [
+        ScenarioId::Backprop,
+        ScenarioId::Bfs,
+        ScenarioId::Heartwall,
+        ScenarioId::Hotspot,
+        ScenarioId::Pathfinder,
+        ScenarioId::Srad,
+        ScenarioId::Blackscholes,
+        ScenarioId::Scalarprod,
+        ScenarioId::Sortingnet,
+        ScenarioId::Simpleface,
+        ScenarioId::Fastwalsh,
+        ScenarioId::Simpleatomic,
+    ];
+
+    /// The scenario's canonical (lowercase) benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioId::Backprop => "backprop",
+            ScenarioId::Bfs => "bfs",
+            ScenarioId::Heartwall => "heartwall",
+            ScenarioId::Hotspot => "hotspot",
+            ScenarioId::Pathfinder => "pathfinder",
+            ScenarioId::Srad => "srad",
+            ScenarioId::Blackscholes => "blackscholes",
+            ScenarioId::Scalarprod => "scalarprod",
+            ScenarioId::Sortingnet => "sortingnet",
+            ScenarioId::Simpleface => "simpleface",
+            ScenarioId::Fastwalsh => "fastwalsh",
+            ScenarioId::Simpleatomic => "simpleatomic",
+        }
+    }
+
+    /// The workload profile backing this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the catalogue is defined by
+    /// [`vs_gpu::all_benchmarks`] and covered by tests.
+    pub fn profile(self) -> WorkloadProfile {
+        vs_gpu::benchmark(self.name()).expect("scenario catalogue matches vs-gpu benchmarks")
+    }
+}
+
+impl fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for a benchmark name outside the scenario catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScenario {
+    /// The rejected name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark {:?}; expected one of: ", self.name)?;
+        for (i, id) in ScenarioId::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(id.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownScenario {}
+
+impl FromStr for ScenarioId {
+    type Err = UnknownScenario;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScenarioId::ALL
+            .into_iter()
+            .find(|id| id.name() == s)
+            .ok_or_else(|| UnknownScenario {
+                name: s.to_string(),
+            })
+    }
+}
 
 /// Worst-case scenario parameters.
 #[derive(Debug, Clone)]
@@ -191,6 +321,27 @@ pub fn worst_voltage_for(area_mult: f64, latency_cycles: u32, cross_layer: bool)
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scenario_catalogue_matches_vs_gpu_benchmarks() {
+        let names: Vec<String> = vs_gpu::all_benchmarks().into_iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), ScenarioId::ALL.len());
+        for (id, name) in ScenarioId::ALL.iter().zip(&names) {
+            assert_eq!(id.name(), name, "catalogue order drifted");
+            assert_eq!(id.profile().name, *name);
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips_through_strings() {
+        for id in ScenarioId::ALL {
+            assert_eq!(id.to_string().parse::<ScenarioId>(), Ok(id));
+        }
+        let err = "warpspeed".parse::<ScenarioId>().unwrap_err();
+        assert_eq!(err.name, "warpspeed");
+        let msg = err.to_string();
+        assert!(msg.contains("warpspeed") && msg.contains("backprop"), "{msg}");
+    }
 
     #[test]
     fn circuit_only_needs_large_area() {

@@ -124,7 +124,7 @@ pub struct SupervisedReport {
     pub error: Option<CosimError>,
     /// The machine-readable run artifact (manifest, decimated cycle samples,
     /// stage profile, end-of-run stats). `Some` only when the run was given
-    /// an enabled handle via [`crate::Cosim::set_telemetry`].
+    /// an enabled handle via [`crate::CosimBuilder::telemetry`].
     pub telemetry: Option<RunArtifact>,
 }
 

@@ -1,0 +1,86 @@
+//! The deprecated `Cosim::new` / `Cosim::with_power_management` /
+//! `Cosim::set_telemetry` shims must be byte-identical wrappers over
+//! [`vs_core::CosimBuilder`]: every report field — floats compared by bit
+//! pattern via the `Debug` rendering — must match between the two paths.
+
+#![allow(deprecated)]
+
+use vs_core::{
+    Cosim, CosimConfig, FaultPlan, PdsKind, PowerManagement, ScenarioId, SupervisorConfig,
+};
+use vs_telemetry::Telemetry;
+
+fn quick_config(pds: PdsKind) -> CosimConfig {
+    CosimConfig {
+        pds,
+        workload_scale: 0.02,
+        max_cycles: 40_000,
+        ..CosimConfig::default()
+    }
+}
+
+#[test]
+fn builder_matches_deprecated_new() {
+    for pds in [
+        PdsKind::ConventionalVrm,
+        PdsKind::VsCrossLayer { area_mult: 0.2 },
+    ] {
+        let cfg = quick_config(pds);
+        let profile = ScenarioId::Heartwall.profile();
+        let old = Cosim::new(&cfg, &profile).run();
+        let new = Cosim::builder(&cfg, &profile).build().run();
+        assert_eq!(
+            format!("{old:?}"),
+            format!("{new:?}"),
+            "builder diverged from Cosim::new under {pds:?}"
+        );
+    }
+}
+
+#[test]
+fn builder_matches_deprecated_with_power_management() {
+    let cfg = quick_config(PdsKind::VsCrossLayer { area_mult: 0.2 });
+    let profile = ScenarioId::Bfs.profile();
+    let pm = PowerManagement {
+        use_hypervisor: true,
+        ..PowerManagement::default()
+    };
+    let old = Cosim::with_power_management(&cfg, &profile, pm.clone()).run();
+    let new = Cosim::builder(&cfg, &profile)
+        .power_management(pm)
+        .build()
+        .run();
+    assert_eq!(
+        format!("{old:?}"),
+        format!("{new:?}"),
+        "builder diverged from with_power_management"
+    );
+}
+
+#[test]
+fn builder_telemetry_matches_deprecated_set_telemetry() {
+    let cfg = quick_config(PdsKind::VsCrossLayer { area_mult: 0.2 });
+    let profile = ScenarioId::Hotspot.profile();
+
+    let mut old_cosim = Cosim::new(&cfg, &profile);
+    old_cosim.set_telemetry(Telemetry::enabled());
+    let old = old_cosim.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
+
+    let new = Cosim::builder(&cfg, &profile)
+        .telemetry(Telemetry::enabled())
+        .build()
+        .run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
+
+    assert_eq!(old.verdict, new.verdict);
+    assert_eq!(format!("{:?}", old.report), format!("{:?}", new.report));
+    let old_artifact = old.telemetry.expect("old path yields artifact").to_jsonl();
+    let new_artifact = new.telemetry.expect("new path yields artifact").to_jsonl();
+    // Artifacts embed wall-clock stage timings; compare everything else.
+    let strip = |text: &str| {
+        text.lines()
+            .filter(|l| !l.contains("\"type\":\"stages\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&old_artifact), strip(&new_artifact));
+}

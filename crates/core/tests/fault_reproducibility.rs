@@ -4,8 +4,8 @@
 
 use vs_control::{ActuatorFault, DetectorFault};
 use vs_core::{
-    Cosim, CosimConfig, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, SupervisedReport,
-    SupervisorConfig,
+    Cosim, CosimConfig, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, ScenarioId,
+    SupervisedReport, SupervisorConfig,
 };
 
 fn stochastic_plan(seed: u64) -> FaultPlan {
@@ -47,8 +47,10 @@ fn run_once(plan: &FaultPlan) -> SupervisedReport {
         max_cycles: 40_000,
         ..CosimConfig::default()
     };
-    let profile = vs_gpu::benchmark("hotspot").unwrap();
-    Cosim::new(&cfg, &profile).run_supervised(&SupervisorConfig::default(), plan)
+    let profile = ScenarioId::Hotspot.profile();
+    Cosim::builder(&cfg, &profile)
+        .build()
+        .run_supervised(&SupervisorConfig::default(), plan)
 }
 
 #[test]

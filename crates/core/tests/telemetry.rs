@@ -2,7 +2,7 @@
 //! that round-trips through the parser into the same per-stage wall-time,
 //! per-layer guardband, and actuator duty-cycle summaries the run reported.
 
-use vs_core::{Cosim, CosimConfig, FaultPlan, PdsKind, SupervisorConfig};
+use vs_core::{Cosim, CosimConfig, FaultPlan, PdsKind, ScenarioId, SupervisorConfig};
 use vs_telemetry::{RunArtifact, Telemetry, SCHEMA_VERSION};
 
 fn quick_config() -> CosimConfig {
@@ -16,9 +16,10 @@ fn quick_config() -> CosimConfig {
 }
 
 fn instrumented_run(cfg: &CosimConfig) -> (vs_core::SupervisedReport, RunArtifact) {
-    let profile = vs_gpu::benchmark("heartwall").expect("known benchmark");
-    let mut cosim = Cosim::new(cfg, &profile);
-    cosim.set_telemetry(Telemetry::enabled());
+    let profile = ScenarioId::Heartwall.profile();
+    let mut cosim = Cosim::builder(cfg, &profile)
+        .telemetry(Telemetry::enabled())
+        .build();
     let run = cosim.run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
     let artifact = run.telemetry.clone().expect("enabled run must yield an artifact");
     (run, artifact)
@@ -26,8 +27,9 @@ fn instrumented_run(cfg: &CosimConfig) -> (vs_core::SupervisedReport, RunArtifac
 
 #[test]
 fn disabled_telemetry_yields_no_artifact() {
-    let profile = vs_gpu::benchmark("heartwall").expect("known benchmark");
-    let run = Cosim::new(&quick_config(), &profile)
+    let profile = ScenarioId::Heartwall.profile();
+    let run = Cosim::builder(&quick_config(), &profile)
+        .build()
         .run_supervised(&SupervisorConfig::default(), &FaultPlan::none());
     assert!(run.report.completed);
     assert!(run.telemetry.is_none(), "default runs carry no artifact");

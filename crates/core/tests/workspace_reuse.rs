@@ -1,0 +1,69 @@
+//! The workspace-reuse property behind [`vs_core::CosimPool`]: N runs
+//! back-to-back through one recycled [`vs_circuit::SolverWorkspace`] must be
+//! bit-identical (floats compared via the `Debug` rendering, which prints
+//! full precision) to N fresh runs — across PDS configurations and even when
+//! the pool interleaves different netlists between repetitions.
+
+use vs_core::{run_scenario, CosimConfig, CosimPool, PdsKind, ScenarioId};
+
+const N: usize = 3;
+
+fn quick_config(pds: PdsKind) -> CosimConfig {
+    CosimConfig {
+        pds,
+        workload_scale: 0.02,
+        max_cycles: 40_000,
+        ..CosimConfig::default()
+    }
+}
+
+#[test]
+fn pooled_runs_are_bit_identical_to_fresh_runs() {
+    for pds in [
+        PdsKind::ConventionalVrm,
+        PdsKind::VsCrossLayer { area_mult: 0.2 },
+    ] {
+        let cfg = quick_config(pds);
+        let mut pool = CosimPool::new();
+        for (i, id) in [ScenarioId::Heartwall, ScenarioId::Bfs, ScenarioId::Hotspot]
+            .into_iter()
+            .cycle()
+            .take(N)
+            .enumerate()
+        {
+            let fresh = run_scenario(&cfg, id);
+            let pooled = pool.run_scenario(&cfg, id);
+            assert_eq!(
+                format!("{fresh:?}"),
+                format!("{pooled:?}"),
+                "pooled run {i} ({id}) diverged from a fresh run under {pds:?}"
+            );
+        }
+        assert_eq!(pool.runs(), N as u64);
+        if pds == PdsKind::ConventionalVrm {
+            // Single-layer rigs solve a DC operating point; all runs share
+            // one netlist, so every run after the first hits the cache.
+            // (Stacked rigs initialize analytically and never touch it.)
+            assert_eq!(pool.dc_cache_hits(), N as u64 - 1);
+        }
+    }
+}
+
+#[test]
+fn interleaving_netlists_does_not_contaminate_results() {
+    let conv = quick_config(PdsKind::ConventionalVrm);
+    let vs = quick_config(PdsKind::VsCrossLayer { area_mult: 0.2 });
+    let fresh_conv = run_scenario(&conv, ScenarioId::Srad);
+    let fresh_vs = run_scenario(&vs, ScenarioId::Srad);
+
+    let mut pool = CosimPool::new();
+    for _ in 0..N {
+        let pooled_conv = pool.run_scenario(&conv, ScenarioId::Srad);
+        let pooled_vs = pool.run_scenario(&vs, ScenarioId::Srad);
+        assert_eq!(format!("{fresh_conv:?}"), format!("{pooled_conv:?}"));
+        assert_eq!(format!("{fresh_vs:?}"), format!("{pooled_vs:?}"));
+    }
+    // Alternating netlists defeats the single-entry DC cache by design —
+    // correctness, not the cache, is what interleaving must preserve.
+    assert_eq!(pool.runs(), 2 * N as u64);
+}

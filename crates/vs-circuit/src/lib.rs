@@ -67,5 +67,5 @@ pub use error::SolverError;
 pub use netlist::{ControlId, Element, ElementId, Netlist, NetlistError, NodeId, Waveform};
 pub use recovery::{RecoveryPolicy, StepReport};
 pub use trace::{Trace, TraceSummary};
-pub use transient::{EnergyReport, Integration, Transient};
+pub use transient::{EnergyReport, Integration, SolverWorkspace, Transient};
 pub use vs_num::{Complex, LuFactors, Matrix, Scalar, SingularMatrixError};

@@ -13,7 +13,7 @@
 //!   preserving; what SPICE uses by default and the default here.
 
 use crate::error::SolverError;
-use crate::netlist::{ControlId, Element, ElementId, Netlist, NetlistError, NodeId};
+use crate::netlist::{ControlId, Element, ElementId, Netlist, NetlistError, NodeId, Waveform};
 use crate::recovery::{RecoveryPolicy, StepReport};
 use vs_num::{LuFactors, Matrix};
 
@@ -45,6 +45,221 @@ struct IndState {
     /// Voltage across the inductor at the previous accepted step
     /// (trapezoidal only).
     v_prev: f64,
+}
+
+/// One precomputed right-hand-side stamp, with node variables resolved to
+/// MNA indices (`NO_INDEX` for ground) and companion conductances baked in.
+/// The plan is rebuilt on every [`Transient::refactor`], so it always agrees
+/// with the current `dt`, integration method, and element values, and the
+/// per-step loop touches no `NodeId` lookups or element matches. The ops are
+/// evaluated in element order with identical floating-point expressions, so
+/// the plan is bit-for-bit equivalent to stamping from the netlist.
+#[derive(Debug, Clone, Copy)]
+enum RhsOp {
+    /// Capacitor companion current source (`g` = companion conductance).
+    Cap { g: f64, state: usize, a: usize, b: usize },
+    /// Inductor companion voltage (`r_eq` = companion resistance). `a`/`b`
+    /// are carried for the post-solve companion-state update.
+    Ind { row: usize, r_eq: f64, state: usize, a: usize, b: usize },
+    /// Ideal voltage source row.
+    Vsrc { row: usize, volts: f64 },
+    /// (Possibly controlled) current source.
+    Isrc { a: usize, b: usize, waveform: Waveform },
+}
+
+/// Precomputed per-element power evaluation, one op per element in element
+/// order. Same bit-identity contract as [`RhsOp`].
+#[derive(Debug, Clone, Copy)]
+enum EnergyOp {
+    /// Resistor or switch (with the active resistance baked in): dissipates
+    /// into `resistive_loss_j`.
+    Conductor { a: usize, b: usize, ohms: f64 },
+    /// Capacitor: reactive, element-level accounting only.
+    Cap { a: usize, b: usize, state: usize },
+    /// Inductor: reactive, element-level accounting only.
+    Ind { a: usize, b: usize, row: usize },
+    /// Voltage source: delivers into `source_delivered_j`.
+    Vsrc { a: usize, b: usize, row: usize },
+    /// Current source (load): absorbs into `load_absorbed_j`.
+    Isrc { a: usize, b: usize, waveform: Waveform },
+    /// Charge recycler: conversion loss into `recycler_loss_j`.
+    Recycler { top: usize, mid: usize, bottom: usize, siemens: f64 },
+}
+
+/// Reusable solver state for running many [`Transient`] analyses
+/// back-to-back without re-allocating.
+///
+/// A workspace owns every growable buffer the solver needs — the stamp
+/// matrix, the LU factors and their sparsity pattern, solution/RHS/state
+/// vectors, and the precomputed stamp/energy plans — plus a cached DC
+/// operating point keyed by a fingerprint of the netlist. Constructing a
+/// `Transient` *in* a workspace ([`Transient::new_in`],
+/// [`Transient::with_initial_state_in`]) moves the buffers into the solver;
+/// [`Transient::into_workspace`] moves them back out when the run is done.
+///
+/// Reusing a workspace never changes results: every buffer is fully
+/// re-initialized from the netlist, and the DC cache is only consulted when
+/// the netlist fingerprint (topology + element values + control count)
+/// matches exactly.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    stamp: Matrix<f64>,
+    lu: Option<LuFactors<f64>>,
+    solution: Vec<f64>,
+    rhs: Vec<f64>,
+    controls: Vec<f64>,
+    cap_states: Vec<(usize, CapState)>,
+    ind_states: Vec<(usize, IndState)>,
+    group2_row_of: Vec<usize>,
+    cap_state_of: Vec<usize>,
+    ind_state_of: Vec<usize>,
+    rhs_plan: Vec<RhsOp>,
+    energy_plan: Vec<EnergyOp>,
+    per_element_absorbed_j: Vec<f64>,
+    dc_cache: Option<DcCache>,
+    dc_hits: u64,
+    runs: u64,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times [`Transient::new_in`] served its DC operating point
+    /// from the cache instead of recomputing it.
+    pub fn dc_cache_hits(&self) -> u64 {
+        self.dc_hits
+    }
+
+    /// How many `Transient` analyses have been constructed in this
+    /// workspace.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+}
+
+/// Cached DC operating point, valid only for an identical netlist.
+#[derive(Debug, Clone)]
+struct DcCache {
+    key: u64,
+    node_voltages: Vec<f64>,
+    group2_currents: Vec<f64>,
+}
+
+/// Voltage of a resolved node variable (`NO_INDEX` = ground = 0 V) —
+/// identical to [`Transient::voltage`] after `node_var` resolution.
+#[inline]
+fn node_v(solution: &[f64], var: usize) -> f64 {
+    if var == NO_INDEX {
+        0.0
+    } else {
+        solution[var]
+    }
+}
+
+#[inline]
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn fnv_node(h: u64, n: NodeId) -> u64 {
+    fnv(h, n.index() as u64)
+}
+
+fn fnv_waveform(mut h: u64, w: &Waveform) -> u64 {
+    match *w {
+        Waveform::Dc(v) => {
+            h = fnv(h, 1);
+            fnv(h, v.to_bits())
+        }
+        Waveform::Sine { offset, amplitude, freq_hz, phase_rad } => {
+            h = fnv(h, 2);
+            for v in [offset, amplitude, freq_hz, phase_rad] {
+                h = fnv(h, v.to_bits());
+            }
+            h
+        }
+        Waveform::Step { before, after, at_s } => {
+            h = fnv(h, 3);
+            for v in [before, after, at_s] {
+                h = fnv(h, v.to_bits());
+            }
+            h
+        }
+        Waveform::Pulse { low, high, t0_s, width_s, period_s } => {
+            h = fnv(h, 4);
+            for v in [low, high, t0_s, width_s, period_s] {
+                h = fnv(h, v.to_bits());
+            }
+            h
+        }
+        Waveform::Controlled(c) => {
+            h = fnv(h, 5);
+            fnv(h, c.index() as u64)
+        }
+    }
+}
+
+/// A structural fingerprint of a netlist: topology, element values, switch
+/// states, and control count. Two netlists with equal fingerprints have the
+/// same DC operating point (modulo a vanishing hash-collision risk, accepted
+/// because the cache is an optimization keyed per-workspace).
+fn netlist_fingerprint(net: &Netlist) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv(h, net.n_nodes() as u64);
+    h = fnv(h, net.n_controls() as u64);
+    for e in net.elements() {
+        match *e {
+            Element::Resistor { a, b, ohms } => {
+                h = fnv(h, 11);
+                h = fnv_node(h, a);
+                h = fnv_node(h, b);
+                h = fnv(h, ohms.to_bits());
+            }
+            Element::Capacitor { a, b, farads } => {
+                h = fnv(h, 12);
+                h = fnv_node(h, a);
+                h = fnv_node(h, b);
+                h = fnv(h, farads.to_bits());
+            }
+            Element::Inductor { a, b, henries } => {
+                h = fnv(h, 13);
+                h = fnv_node(h, a);
+                h = fnv_node(h, b);
+                h = fnv(h, henries.to_bits());
+            }
+            Element::VoltageSource { pos, neg, volts } => {
+                h = fnv(h, 14);
+                h = fnv_node(h, pos);
+                h = fnv_node(h, neg);
+                h = fnv(h, volts.to_bits());
+            }
+            Element::CurrentSource { a, b, waveform } => {
+                h = fnv(h, 15);
+                h = fnv_node(h, a);
+                h = fnv_node(h, b);
+                h = fnv_waveform(h, &waveform);
+            }
+            Element::ChargeRecycler { top, mid, bottom, siemens } => {
+                h = fnv(h, 16);
+                h = fnv_node(h, top);
+                h = fnv_node(h, mid);
+                h = fnv_node(h, bottom);
+                h = fnv(h, siemens.to_bits());
+            }
+            Element::Switch { a, b, r_on, r_off, closed } => {
+                h = fnv(h, 17);
+                h = fnv_node(h, a);
+                h = fnv_node(h, b);
+                h = fnv(h, r_on.to_bits());
+                h = fnv(h, r_off.to_bits());
+                h = fnv(h, u64::from(closed));
+            }
+        }
+    }
+    h
 }
 
 /// Cumulative energy bookkeeping for a transient run.
@@ -92,6 +307,8 @@ pub struct Transient {
     method: Integration,
     time: f64,
     n_node_vars: usize,
+    /// Scratch for the stamped system matrix, reused across refactors.
+    stamp: Matrix<f64>,
     lu: LuFactors<f64>,
     solution: Vec<f64>,
     rhs: Vec<f64>,
@@ -106,10 +323,19 @@ pub struct Transient {
     cap_state_of: Vec<usize>,
     /// element index -> position in `ind_states` (`NO_INDEX` otherwise).
     ind_state_of: Vec<usize>,
+    /// Per-step RHS stamps with indices and conductances resolved; rebuilt
+    /// by [`Transient::refactor`].
+    rhs_plan: Vec<RhsOp>,
+    /// Per-element power evaluation plan; rebuilt by [`Transient::refactor`].
+    energy_plan: Vec<EnergyOp>,
     per_element_absorbed_j: Vec<f64>,
     energy: EnergyReport,
     /// Node voltages above this magnitude are classified as divergence.
     divergence_limit_v: f64,
+    /// Carried through from the owning [`SolverWorkspace`], if any.
+    dc_cache: Option<DcCache>,
+    dc_hits: u64,
+    runs: u64,
 }
 
 /// Rollback state captured before a risky step (see
@@ -133,15 +359,51 @@ impl Transient {
     ///
     /// Returns [`NetlistError`] if the netlist is malformed or singular.
     pub fn new(netlist: &Netlist, dt: f64, method: Integration) -> Result<Self, NetlistError> {
-        let dc = netlist.dc_operating_point()?;
-        let mut voltages = vec![0.0; netlist.n_nodes()];
-        for (i, v) in voltages.iter_mut().enumerate().skip(1) {
-            *v = dc.voltage(NodeId(i));
-        }
-        let group2 = netlist.group2_elements();
-        let mut g2_currents = vec![0.0; group2.len()];
-        g2_currents.copy_from_slice(&dc.group2_currents);
-        Self::with_initial_state(netlist, dt, method, &voltages, &g2_currents)
+        Self::new_in(netlist, dt, method, SolverWorkspace::new())
+    }
+
+    /// Like [`Transient::new`], but reusing the buffers of `ws` — including
+    /// its cached DC operating point when the netlist fingerprint matches,
+    /// which skips the (second) factorization entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if the netlist is malformed or singular.
+    pub fn new_in(
+        netlist: &Netlist,
+        dt: f64,
+        method: Integration,
+        mut ws: SolverWorkspace,
+    ) -> Result<Self, NetlistError> {
+        let key = netlist_fingerprint(netlist);
+        let cache = match ws.dc_cache.take() {
+            Some(c) if c.key == key => {
+                ws.dc_hits += 1;
+                c
+            }
+            _ => {
+                let dc = netlist.dc_operating_point()?;
+                let mut node_voltages = vec![0.0; netlist.n_nodes()];
+                for (i, v) in node_voltages.iter_mut().enumerate().skip(1) {
+                    *v = dc.voltage(NodeId(i));
+                }
+                DcCache {
+                    key,
+                    node_voltages,
+                    group2_currents: dc.group2_currents,
+                }
+            }
+        };
+        let mut sim = Self::with_initial_state_in(
+            netlist,
+            dt,
+            method,
+            &cache.node_voltages,
+            &cache.group2_currents,
+            ws,
+        )?;
+        sim.dc_cache = Some(cache);
+        Ok(sim)
     }
 
     /// Creates a transient analysis with all node voltages and branch
@@ -178,6 +440,35 @@ impl Transient {
         node_voltages: &[f64],
         group2_currents: &[f64],
     ) -> Result<Self, NetlistError> {
+        Self::with_initial_state_in(
+            netlist,
+            dt,
+            method,
+            node_voltages,
+            group2_currents,
+            SolverWorkspace::new(),
+        )
+    }
+
+    /// Like [`Transient::with_initial_state`], but reusing the buffers of
+    /// `ws` so construction performs no heap allocation beyond cloning the
+    /// netlist (once the workspace has warmed up to this system size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if the netlist is malformed or singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have the wrong lengths.
+    pub fn with_initial_state_in(
+        netlist: &Netlist,
+        dt: f64,
+        method: Integration,
+        node_voltages: &[f64],
+        group2_currents: &[f64],
+        mut ws: SolverWorkspace,
+    ) -> Result<Self, NetlistError> {
         netlist.validate()?;
         assert!(dt.is_finite() && dt > 0.0, "dt must be positive");
         assert_eq!(node_voltages.len(), netlist.n_nodes());
@@ -185,8 +476,10 @@ impl Transient {
         assert_eq!(group2_currents.len(), group2.len());
 
         let n_node_vars = netlist.n_nodes() - 1;
-        let mut cap_states = Vec::new();
-        let mut ind_states = Vec::new();
+        let mut cap_states = ws.cap_states;
+        let mut ind_states = ws.ind_states;
+        cap_states.clear();
+        ind_states.clear();
         for (idx, e) in netlist.elements().iter().enumerate() {
             match *e {
                 Element::Capacitor { a, b, .. } => {
@@ -208,51 +501,102 @@ impl Transient {
             }
         }
 
-        let mut solution = vec![0.0; n_node_vars + group2.len()];
+        let mut solution = ws.solution;
+        solution.clear();
+        solution.resize(n_node_vars + group2.len(), 0.0);
         solution[..n_node_vars].copy_from_slice(&node_voltages[1..=n_node_vars]);
         solution[n_node_vars..].copy_from_slice(group2_currents);
 
         let n_elements = netlist.elements().len();
-        let mut group2_row_of = vec![NO_INDEX; n_elements];
+        let mut group2_row_of = ws.group2_row_of;
+        group2_row_of.clear();
+        group2_row_of.resize(n_elements, NO_INDEX);
         for (k, &idx) in group2.iter().enumerate() {
             group2_row_of[idx] = n_node_vars + k;
         }
-        let mut cap_state_of = vec![NO_INDEX; n_elements];
+        let mut cap_state_of = ws.cap_state_of;
+        cap_state_of.clear();
+        cap_state_of.resize(n_elements, NO_INDEX);
         for (k, (idx, _)) in cap_states.iter().enumerate() {
             cap_state_of[*idx] = k;
         }
-        let mut ind_state_of = vec![NO_INDEX; n_elements];
+        let mut ind_state_of = ws.ind_state_of;
+        ind_state_of.clear();
+        ind_state_of.resize(n_elements, NO_INDEX);
         for (k, (idx, _)) in ind_states.iter().enumerate() {
             ind_state_of[*idx] = k;
         }
+        let mut rhs = ws.rhs;
+        rhs.clear();
+        rhs.resize(netlist.system_dim(), 0.0);
+        let mut controls = ws.controls;
+        controls.clear();
+        controls.resize(netlist.n_controls(), 0.0);
+        let mut per_element_absorbed_j = ws.per_element_absorbed_j;
+        per_element_absorbed_j.clear();
+        per_element_absorbed_j.resize(n_elements, 0.0);
         let mut sim = Transient {
             netlist: netlist.clone(),
             dt,
             method,
             time: 0.0,
             n_node_vars,
-            lu: LuFactors::factor(&Matrix::identity(1)).expect("identity factors"),
+            stamp: ws.stamp,
+            lu: ws.lu.take().unwrap_or_default(),
             solution,
-            rhs: vec![0.0; n_node_vars],
-            controls: vec![0.0; netlist.n_controls()],
+            rhs,
+            controls,
             cap_states,
             ind_states,
             group2_row_of,
             cap_state_of,
             ind_state_of,
-            per_element_absorbed_j: vec![0.0; n_elements],
+            rhs_plan: ws.rhs_plan,
+            energy_plan: ws.energy_plan,
+            per_element_absorbed_j,
             energy: EnergyReport::default(),
             divergence_limit_v: 1e4,
+            dc_cache: ws.dc_cache,
+            dc_hits: ws.dc_hits,
+            runs: ws.runs + 1,
         };
-        sim.rhs = vec![0.0; sim.netlist.system_dim()];
         sim.refactor()?;
         Ok(sim)
     }
 
-    /// Rebuilds and refactors the system matrix (after a switch toggle).
+    /// Tears the solver down into its reusable [`SolverWorkspace`], keeping
+    /// every buffer (and the DC operating-point cache) for the next run.
+    pub fn into_workspace(self) -> SolverWorkspace {
+        SolverWorkspace {
+            stamp: self.stamp,
+            lu: Some(self.lu),
+            solution: self.solution,
+            rhs: self.rhs,
+            controls: self.controls,
+            cap_states: self.cap_states,
+            ind_states: self.ind_states,
+            group2_row_of: self.group2_row_of,
+            cap_state_of: self.cap_state_of,
+            ind_state_of: self.ind_state_of,
+            rhs_plan: self.rhs_plan,
+            energy_plan: self.energy_plan,
+            per_element_absorbed_j: self.per_element_absorbed_j,
+            dc_cache: self.dc_cache,
+            dc_hits: self.dc_hits,
+            runs: self.runs,
+        }
+    }
+
+    /// Rebuilds and refactors the system matrix (after a switch toggle, a
+    /// timestep/method change, or a recycler retune), and rebuilds the
+    /// per-step RHS and energy plans so they agree with the new companion
+    /// models. All storage — the stamp matrix, the LU factors, and the plan
+    /// vectors — is reused, so a refactor performs no heap allocation once
+    /// warmed up.
     fn refactor(&mut self) -> Result<(), NetlistError> {
         let dim = self.netlist.system_dim();
-        let mut a = Matrix::zeros(dim, dim);
+        let mut a = std::mem::take(&mut self.stamp);
+        a.resize_zeroed(dim, dim);
         let net = &self.netlist;
         let stamp_g = |a: &mut Matrix<f64>, na: NodeId, nb: NodeId, g: f64| {
             if let Some(i) = net.node_var(na) {
@@ -331,8 +675,71 @@ impl Transient {
                 Element::CurrentSource { .. } => {}
             }
         }
-        self.lu = LuFactors::factor(&a).map_err(|_| NetlistError::Singular)?;
+        let factored = self.lu.refactor(&a);
+        self.stamp = a;
+        factored.map_err(|_| NetlistError::Singular)?;
+        self.rebuild_plans();
         Ok(())
+    }
+
+    /// Rebuilds the per-step RHS and per-element energy plans from the
+    /// netlist, resolving node variables and companion conductances once so
+    /// the per-step loops are branch-light and allocation-free. Must be kept
+    /// in exact floating-point agreement with the element equations (see
+    /// [`RhsOp`]).
+    fn rebuild_plans(&mut self) {
+        let var = |n: NodeId| self.netlist.node_var(n).unwrap_or(NO_INDEX);
+        self.rhs_plan.clear();
+        self.energy_plan.clear();
+        for (idx, e) in self.netlist.elements().iter().enumerate() {
+            match *e {
+                Element::Resistor { a, b, ohms } => {
+                    self.energy_plan.push(EnergyOp::Conductor { a: var(a), b: var(b), ohms });
+                }
+                Element::Switch { a, b, r_on, r_off, closed } => {
+                    let ohms = if closed { r_on } else { r_off };
+                    self.energy_plan.push(EnergyOp::Conductor { a: var(a), b: var(b), ohms });
+                }
+                Element::Capacitor { a, b, farads } => {
+                    let state = self.cap_state_of[idx];
+                    self.rhs_plan.push(RhsOp::Cap {
+                        g: self.cap_conductance(farads),
+                        state,
+                        a: var(a),
+                        b: var(b),
+                    });
+                    self.energy_plan.push(EnergyOp::Cap { a: var(a), b: var(b), state });
+                }
+                Element::Inductor { a, b, henries } => {
+                    let row = self.group2_row_of[idx];
+                    self.rhs_plan.push(RhsOp::Ind {
+                        row,
+                        r_eq: self.ind_resistance(henries),
+                        state: self.ind_state_of[idx],
+                        a: var(a),
+                        b: var(b),
+                    });
+                    self.energy_plan.push(EnergyOp::Ind { a: var(a), b: var(b), row });
+                }
+                Element::VoltageSource { pos, neg, volts } => {
+                    let row = self.group2_row_of[idx];
+                    self.rhs_plan.push(RhsOp::Vsrc { row, volts });
+                    self.energy_plan.push(EnergyOp::Vsrc { a: var(pos), b: var(neg), row });
+                }
+                Element::CurrentSource { a, b, waveform } => {
+                    self.rhs_plan.push(RhsOp::Isrc { a: var(a), b: var(b), waveform });
+                    self.energy_plan.push(EnergyOp::Isrc { a: var(a), b: var(b), waveform });
+                }
+                Element::ChargeRecycler { top, mid, bottom, siemens } => {
+                    self.energy_plan.push(EnergyOp::Recycler {
+                        top: var(top),
+                        mid: var(mid),
+                        bottom: var(bottom),
+                        siemens,
+                    });
+                }
+            }
+        }
     }
 
     #[inline]
@@ -584,47 +991,43 @@ impl Transient {
         let t_new = self.time + self.dt;
         self.rhs.fill(0.0);
 
-        // Stamp per-step right-hand side.
-        for (idx, e) in self.netlist.elements().iter().enumerate() {
-            match *e {
-                Element::Capacitor { a, b, farads } => {
-                    let g = self.cap_conductance(farads);
-                    let s = self.cap_states[self.cap_state_of[idx]].1;
+        // Stamp the per-step right-hand side from the precomputed plan
+        // (element order, identical FP expressions — see [`RhsOp`]).
+        for op in &self.rhs_plan {
+            match *op {
+                RhsOp::Cap { g, state, a, b } => {
+                    let s = self.cap_states[state].1;
                     let i_eq = match self.method {
                         Integration::BackwardEuler => g * s.v_prev,
                         Integration::Trapezoidal => g * s.v_prev + s.i_prev,
                     };
-                    if let Some(i) = self.netlist.node_var(a) {
-                        self.rhs[i] += i_eq;
+                    if a != NO_INDEX {
+                        self.rhs[a] += i_eq;
                     }
-                    if let Some(j) = self.netlist.node_var(b) {
-                        self.rhs[j] -= i_eq;
+                    if b != NO_INDEX {
+                        self.rhs[b] -= i_eq;
                     }
                 }
-                Element::Inductor { henries, .. } => {
-                    let k = self.group2_row(idx);
-                    let s = self.ind_states[self.ind_state_of[idx]].1;
-                    let r_eq = self.ind_resistance(henries);
+                RhsOp::Ind { row, r_eq, state, .. } => {
+                    let s = self.ind_states[state].1;
                     let v_eq = match self.method {
                         Integration::BackwardEuler => -r_eq * s.i_prev,
                         Integration::Trapezoidal => -r_eq * s.i_prev - s.v_prev,
                     };
-                    self.rhs[k] = v_eq;
+                    self.rhs[row] = v_eq;
                 }
-                Element::VoltageSource { volts, .. } => {
-                    let k = self.group2_row(idx);
-                    self.rhs[k] = volts;
+                RhsOp::Vsrc { row, volts } => {
+                    self.rhs[row] = volts;
                 }
-                Element::CurrentSource { a, b, waveform } => {
+                RhsOp::Isrc { a, b, waveform } => {
                     let i_val = waveform.value_at(t_new, &self.controls);
-                    if let Some(i) = self.netlist.node_var(a) {
-                        self.rhs[i] -= i_val;
+                    if a != NO_INDEX {
+                        self.rhs[a] -= i_val;
                     }
-                    if let Some(j) = self.netlist.node_var(b) {
-                        self.rhs[j] += i_val;
+                    if b != NO_INDEX {
+                        self.rhs[b] += i_val;
                     }
                 }
-                _ => {}
             }
         }
 
@@ -656,50 +1059,72 @@ impl Transient {
         std::mem::swap(&mut self.solution, &mut self.rhs);
         self.time = t_new;
 
-        // Update companion states and energy accounting.
+        // Update companion states from the plan (the plan lists reactive
+        // elements in element order, matching cap_states/ind_states).
         let dt = self.dt;
-        for k in 0..self.cap_states.len() {
-            let (idx, s) = self.cap_states[k];
-            if let Element::Capacitor { a, b, farads } = self.netlist.elements()[idx] {
-                let v_new = self.voltage(a) - self.voltage(b);
-                let g = self.cap_conductance(farads);
-                let i_new = match self.method {
-                    Integration::BackwardEuler => g * (v_new - s.v_prev),
-                    Integration::Trapezoidal => g * (v_new - s.v_prev) - s.i_prev,
-                };
-                self.cap_states[k].1 = CapState {
-                    v_prev: v_new,
-                    i_prev: i_new,
-                };
-            }
-        }
-        for k in 0..self.ind_states.len() {
-            let (idx, _) = self.ind_states[k];
-            if let Element::Inductor { a, b, .. } = self.netlist.elements()[idx] {
-                let v_new = self.voltage(a) - self.voltage(b);
-                let i_new = self.solution[self.group2_row(idx)];
-                self.ind_states[k].1 = IndState {
-                    i_prev: i_new,
-                    v_prev: v_new,
-                };
+        for op in &self.rhs_plan {
+            match *op {
+                RhsOp::Cap { g, state, a, b } => {
+                    let s = self.cap_states[state].1;
+                    let v_new = node_v(&self.solution, a) - node_v(&self.solution, b);
+                    let i_new = match self.method {
+                        Integration::BackwardEuler => g * (v_new - s.v_prev),
+                        Integration::Trapezoidal => g * (v_new - s.v_prev) - s.i_prev,
+                    };
+                    self.cap_states[state].1 = CapState {
+                        v_prev: v_new,
+                        i_prev: i_new,
+                    };
+                }
+                RhsOp::Ind { row, state, a, b, .. } => {
+                    let v_new = node_v(&self.solution, a) - node_v(&self.solution, b);
+                    self.ind_states[state].1 = IndState {
+                        i_prev: self.solution[row],
+                        v_prev: v_new,
+                    };
+                }
+                _ => {}
             }
         }
 
-        for idx in 0..self.netlist.elements().len() {
-            let id = ElementId(idx);
-            let p_absorbed = self.element_power_w(id);
+        // Energy accounting from the plan (one op per element, in element
+        // order, same floating-point expressions as `element_power_w`).
+        let sol = &self.solution;
+        for (idx, op) in self.energy_plan.iter().enumerate() {
+            let p_absorbed = match *op {
+                EnergyOp::Conductor { a, b, ohms } => {
+                    let d = node_v(sol, a) - node_v(sol, b);
+                    d * (d / ohms)
+                }
+                EnergyOp::Cap { a, b, state } => {
+                    let d = node_v(sol, a) - node_v(sol, b);
+                    d * self.cap_states[state].1.i_prev
+                }
+                EnergyOp::Ind { a, b, row } | EnergyOp::Vsrc { a, b, row } => {
+                    let d = node_v(sol, a) - node_v(sol, b);
+                    d * sol[row]
+                }
+                EnergyOp::Isrc { a, b, waveform } => {
+                    let d = node_v(sol, a) - node_v(sol, b);
+                    d * waveform.value_at(self.time, &self.controls)
+                }
+                EnergyOp::Recycler { top, mid, bottom, siemens } => {
+                    let d = node_v(sol, top) - 2.0 * node_v(sol, mid) + node_v(sol, bottom);
+                    siemens * d * d
+                }
+            };
             self.per_element_absorbed_j[idx] += p_absorbed * dt;
-            match self.netlist.elements()[idx] {
-                Element::Resistor { .. } | Element::Switch { .. } => {
+            match *op {
+                EnergyOp::Conductor { .. } => {
                     self.energy.resistive_loss_j += p_absorbed * dt;
                 }
-                Element::VoltageSource { .. } => {
+                EnergyOp::Vsrc { .. } => {
                     self.energy.source_delivered_j -= p_absorbed * dt;
                 }
-                Element::CurrentSource { .. } => {
+                EnergyOp::Isrc { .. } => {
                     self.energy.load_absorbed_j += p_absorbed * dt;
                 }
-                Element::ChargeRecycler { .. } => {
+                EnergyOp::Recycler { .. } => {
                     self.energy.recycler_loss_j += p_absorbed * dt;
                 }
                 _ => {}

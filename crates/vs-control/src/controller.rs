@@ -85,6 +85,8 @@ pub struct VoltageController {
     detectors: Vec<Detector>,
     pipeline: VecDeque<Vec<SmCommand>>,
     active: Vec<SmCommand>,
+    /// Reusable scratch for the per-SM filtered measurements.
+    measured: Vec<f64>,
     sm_cycles: u64,
     throttled_sm_cycles: u64,
     stats: ActuatorStats,
@@ -114,6 +116,7 @@ impl VoltageController {
             detectors,
             pipeline,
             active: neutral,
+            measured: Vec::with_capacity(n_sm),
             sm_cycles: 0,
             throttled_sm_cycles: 0,
             stats: ActuatorStats::default(),
@@ -142,12 +145,16 @@ impl VoltageController {
         let n_sm = self.cfg.n_layers * self.cfg.n_columns;
         assert_eq!(per_sm_voltage.len(), n_sm, "one voltage per SM required");
         let w = self.cfg.weights.normalized();
-        let mut commands = vec![SmCommand::idle(self.cfg.issue_max); n_sm];
+        // Recycle the command buffer that expired from the pipeline last
+        // cycle (the previous `active` Vec) instead of allocating a new one.
+        let mut commands = std::mem::take(&mut self.active);
+        commands.clear();
+        commands.resize(n_sm, SmCommand::idle(self.cfg.issue_max));
 
         // First pass: one filtered, quantized measurement per SM.
-        let measured: Vec<f64> = (0..n_sm)
-            .map(|idx| self.detectors[idx].sample(per_sm_voltage[idx]))
-            .collect();
+        let mut measured = std::mem::take(&mut self.measured);
+        measured.clear();
+        measured.extend((0..n_sm).map(|idx| self.detectors[idx].sample(per_sm_voltage[idx])));
 
         for layer in 0..self.cfg.n_layers {
             for col in 0..self.cfg.n_columns {
@@ -196,6 +203,7 @@ impl VoltageController {
             }
         }
 
+        self.measured = measured;
         self.pipeline.push_back(commands);
         self.active = self.pipeline.pop_front().expect("pipeline is never empty");
         self.sm_cycles += n_sm as u64;

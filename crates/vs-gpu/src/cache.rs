@@ -77,10 +77,14 @@ impl CacheStats {
 }
 
 /// A set-associative, true-LRU cache model (tags only; no data storage).
+///
+/// Lines are stored in one flat array (`ways` consecutive entries per set)
+/// so a lookup touches a single contiguous slice.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    n_sets: usize,
     clock: u64,
     allocate_on_write: bool,
     stats: CacheStats,
@@ -93,7 +97,8 @@ impl Cache {
         let n_sets = config.n_sets();
         Cache {
             config,
-            sets: vec![vec![Line::default(); config.ways]; n_sets],
+            lines: vec![Line::default(); config.ways * n_sets],
+            n_sets,
             clock: 0,
             allocate_on_write,
             stats: CacheStats::default(),
@@ -108,10 +113,11 @@ impl Cache {
     /// Accesses the line containing `line_addr` (already line-granular).
     pub fn access(&mut self, line_addr: u64, is_write: bool) -> CacheOutcome {
         self.clock += 1;
-        let n_sets = self.sets.len() as u64;
+        let n_sets = self.n_sets as u64;
         let set_idx = (line_addr % n_sets) as usize;
         let tag = line_addr / n_sets;
-        let set = &mut self.sets[set_idx];
+        let ways = self.config.ways;
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_used = self.clock;
@@ -146,10 +152,13 @@ impl Cache {
 
     /// True when the line is currently resident (no LRU update).
     pub fn probe(&self, line_addr: u64) -> bool {
-        let n_sets = self.sets.len() as u64;
+        let n_sets = self.n_sets as u64;
         let set_idx = (line_addr % n_sets) as usize;
         let tag = line_addr / n_sets;
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let ways = self.config.ways;
+        self.lines[set_idx * ways..(set_idx + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Hit/miss statistics so far.

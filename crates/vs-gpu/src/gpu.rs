@@ -1,17 +1,25 @@
 //! Whole-GPU simulator: 16 SMs sharing a banked L2 and DRAM channels.
 
 use crate::config::GpuConfig;
-use crate::mem::{MemStats, MemorySystem};
+use crate::mem::{MemResponse, MemStats, MemorySystem};
 use crate::sm::{SchedulerKind, Sm, SmControl, SmCycleStats, SmStats, WorkPool};
 use crate::workload::Kernel;
 
 /// Events of one whole-GPU cycle: one entry per SM.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GpuCycleEvents {
     /// Cycle index.
     pub cycle: u64,
     /// Per-SM events, indexed by SM id.
     pub per_sm: Vec<SmCycleStats>,
+}
+
+impl GpuCycleEvents {
+    /// An empty event record, for use as a reusable [`Gpu::tick_into`]
+    /// output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The simulated GPU.
@@ -39,6 +47,8 @@ pub struct Gpu {
     pool: WorkPool,
     cycle: u64,
     kernel_name: String,
+    /// Reusable scratch for memory responses delivered each cycle.
+    resp_scratch: Vec<MemResponse>,
 }
 
 impl Gpu {
@@ -64,6 +74,7 @@ impl Gpu {
             pool,
             cycle: 0,
             kernel_name: kernel.name.clone(),
+            resp_scratch: Vec::new(),
         }
     }
 
@@ -102,17 +113,29 @@ impl Gpu {
     }
 
     /// Advances the whole GPU by one cycle and reports per-SM events.
+    ///
+    /// Allocates a fresh event record per call; the hot path should use
+    /// [`Gpu::tick_into`] with a reusable buffer instead.
     pub fn tick(&mut self) -> GpuCycleEvents {
+        let mut events = GpuCycleEvents::new();
+        self.tick_into(&mut events);
+        events
+    }
+
+    /// Advances the whole GPU by one cycle, writing per-SM events into the
+    /// reusable `events` record (cleared and refilled; its capacity is kept).
+    pub fn tick_into(&mut self, events: &mut GpuCycleEvents) {
         let now = self.cycle;
-        let mut per_sm = Vec::with_capacity(self.sms.len());
+        events.cycle = now;
+        events.per_sm.clear();
         for sm in &mut self.sms {
-            per_sm.push(sm.tick(now, &mut self.mem, &mut self.pool));
+            events.per_sm.push(sm.tick(now, &mut self.mem, &mut self.pool));
         }
-        for resp in self.mem.tick(now) {
-            self.sms[resp.sm].on_response(&resp);
+        self.mem.tick_into(now, &mut self.resp_scratch);
+        for resp in &self.resp_scratch {
+            self.sms[resp.sm].on_response(resp);
         }
         self.cycle += 1;
-        GpuCycleEvents { cycle: now, per_sm }
     }
 
     /// True when every SM has retired its kernel.
@@ -128,8 +151,9 @@ impl Gpu {
     /// Runs until completion or `max_cycles`, discarding events. Returns the
     /// cycle count reached.
     pub fn run(&mut self, max_cycles: u64) -> u64 {
+        let mut events = GpuCycleEvents::new();
         while !self.done() && self.cycle < max_cycles {
-            self.tick();
+            self.tick_into(&mut events);
         }
         self.cycle
     }

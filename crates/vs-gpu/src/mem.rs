@@ -163,7 +163,19 @@ impl MemorySystem {
     }
 
     /// Advances one cycle; returns responses arriving at the SMs this cycle.
+    ///
+    /// Allocates a fresh response vector per call; the hot path should use
+    /// [`MemorySystem::tick_into`] with a reusable buffer instead.
     pub fn tick(&mut self, now: u64) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Advances one cycle, clearing `out` and filling it with the responses
+    /// arriving at the SMs this cycle.
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<MemResponse>) {
+        out.clear();
         // Interconnect arrivals into the L2 partition queues.
         while let Some(Reverse(t)) = self.to_l2.peek() {
             if t.at > now {
@@ -226,7 +238,6 @@ impl MemorySystem {
         }
 
         // Responses arriving at the SMs.
-        let mut out = Vec::new();
         while let Some(Reverse(t)) = self.responses.peek() {
             if t.at > now {
                 break;
@@ -234,7 +245,6 @@ impl MemorySystem {
             let Reverse(t) = self.responses.pop().expect("peeked");
             out.push(self.response_payload.remove(&t.payload).expect("payload"));
         }
-        out
     }
 
     /// True when nothing is queued or in flight anywhere.

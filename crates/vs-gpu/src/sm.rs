@@ -207,12 +207,50 @@ struct UnitState {
     wake_at: u64,
 }
 
+/// Outcome of an issue attempt, distinguishing "the warp itself is blocked"
+/// (scoreboard hazard, barrier, done, memory throttle) from "the warp is
+/// ready but its execution port is busy or waking". Only the former may
+/// clear a warp's maybe-ready bit: port state changes on its own with time,
+/// warp state only changes through an observable event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueOutcome {
+    Issued,
+    PortBlocked,
+    NotReady,
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
     id: usize,
     body: Vec<Instruction>,
+    /// Per-pc scoreboard mask (dst | srcs), precomputed so `warp_ready`
+    /// is a table lookup instead of an instruction decode.
+    body_masks: Vec<u32>,
+    /// Per-pc flag: instruction counts against `MAX_INFLIGHT_MEM`.
+    body_throttled: Vec<bool>,
     warps: Vec<WarpCtx>,
+    /// Warps not yet done — maintained incrementally (decremented when a
+    /// warp retires) instead of recounted every cycle.
+    live_warps: u32,
+    /// Conservative per-warp "maybe ready" mask: a cleared bit means the
+    /// warp is definitely not issuable; a set bit means it must be checked.
+    /// Bits are set on every event that can unblock a warp (writeback
+    /// retirement, memory response, barrier release) and cleared lazily
+    /// when a scan proves the warp blocked, so schedule order is identical
+    /// to a full scan — blocked warps are just skipped cheaply.
+    ready_mask: u128,
+    /// Set bit per non-done warp (cleared on retirement).
+    live_mask: u128,
+    /// Active-set membership mask for the two-level scheduler (rebuilt each
+    /// active cycle, kept in sync across slot swaps within the cycle).
+    active_mask: u128,
+    /// Warps currently stalled at a barrier; lets the per-cycle barrier
+    /// resolution exit immediately when nobody is waiting.
+    barrier_waiting: u32,
+    /// False when the warp pool exceeds 128 warps and the masks cannot be
+    /// represented; scans then fall back to the full-check path.
+    mask_enabled: bool,
     warps_per_cta: usize,
     l1: Cache,
     control: SmControl,
@@ -220,6 +258,12 @@ pub struct Sm {
     greedy: usize,
     preferred_unit: ExecUnit,
     active_set: Vec<usize>,
+    /// Reusable candidate-order scratch for the two-level scheduler.
+    order: Vec<usize>,
+    /// Reusable line-address scratch for memory instructions.
+    lines_buf: Vec<u64>,
+    /// Reusable L1-miss scratch for global loads.
+    missed_buf: Vec<u64>,
     rr_cursor: usize,
     sp: UnitState,
     sfu: UnitState,
@@ -243,7 +287,7 @@ impl Sm {
     /// Creates an SM running `kernel`. Work is drawn from a shared
     /// [`WorkPool`]; each warp starts holding one batch.
     pub fn new(id: usize, config: &GpuConfig, kernel: &Kernel, scheduler: SchedulerKind) -> Self {
-        let warps = (0..kernel.warps_per_sm)
+        let warps: Vec<WarpCtx> = (0..kernel.warps_per_sm)
             .map(|_| WarpCtx {
                 pc: 0,
                 iters_left: 1,
@@ -253,10 +297,44 @@ impl Sm {
                 inflight_mem_instrs: 0,
             })
             .collect();
+        let body_masks = kernel
+            .body
+            .iter()
+            .map(|instr| {
+                let mut mask = 0u32;
+                if let Some(d) = instr.dst {
+                    mask |= 1 << (d.0 as u32 % 32);
+                }
+                for s in instr.srcs.iter().flatten() {
+                    mask |= 1 << (s.0 as u32 % 32);
+                }
+                mask
+            })
+            .collect();
+        let body_throttled = kernel
+            .body
+            .iter()
+            .map(|i| matches!(i.opcode, Opcode::Ld(MemSpace::Global) | Opcode::Atom))
+            .collect();
+        let live_warps = warps.len() as u32;
+        let mask_enabled = warps.len() <= 128;
+        let ready_mask = if warps.len() >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << warps.len()) - 1
+        };
         Sm {
             id,
             body: kernel.body.clone(),
+            body_masks,
+            body_throttled,
             warps,
+            live_warps,
+            ready_mask,
+            live_mask: ready_mask,
+            active_mask: 0,
+            barrier_waiting: 0,
+            mask_enabled,
             warps_per_cta: config.warps_per_cta,
             l1: Cache::new(
                 CacheConfig {
@@ -271,6 +349,9 @@ impl Sm {
             greedy: 0,
             preferred_unit: ExecUnit::Sp,
             active_set: (0..kernel.warps_per_sm.min(ACTIVE_SET_SIZE)).collect(),
+            order: Vec::new(),
+            lines_buf: Vec::new(),
+            missed_buf: Vec::new(),
             rr_cursor: 0,
             sp: UnitState::default(),
             sfu: UnitState::default(),
@@ -332,7 +413,42 @@ impl Sm {
                 let ctx = &mut self.warps[w];
                 ctx.pending &= !m;
                 ctx.inflight_mem_instrs = ctx.inflight_mem_instrs.saturating_sub(1);
+                self.mark_maybe_ready(w);
             }
+        }
+    }
+
+    /// Records that `w` may have become issuable again.
+    #[inline]
+    fn mark_maybe_ready(&mut self, w: usize) {
+        if self.mask_enabled {
+            self.ready_mask |= 1u128 << w;
+        }
+    }
+
+    /// [`Sm::warp_ready`] with the maybe-ready fast path: a cleared mask bit
+    /// short-circuits to false, and a full check that fails clears the bit.
+    fn warp_ready_lazy(&mut self, w: usize) -> bool {
+        if self.mask_enabled && self.ready_mask & (1u128 << w) == 0 {
+            return false;
+        }
+        if self.warp_ready(w) {
+            true
+        } else {
+            if self.mask_enabled {
+                self.ready_mask &= !(1u128 << w);
+            }
+            false
+        }
+    }
+
+    /// Active-set membership test for the two-level scheduler.
+    #[inline]
+    fn in_active_set(&self, w: usize) -> bool {
+        if self.mask_enabled {
+            self.active_mask & (1u128 << w) != 0
+        } else {
+            self.active_set.contains(&w)
         }
     }
 
@@ -361,6 +477,9 @@ impl Sm {
 
     /// Releases a CTA's barrier once all its live warps have arrived.
     fn resolve_barriers(&mut self) {
+        if self.barrier_waiting == 0 {
+            return;
+        }
         let n = self.warps.len();
         let per = self.warps_per_cta.max(1);
         let mut cta = 0;
@@ -372,10 +491,12 @@ impl Sm {
                 .all(|w| w.done || w.at_barrier);
             let any_waiting = self.warps[lo..hi].iter().any(|w| w.at_barrier);
             if all_arrived && any_waiting {
-                for w in &mut self.warps[lo..hi] {
-                    if w.at_barrier {
-                        w.at_barrier = false;
-                        w.pc += 1;
+                for w in lo..hi {
+                    if self.warps[w].at_barrier {
+                        self.warps[w].at_barrier = false;
+                        self.warps[w].pc += 1;
+                        self.barrier_waiting -= 1;
+                        self.mark_maybe_ready(w);
                     }
                 }
             }
@@ -388,20 +509,10 @@ impl Sm {
         if ctx.done || ctx.at_barrier {
             return false;
         }
-        let instr = &self.body[ctx.pc];
-        let mut mask = 0u32;
-        if let Some(d) = instr.dst {
-            mask |= 1 << (d.0 as u32 % 32);
-        }
-        for s in instr.srcs.iter().flatten() {
-            mask |= 1 << (s.0 as u32 % 32);
-        }
-        if ctx.pending & mask != 0 {
+        if ctx.pending & self.body_masks[ctx.pc] != 0 {
             return false;
         }
-        if matches!(instr.opcode, Opcode::Ld(MemSpace::Global) | Opcode::Atom)
-            && ctx.inflight_mem_instrs >= MAX_INFLIGHT_MEM
-        {
+        if self.body_throttled[ctx.pc] && ctx.inflight_mem_instrs >= MAX_INFLIGHT_MEM {
             return false;
         }
         true
@@ -409,13 +520,16 @@ impl Sm {
 
     /// Next inactive, non-done, *ready* warp in round-robin order.
     fn find_ready_inactive(&mut self) -> Option<usize> {
+        if self.mask_enabled && self.ready_mask & !self.active_mask == 0 {
+            return None; // no inactive warp can be ready
+        }
         let n = self.warps.len();
         for step in 0..n {
             let w = (self.rr_cursor + step) % n;
-            if self.active_set.contains(&w) || self.warps[w].done {
+            if self.in_active_set(w) || self.warps[w].done {
                 continue;
             }
-            if self.warp_ready(w) {
+            if self.warp_ready_lazy(w) {
                 self.rr_cursor = (w + 1) % n;
                 return Some(w);
             }
@@ -425,10 +539,13 @@ impl Sm {
 
     /// Next inactive, non-done warp (ready or not) in round-robin order.
     fn find_any_inactive(&mut self) -> Option<usize> {
+        if self.mask_enabled && self.live_mask & !self.active_mask == 0 {
+            return None; // every live warp is already in the active set
+        }
         let n = self.warps.len();
         for step in 0..n {
             let w = (self.rr_cursor + step) % n;
-            if self.active_set.contains(&w) || self.warps[w].done {
+            if self.in_active_set(w) || self.warps[w].done {
                 continue;
             }
             self.rr_cursor = (w + 1) % n;
@@ -437,8 +554,17 @@ impl Sm {
         None
     }
 
-    /// Deterministic line-address generator for a warp access.
-    fn gen_lines(&self, warp: usize, pc: usize, iter: u32, pattern: AccessPattern) -> Vec<u64> {
+    /// Deterministic line-address generator for a warp access; fills `out`
+    /// (a reusable scratch buffer) instead of allocating.
+    fn gen_lines_into(
+        &self,
+        warp: usize,
+        pc: usize,
+        iter: u32,
+        pattern: AccessPattern,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
         let ws = self.working_set_lines;
         let n = pattern.transactions() as u64;
         let mix = |a: u64, b: u64, c: u64| -> u64 {
@@ -451,21 +577,19 @@ impl Sm {
             AccessPattern::Coalesced { .. } => {
                 // Streaming with cross-warp sharing and short temporal reuse.
                 let base = mix(pc as u64, u64::from(iter / 2), warp as u64 / 2) % ws;
-                (0..n).map(|t| (base + t) % ws).collect()
+                out.extend((0..n).map(|t| (base + t) % ws));
             }
             AccessPattern::Strided { stride_lines, .. } => {
                 let base = mix(pc as u64, u64::from(iter), warp as u64) % ws;
-                (0..n)
-                    .map(|t| (base + t * u64::from(stride_lines)) % ws)
-                    .collect()
+                out.extend((0..n).map(|t| (base + t * u64::from(stride_lines)) % ws));
             }
-            AccessPattern::Random { .. } => (0..n)
-                .map(|t| mix(pc as u64 ^ t << 33, u64::from(iter), warp as u64) % ws)
-                .collect(),
+            AccessPattern::Random { .. } => {
+                out.extend((0..n).map(|t| mix(pc as u64 ^ t << 33, u64::from(iter), warp as u64) % ws));
+            }
         }
     }
 
-    /// Attempts to issue warp `w`'s next instruction. Returns true on issue.
+    /// Attempts to issue warp `w`'s next instruction.
     #[allow(clippy::too_many_lines)]
     fn try_issue(
         &mut self,
@@ -474,9 +598,9 @@ impl Sm {
         mem: &mut MemorySystem,
         pool: &mut WorkPool,
         stats: &mut SmCycleStats,
-    ) -> bool {
+    ) -> IssueOutcome {
         if !self.warp_ready(w) {
-            return false;
+            return IssueOutcome::NotReady;
         }
         let ctx_pc = self.warps[w].pc;
         let instr = self.body[ctx_pc];
@@ -487,7 +611,7 @@ impl Sm {
             let gating = self.control.unit_gating;
             let u = self.unit_mut(unit);
             if u.free_at > now {
-                return false;
+                return IssueOutcome::PortBlocked;
             }
             if gating && u.gated {
                 if u.wake_at == 0 {
@@ -495,7 +619,7 @@ impl Sm {
                     stats.unit_wakeups += 1;
                 }
                 if u.wake_at > now {
-                    return false;
+                    return IssueOutcome::PortBlocked;
                 }
                 u.gated = false;
                 u.wake_at = 0;
@@ -550,8 +674,10 @@ impl Sm {
                 self.lsu.free_at = now + ii;
                 self.lsu.idle_cycles = 0;
                 let pattern = instr.pattern.unwrap_or(AccessPattern::Coalesced { n_lines: 1 });
-                let lines = self.gen_lines(w, ctx_pc, iter, pattern);
-                let mut missed = Vec::new();
+                let mut lines = std::mem::take(&mut self.lines_buf);
+                let mut missed = std::mem::take(&mut self.missed_buf);
+                self.gen_lines_into(w, ctx_pc, iter, pattern, &mut lines);
+                missed.clear();
                 for line in &lines {
                     match self.l1.access(*line, false) {
                         CacheOutcome::Hit => stats.l1_hits = stats.l1_hits.saturating_add(1),
@@ -571,7 +697,7 @@ impl Sm {
                         self.next_token += 1;
                         self.outstanding.insert(token, (w, bit, missed.len() as u32));
                         self.warps[w].inflight_mem_instrs += 1;
-                        for line in missed {
+                        for &line in &missed {
                             mem.submit(
                                 now,
                                 MemRequest {
@@ -586,6 +712,8 @@ impl Sm {
                     }
                 }
                 self.warps[w].pc += 1;
+                self.lines_buf = lines;
+                self.missed_buf = missed;
             }
             Opcode::St(space) => {
                 stats.issued_lsu += 1;
@@ -595,7 +723,9 @@ impl Sm {
                 if matches!(space, MemSpace::Global) {
                     stats.stores += 1;
                     let pattern = instr.pattern.unwrap_or(AccessPattern::Coalesced { n_lines: 1 });
-                    for line in self.gen_lines(w, ctx_pc, iter, pattern) {
+                    let mut lines = std::mem::take(&mut self.lines_buf);
+                    self.gen_lines_into(w, ctx_pc, iter, pattern, &mut lines);
+                    for &line in &lines {
                         let _ = self.l1.access(line, true); // write-through
                         mem.submit(
                             now,
@@ -608,6 +738,7 @@ impl Sm {
                             },
                         );
                     }
+                    self.lines_buf = lines;
                 } else {
                     stats.shared_accesses += 1;
                 }
@@ -620,7 +751,8 @@ impl Sm {
                 self.lsu.free_at = now + ii;
                 self.lsu.idle_cycles = 0;
                 let pattern = instr.pattern.unwrap_or(AccessPattern::Random { n_lines: 4 });
-                let lines = self.gen_lines(w, ctx_pc, iter, pattern);
+                let mut lines = std::mem::take(&mut self.lines_buf);
+                self.gen_lines_into(w, ctx_pc, iter, pattern, &mut lines);
                 if let Some(d) = instr.dst {
                     let bit = 1u32 << (d.0 as u32 % 32);
                     self.warps[w].pending |= bit;
@@ -628,7 +760,7 @@ impl Sm {
                     self.next_token += 1;
                     self.outstanding.insert(token, (w, bit, lines.len() as u32));
                     self.warps[w].inflight_mem_instrs += 1;
-                    for line in lines {
+                    for &line in &lines {
                         mem.submit(
                             now,
                             MemRequest {
@@ -642,10 +774,12 @@ impl Sm {
                     }
                 }
                 self.warps[w].pc += 1;
+                self.lines_buf = lines;
             }
             Opcode::Bar => {
                 stats.issued_ctrl += 1;
                 self.warps[w].at_barrier = true;
+                self.barrier_waiting += 1;
                 // pc advances on barrier release.
             }
             Opcode::Exit => {
@@ -659,6 +793,12 @@ impl Sm {
                         ctx.pc = 0;
                     } else {
                         ctx.done = true;
+                        self.live_warps -= 1;
+                        if self.mask_enabled {
+                            let bit = !(1u128 << w);
+                            self.live_mask &= bit;
+                            self.ready_mask &= bit;
+                        }
                     }
                 } else {
                     ctx.pc = 0;
@@ -669,7 +809,7 @@ impl Sm {
             self.preferred_unit = unit;
             self.stats.instructions += 1;
         }
-        true
+        IssueOutcome::Issued
     }
 
     /// Advances the SM one GPU cycle, drawing new batches from `pool` as
@@ -677,7 +817,7 @@ impl Sm {
     pub fn tick(&mut self, now: u64, mem: &mut MemorySystem, pool: &mut WorkPool) -> SmCycleStats {
         let mut stats = SmCycleStats::default();
         self.stats.total_cycles += 1;
-        stats.live_warps = self.warps.iter().filter(|w| !w.done).count() as u8;
+        stats.live_warps = self.live_warps as u8;
 
         // DFS clock masking and whole-SM gating.
         if self.control.sm_gated {
@@ -699,6 +839,7 @@ impl Sm {
             }
             self.writebacks.pop();
             self.warps[w].pending &= !bit;
+            self.mark_maybe_ready(w);
         }
 
         self.resolve_barriers();
@@ -710,13 +851,73 @@ impl Sm {
                 .round() as u32;
         }
 
-        // Scheduler: candidate ordering.
+        // Scheduler: candidate ordering and issue.
         let n = self.warps.len();
-        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut issued = 0u32;
         match self.scheduler {
             SchedulerKind::Gto => {
-                order.push(self.greedy);
-                order.extend((0..n).filter(|&i| i != self.greedy));
+                // Greedy warp first, then the rest in ascending index order.
+                // The candidate sequence is walked through the maybe-ready
+                // mask (cleared bits are warps proven blocked, which a full
+                // scan would skip without side effects), so the schedule is
+                // identical to materializing the full order each cycle. The
+                // greedy pointer is snapshotted so mid-loop updates do not
+                // reshuffle candidates.
+                let greedy = self.greedy;
+                if self.mask_enabled {
+                    let mut cand = self.ready_mask;
+                    let mut greedy_pending = cand & (1u128 << greedy) != 0;
+                    cand &= !(1u128 << greedy);
+                    while issued < 2 && self.grants_left > 0 {
+                        let w = if greedy_pending {
+                            greedy_pending = false;
+                            greedy
+                        } else if cand != 0 {
+                            let w = cand.trailing_zeros() as usize;
+                            cand &= cand - 1;
+                            w
+                        } else {
+                            break;
+                        };
+                        if self.warps[w].done {
+                            self.ready_mask &= !(1u128 << w);
+                            continue;
+                        }
+                        match self.try_issue(w, now, mem, pool, &mut stats) {
+                            IssueOutcome::Issued => {
+                                issued += 1;
+                                self.grants_left -= 1;
+                                self.greedy = w;
+                            }
+                            IssueOutcome::NotReady => self.ready_mask &= !(1u128 << w),
+                            IssueOutcome::PortBlocked => {}
+                        }
+                    }
+                } else {
+                    for pos in 0..n {
+                        if issued >= 2 || self.grants_left == 0 {
+                            break;
+                        }
+                        let w = if pos == 0 {
+                            greedy
+                        } else {
+                            let k = pos - 1;
+                            if k < greedy {
+                                k
+                            } else {
+                                k + 1
+                            }
+                        };
+                        if w >= n || self.warps[w].done {
+                            continue;
+                        }
+                        if self.try_issue(w, now, mem, pool, &mut stats) == IssueOutcome::Issued {
+                            issued += 1;
+                            self.grants_left -= 1;
+                            self.greedy = w;
+                        }
+                    }
+                }
             }
             SchedulerKind::TwoLevelGates => {
                 // Two-level scheduling (Warped Gates' GATES): only a small
@@ -726,41 +927,57 @@ impl Sm {
                 // execution-unit usage, lengthening the idle windows the
                 // gating logic needs, without convoying the whole SM.
                 self.active_set.retain(|&w| !self.warps[w].done);
+                if self.mask_enabled {
+                    self.active_mask = self
+                        .active_set
+                        .iter()
+                        .fold(0u128, |m, &w| m | (1u128 << w));
+                }
                 // Swap blocked active warps for ready inactive ones.
                 for slot in 0..self.active_set.len() {
                     let w = self.active_set[slot];
-                    if !self.warp_ready(w) {
+                    if !self.warp_ready_lazy(w) {
                         if let Some(repl) = self.find_ready_inactive() {
                             self.active_set[slot] = repl;
+                            if self.mask_enabled {
+                                self.active_mask &= !(1u128 << w);
+                                self.active_mask |= 1u128 << repl;
+                            }
                         }
                     }
                 }
                 // Refill after retirements.
                 while self.active_set.len() < ACTIVE_SET_SIZE {
                     match self.find_any_inactive() {
-                        Some(w) => self.active_set.push(w),
+                        Some(w) => {
+                            self.active_set.push(w);
+                            if self.mask_enabled {
+                                self.active_mask |= 1u128 << w;
+                            }
+                        }
                         None => break,
                     }
                 }
+                let mut order = std::mem::take(&mut self.order);
+                order.clear();
                 if let Some(pos) = self.active_set.iter().position(|&w| w == self.greedy) {
                     order.push(self.active_set[pos]);
                 }
                 order.extend(self.active_set.iter().copied().filter(|&w| w != self.greedy));
-            }
-        }
-
-        let mut issued = 0u32;
-        for &w in &order {
-            if issued >= 2 || self.grants_left == 0 {
-                break;
-            }
-            if w >= n || self.warps[w].done {
-                continue;
-            }
-            if self.try_issue(w, now, mem, pool, &mut stats) {
-                issued += 1;
-                self.grants_left -= 1;
-                self.greedy = w;
+                for &w in &order {
+                    if issued >= 2 || self.grants_left == 0 {
+                        break;
+                    }
+                    if w >= n || self.warps[w].done {
+                        continue;
+                    }
+                    if self.try_issue(w, now, mem, pool, &mut stats) == IssueOutcome::Issued {
+                        issued += 1;
+                        self.grants_left -= 1;
+                        self.greedy = w;
+                    }
+                }
+                self.order = order;
             }
         }
         if issued > 0 {

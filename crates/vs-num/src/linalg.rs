@@ -76,6 +76,34 @@ impl<T: Scalar> Matrix<T> {
         self.data.fill(T::zero());
     }
 
+    /// Reshapes to `n_rows x n_cols` and fills with zeros, reusing the
+    /// existing allocation when it is large enough.
+    pub fn resize_zeroed(&mut self, n_rows: usize, n_cols: usize) {
+        self.n_rows = n_rows;
+        self.n_cols = n_cols;
+        self.data.clear();
+        self.data.resize(n_rows * n_cols, T::zero());
+    }
+
+    /// Copies `src` into `self`, reusing the existing allocation when it is
+    /// large enough.
+    pub fn copy_from(&mut self, src: &Matrix<T>) {
+        self.n_rows = src.n_rows;
+        self.n_cols = src.n_cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.n_cols..(r + 1) * self.n_cols]
+    }
+
     /// Matrix-vector product `self * x`.
     ///
     /// # Panics
@@ -185,6 +213,13 @@ impl<T: Scalar> Matrix<T> {
     }
 }
 
+impl<T: Scalar> Default for Matrix<T> {
+    /// An empty `0 x 0` matrix that allocates nothing.
+    fn default() -> Self {
+        Matrix { n_rows: 0, n_cols: 0, data: Vec::new() }
+    }
+}
+
 impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
@@ -224,11 +259,42 @@ impl std::error::Error for SingularMatrixError {}
 /// An LU factorization `P*A = L*U` with partial pivoting.
 ///
 /// Factor once with [`LuFactors::factor`], then reuse
-/// [`LuFactors::solve_in_place`] for many right-hand sides.
+/// [`LuFactors::solve_in_place`] for many right-hand sides. When the same
+/// system is factored repeatedly (e.g. on every topology or timestep change
+/// of a transient simulation), [`LuFactors::refactor`] reuses all internal
+/// storage so no heap allocation happens after the first factorization.
+///
+/// Circuit matrices stay sparse even after companion-model stamping, so the
+/// factorization records the per-row nonzero columns of `L` and `U` and the
+/// substitutions skip exactly the zero entries. The skipped terms are exact
+/// zeros, so the accumulation order of the surviving terms — and hence the
+/// floating-point result — is unchanged.
 #[derive(Debug, Clone)]
 pub struct LuFactors<T> {
     lu: Matrix<T>,
     pivots: Vec<usize>,
+    /// Strictly-lower nonzero columns of row `i`, ascending, in
+    /// `lower_cols[lower_start[i]..lower_start[i + 1]]`.
+    lower_cols: Vec<u32>,
+    lower_start: Vec<u32>,
+    /// Strictly-upper nonzero columns, same layout.
+    upper_cols: Vec<u32>,
+    upper_start: Vec<u32>,
+}
+
+impl<T: Scalar> Default for LuFactors<T> {
+    /// An empty (`0 x 0`) factorization that allocates nothing; fill it with
+    /// [`LuFactors::refactor`] before solving.
+    fn default() -> Self {
+        LuFactors {
+            lu: Matrix::default(),
+            pivots: Vec::new(),
+            lower_cols: Vec::new(),
+            lower_start: Vec::new(),
+            upper_cols: Vec::new(),
+            upper_start: Vec::new(),
+        }
+    }
 }
 
 impl<T: Scalar> LuFactors<T> {
@@ -243,10 +309,31 @@ impl<T: Scalar> LuFactors<T> {
     ///
     /// Panics if `a` is not square.
     pub fn factor(a: &Matrix<T>) -> Result<Self, SingularMatrixError> {
+        let mut out = Self::default();
+        out.refactor(a)?;
+        Ok(out)
+    }
+
+    /// Re-factors `a` in place, reusing every internal buffer.
+    ///
+    /// On error the factors are left in an unusable intermediate state; a
+    /// subsequent successful `refactor` restores full consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300` in
+    /// magnitude is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn refactor(&mut self, a: &Matrix<T>) -> Result<(), SingularMatrixError> {
         assert_eq!(a.n_rows(), a.n_cols(), "LU requires a square matrix");
         let n = a.n_rows();
-        let mut lu = a.clone();
-        let mut pivots = Vec::with_capacity(n);
+        self.lu.copy_from(a);
+        let lu = &mut self.lu;
+        let pivots = &mut self.pivots;
+        pivots.clear();
         for col in 0..n {
             // Partial pivoting: pick the largest remaining entry in this column.
             let mut best_row = col;
@@ -281,7 +368,34 @@ impl<T: Scalar> LuFactors<T> {
                 }
             }
         }
-        Ok(LuFactors { lu, pivots })
+        self.rebuild_pattern();
+        Ok(())
+    }
+
+    /// Records the per-row nonzero columns of the freshly computed factors.
+    fn rebuild_pattern(&mut self) {
+        let n = self.lu.n_rows();
+        self.lower_cols.clear();
+        self.lower_start.clear();
+        self.upper_cols.clear();
+        self.upper_start.clear();
+        self.lower_start.push(0);
+        self.upper_start.push(0);
+        for i in 0..n {
+            let row = self.lu.row(i);
+            for (j, v) in row.iter().enumerate().take(i) {
+                if *v != T::zero() {
+                    self.lower_cols.push(j as u32);
+                }
+            }
+            self.lower_start.push(self.lower_cols.len() as u32);
+            for (j, v) in row.iter().enumerate().skip(i + 1) {
+                if *v != T::zero() {
+                    self.upper_cols.push(j as u32);
+                }
+            }
+            self.upper_start.push(self.upper_cols.len() as u32);
+        }
     }
 
     /// Dimension of the factored system.
@@ -303,21 +417,29 @@ impl<T: Scalar> LuFactors<T> {
                 b.swap(col, piv);
             }
         }
-        // Forward substitution with unit-lower-triangular L.
+        // Forward substitution with unit-lower-triangular L, visiting only
+        // the recorded nonzero columns (ascending, so the accumulation order
+        // matches a dense sweep with the zero terms dropped).
         for i in 1..n {
+            let row = self.lu.row(i);
             let mut acc = b[i];
-            for (j, bj) in b.iter().enumerate().take(i) {
-                acc -= self.lu[(i, j)] * *bj;
+            let s = self.lower_start[i] as usize;
+            let e = self.lower_start[i + 1] as usize;
+            for &j in &self.lower_cols[s..e] {
+                acc -= row[j as usize] * b[j as usize];
             }
             b[i] = acc;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
+            let row = self.lu.row(i);
             let mut acc = b[i];
-            for (j, bj) in b.iter().enumerate().skip(i + 1) {
-                acc -= self.lu[(i, j)] * *bj;
+            let s = self.upper_start[i] as usize;
+            let e = self.upper_start[i + 1] as usize;
+            for &j in &self.upper_cols[s..e] {
+                acc -= row[j as usize] * b[j as usize];
             }
-            b[i] = acc / self.lu[(i, i)];
+            b[i] = acc / row[i];
         }
     }
 
@@ -398,6 +520,61 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let y = a.mul_vec(&[1.0, 0.0, -1.0]);
         assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_fresh_factor() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b4 = Matrix::from_rows(&[
+            vec![4.0, 0.0, 1.0, 0.0],
+            vec![0.0, 3.0, 0.0, 0.0],
+            vec![1.0, 0.0, 5.0, 2.0],
+            vec![0.0, 0.0, 2.0, 6.0],
+        ]);
+        // Refactoring across a dimension change must behave exactly like a
+        // fresh factorization.
+        let mut lu = LuFactors::factor(&a).unwrap();
+        lu.refactor(&b4).unwrap();
+        let fresh = LuFactors::factor(&b4).unwrap();
+        let rhs = [1.0, -2.0, 3.0, 0.5];
+        let mut x_reused = rhs;
+        let mut x_fresh = rhs;
+        lu.solve_in_place(&mut x_reused);
+        fresh.solve_in_place(&mut x_fresh);
+        assert_eq!(x_reused, x_fresh);
+        // A refactor that fails leaves the struct usable after a later
+        // successful refactor.
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(lu.refactor(&singular).is_err());
+        lu.refactor(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_pattern_solve_matches_dense_residual() {
+        // A banded (sparse) diagonally dominant system: the pattern-based
+        // substitutions must reproduce the exact solution of the full sweep.
+        let n = 16;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 4.0 + i as f64 * 0.125;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -0.5;
+            }
+            if i + 5 < n {
+                a[(i, i + 5)] = 0.25;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 7.5).collect();
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        let r = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-10);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example collaborative_power_management`
 
-use vs_core::{Cosim, CosimConfig, PdsKind, PowerManagement};
+use vs_core::{Cosim, CosimConfig, PdsKind, PowerManagement, ScenarioId};
 use vs_hypervisor::DfsConfig;
 
 fn main() {
@@ -13,35 +13,37 @@ fn main() {
         max_cycles: 1_000_000,
         ..CosimConfig::default()
     };
-    let profile = vs_gpu::benchmark("bfs").expect("known benchmark");
+    let profile = ScenarioId::Bfs.profile();
 
     println!("running `bfs` with a 70% performance-goal DFS governor...\n");
 
-    let conv = Cosim::with_power_management(
+    let conv = Cosim::builder(
         &CosimConfig {
             pds: PdsKind::ConventionalVrm,
             ..base.clone()
         },
         &profile,
-        PowerManagement {
-            dfs: Some(DfsConfig::with_goal(0.7)),
-            ..PowerManagement::default()
-        },
     )
+    .power_management(PowerManagement {
+        dfs: Some(DfsConfig::with_goal(0.7)),
+        ..PowerManagement::default()
+    })
+    .build()
     .run();
 
-    let vs = Cosim::with_power_management(
+    let vs = Cosim::builder(
         &CosimConfig {
             pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
             ..base
         },
         &profile,
-        PowerManagement {
-            dfs: Some(DfsConfig::with_goal(0.7)),
-            use_hypervisor: true, // Algorithm 2 bounds the layer imbalance
-            ..PowerManagement::default()
-        },
     )
+    .power_management(PowerManagement {
+        dfs: Some(DfsConfig::with_goal(0.7)),
+        use_hypervisor: true, // Algorithm 2 bounds the layer imbalance
+        ..PowerManagement::default()
+    })
+    .build()
     .run();
 
     for (label, r) in [

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use vs_core::{run_benchmark, CosimConfig, PdsKind};
+use vs_core::{run_scenario, CosimConfig, PdsKind, ScenarioId};
 
 fn main() {
     // Keep the example snappy: a shortened kernel (about a tenth of the
@@ -16,19 +16,19 @@ fn main() {
 
     println!("co-simulating `hotspot` on two power-delivery subsystems...\n");
 
-    let conventional = run_benchmark(
+    let conventional = run_scenario(
         &CosimConfig {
             pds: PdsKind::ConventionalVrm,
             ..base.clone()
         },
-        "hotspot",
+        ScenarioId::Hotspot,
     );
-    let cross_layer = run_benchmark(
+    let cross_layer = run_scenario(
         &CosimConfig {
             pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
             ..base
         },
-        "hotspot",
+        ScenarioId::Hotspot,
     );
 
     for r in [&conventional, &cross_layer] {

@@ -7,9 +7,10 @@
 #              reduced-cycle golden profile. Re-runs the full experiment
 #              catalogue, diffs it against goldens/*.jsonl under
 #              goldens/tolerances.json, asserts every EXPERIMENTS.md
-#              headline claim, and checks sweep determinism across worker
-#              counts. Leaves the suite manifest at target/sweep/ as the
-#              uploadable artifact.
+#              headline claim, checks sweep determinism across worker
+#              counts, and diffs the fault-injection campaign byte-for-byte
+#              against goldens/fault_campaign.jsonl. Leaves the suite
+#              manifest at target/sweep/ as the uploadable artifact.
 #
 # Runs from the repository root regardless of the caller's cwd.
 set -euo pipefail
@@ -22,6 +23,14 @@ if [[ "${1:-}" == "--golden" ]]; then
     echo "== sweep artifact =="
     cargo run --release -q -p vs-bench --bin sweep -- \
         run --profile golden --out target/sweep --diff goldens
+    echo "== fault-campaign artifact =="
+    # The campaign artifact carries no wall-time events, so the golden is
+    # compared byte-for-byte at the golden profile.
+    VS_BENCH_SCALE=0.04 VS_BENCH_MAX_CYCLES=250000 \
+        cargo run --release -q -p vs-bench --bin fault_campaign -- \
+        --json target/fault_campaign.jsonl > /dev/null
+    diff goldens/fault_campaign.jsonl target/fault_campaign.jsonl \
+        && echo "fault-campaign golden: OK"
     echo "suite manifest artifact: target/sweep/manifest.jsonl"
     echo "tier-2 golden gate: OK"
     exit 0
@@ -32,6 +41,9 @@ cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q --workspace
+
+echo "== public-API parity (builder shims + pooled workspace reuse) =="
+cargo test --release -q -p vs-core --test builder_parity --test workspace_reuse
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

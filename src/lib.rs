@@ -29,13 +29,13 @@
 //! # Examples
 //!
 //! ```no_run
-//! use voltage_stacked_gpus::core::{run_benchmark, CosimConfig, PdsKind};
+//! use voltage_stacked_gpus::core::{run_scenario, CosimConfig, PdsKind, ScenarioId};
 //!
 //! let cfg = CosimConfig {
 //!     pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
 //!     ..CosimConfig::default()
 //! };
-//! let report = run_benchmark(&cfg, "heartwall");
+//! let report = run_scenario(&cfg, ScenarioId::Heartwall);
 //! assert!(report.pde() > 0.9);
 //! ```
 

@@ -3,7 +3,8 @@
 //! way the paper's evaluation uses them.
 
 use voltage_stacked_gpus::core::{
-    run_benchmark, run_worst_case, Cosim, CosimConfig, PdsKind, PowerManagement, WorstCaseConfig,
+    run_scenario, run_worst_case, Cosim, CosimConfig, PdsKind, PowerManagement, ScenarioId,
+    WorstCaseConfig,
 };
 use voltage_stacked_gpus::hypervisor::{DfsConfig, PgConfig};
 
@@ -19,9 +20,9 @@ fn quick(pds: PdsKind) -> CosimConfig {
 #[test]
 fn headline_pde_ordering_holds() {
     // The paper's Table III ordering: VRM < IVR < both VS configurations.
-    let conv = run_benchmark(&quick(PdsKind::ConventionalVrm), "srad");
-    let ivr = run_benchmark(&quick(PdsKind::SingleLayerIvr), "srad");
-    let vs = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), "srad");
+    let conv = run_scenario(&quick(PdsKind::ConventionalVrm), ScenarioId::Srad);
+    let ivr = run_scenario(&quick(PdsKind::SingleLayerIvr), ScenarioId::Srad);
+    let vs = run_scenario(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), ScenarioId::Srad);
     assert!(conv.completed && ivr.completed && vs.completed);
     assert!(conv.pde() < ivr.pde(), "{} < {}", conv.pde(), ivr.pde());
     assert!(ivr.pde() < vs.pde(), "{} < {}", ivr.pde(), vs.pde());
@@ -33,8 +34,14 @@ fn headline_pde_ordering_holds() {
 fn cross_layer_keeps_all_benchmarks_reliable() {
     // Supply reliability across a representative subset: every SM stays
     // above the 0.2 V guardband (>= 0.8 V) for the whole run.
-    for name in ["backprop", "hotspot", "fastwalsh", "simpleatomic"] {
-        let r = run_benchmark(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), name);
+    for id in [
+        ScenarioId::Backprop,
+        ScenarioId::Hotspot,
+        ScenarioId::Fastwalsh,
+        ScenarioId::Simpleatomic,
+    ] {
+        let name = id.name();
+        let r = run_scenario(&quick(PdsKind::VsCrossLayer { area_mult: 0.2 }), id);
         assert!(r.completed, "{name} did not complete");
         assert!(
             r.min_sm_voltage > 0.8,
@@ -47,8 +54,8 @@ fn cross_layer_keeps_all_benchmarks_reliable() {
 #[test]
 fn co_simulation_is_deterministic() {
     let cfg = quick(PdsKind::VsCrossLayer { area_mult: 0.2 });
-    let a = run_benchmark(&cfg, "pathfinder");
-    let b = run_benchmark(&cfg, "pathfinder");
+    let a = run_scenario(&cfg, ScenarioId::Pathfinder);
+    let b = run_scenario(&cfg, ScenarioId::Pathfinder);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.instructions, b.instructions);
     assert!((a.ledger.board_input_j - b.ledger.board_input_j).abs() < 1e-15);
@@ -70,7 +77,7 @@ fn worst_case_guarantee_spans_the_design_space() {
 
 #[test]
 fn dfs_and_pg_compose_with_stacking() {
-    let profile = vs_gpu::benchmark("hotspot").expect("known benchmark");
+    let profile = ScenarioId::Hotspot.profile();
     let pm = PowerManagement {
         dfs: Some(DfsConfig::with_goal(0.5)),
         pg: Some(PgConfig::default()),
@@ -91,7 +98,7 @@ fn dfs_and_pg_compose_with_stacking() {
         seed: 1,
         ..quick(PdsKind::VsCrossLayer { area_mult: 0.2 })
     };
-    let r = Cosim::with_power_management(&cfg, &profile, pm).run();
+    let r = Cosim::builder(&cfg, &profile).power_management(pm).build().run();
     assert!(r.completed);
     // Reliability is preserved even with both optimizations active: the
     // excursion stays within the worst-case envelope the paper's analysis
@@ -110,7 +117,7 @@ fn voltage_scaled_power_mode_runs() {
         voltage_scaled_power: true,
         ..quick(PdsKind::VsCrossLayer { area_mult: 0.2 })
     };
-    let r = run_benchmark(&cfg, "scalarprod");
+    let r = run_scenario(&cfg, ScenarioId::Scalarprod);
     assert!(r.completed);
     assert!(r.pde() > 0.85);
 }

@@ -4,7 +4,7 @@
 //! external property-test harness.
 
 use vs_num::Rng;
-use voltage_stacked_gpus::core::{run_benchmark, CosimConfig, PdsKind};
+use voltage_stacked_gpus::core::{run_scenario, CosimConfig, PdsKind, ScenarioId};
 
 fn any_pds(rng: &mut Rng) -> PdsKind {
     match rng.index(0, 4) {
@@ -36,7 +36,6 @@ fn energy_ledger_is_always_sane() {
         let pds = any_pds(rng);
         let bench_idx = rng.index(0, 12);
         let seed = rng.range_u64(1, 999);
-        let names = vs_gpu::all_benchmarks();
         let cfg = CosimConfig {
             pds,
             seed,
@@ -44,7 +43,7 @@ fn energy_ledger_is_always_sane() {
             max_cycles: 250_000,
             ..CosimConfig::default()
         };
-        let r = run_benchmark(&cfg, &names[bench_idx].name);
+        let r = run_scenario(&cfg, ScenarioId::ALL[bench_idx]);
         let l = &r.ledger;
         assert!(r.pde() > 0.0 && r.pde() < 1.0, "PDE {}", r.pde());
         assert!(l.board_input_j > 0.0);
@@ -76,7 +75,6 @@ fn stacking_always_beats_conventional() {
     for_each_case(3, |rng| {
         let bench_idx = rng.index(0, 12);
         let seed = rng.range_u64(1, 99);
-        let names = vs_gpu::all_benchmarks();
         let mk = |pds| CosimConfig {
             pds,
             seed,
@@ -84,11 +82,9 @@ fn stacking_always_beats_conventional() {
             max_cycles: 250_000,
             ..CosimConfig::default()
         };
-        let conv = run_benchmark(&mk(PdsKind::ConventionalVrm), &names[bench_idx].name);
-        let vs = run_benchmark(
-            &mk(PdsKind::VsCrossLayer { area_mult: 0.2 }),
-            &names[bench_idx].name,
-        );
+        let id = ScenarioId::ALL[bench_idx];
+        let conv = run_scenario(&mk(PdsKind::ConventionalVrm), id);
+        let vs = run_scenario(&mk(PdsKind::VsCrossLayer { area_mult: 0.2 }), id);
         assert!(vs.pde() > conv.pde(), "{} vs {}", vs.pde(), conv.pde());
     });
 }
