@@ -7,6 +7,11 @@
 //! railed DAC, a dead sub-IVR, or NaN power telemetry degrades a run instead
 //! of killing the sweep.
 //!
+//! The scenario catalogue and row/event builders live in
+//! [`vs_bench::campaign`]; this binary only loops the cells and routes the
+//! two outputs (note their deliberate asymmetry: the printed table truncates
+//! errors to their headline, the JSONL artifact keeps the full string).
+//!
 //! `VS_BENCH_SCALE` / `VS_BENCH_MAX_CYCLES` shorten or lengthen the runs as
 //! for the figure binaries.
 //!
@@ -15,178 +20,10 @@
 //! `vs-telemetry` run-artifact schema: a manifest line followed by one
 //! `fault_row` event per campaign cell.
 
-use vs_bench::{pct, print_table, volts, BenchEnv};
-use vs_control::{ActuatorFault, DetectorFault};
-use vs_core::{
-    CosimPool, CrIvrFault, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, ScenarioId,
-    SupervisorConfig,
-};
-use vs_telemetry::{Event, FaultCampaignRow, RunArtifact, RunManifest, SCHEMA_VERSION};
-
-/// One campaign cell: a named fault schedule.
-struct Scenario {
-    name: &'static str,
-    /// Only meaningful with the voltage-smoothing controller present.
-    needs_controller: bool,
-    plan: FaultPlan,
-}
-
-fn scenarios(seed: u64) -> Vec<Scenario> {
-    // Faults land at cycle 1 000 — after the stack settles, early enough to
-    // sit inside even the shortest scaled-down runs.
-    let onset = 1_000;
-    let glitch = FaultWindow::transient(onset, 2_000);
-    vec![
-        Scenario {
-            name: "baseline (no fault)",
-            needs_controller: false,
-            plan: FaultPlan::none(),
-        },
-        Scenario {
-            name: "detector stuck at 1.0 V",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Detector {
-                    sm: 0,
-                    fault: DetectorFault::StuckAt { volts: 1.0 },
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "detector stuck at 0.0 V",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Detector {
-                    sm: 0,
-                    fault: DetectorFault::StuckAt { volts: 0.0 },
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "detector noise 50 mV",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Detector {
-                    sm: 0,
-                    fault: DetectorFault::Noise { sigma_v: 0.05 },
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "detector 50% dropout",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Detector {
-                    sm: 0,
-                    fault: DetectorFault::Dropout { p_drop: 0.5 },
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "DIWS stuck full width",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Actuator {
-                    sm: 0,
-                    fault: ActuatorFault::DiwsStuck { issue_width: 2.0 },
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "FII disabled",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Actuator {
-                    sm: 4,
-                    fault: ActuatorFault::FiiDisabled,
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "DCC DAC railed",
-            needs_controller: true,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::Actuator {
-                    sm: 4,
-                    fault: ActuatorFault::DccRailed,
-                },
-                FaultWindow::ALWAYS,
-            ),
-        },
-        Scenario {
-            name: "CR-IVR col 0 offline",
-            needs_controller: false,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::CrIvr {
-                    column: 0,
-                    fault: CrIvrFault::Offline,
-                },
-                FaultWindow::from(onset),
-            ),
-        },
-        Scenario {
-            name: "CR-IVR col 0 at 50%",
-            needs_controller: false,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::CrIvr {
-                    column: 0,
-                    fault: CrIvrFault::Degraded { factor: 0.5 },
-                },
-                FaultWindow::from(onset),
-            ),
-        },
-        Scenario {
-            name: "CR-IVR col 0 at 25%",
-            needs_controller: false,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::CrIvr {
-                    column: 0,
-                    fault: CrIvrFault::Degraded { factor: 0.25 },
-                },
-                FaultWindow::from(onset),
-            ),
-        },
-        Scenario {
-            name: "NaN telemetry burst",
-            needs_controller: false,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::LoadGlitch {
-                    sm: 5,
-                    glitch: LoadGlitch::NonFinite,
-                },
-                glitch,
-            ),
-        },
-        Scenario {
-            name: "load surge +60 W",
-            needs_controller: false,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::LoadGlitch {
-                    sm: 5,
-                    glitch: LoadGlitch::Surge { watts: 60.0 },
-                },
-                glitch,
-            ),
-        },
-        Scenario {
-            name: "short to rail (1 GW)",
-            needs_controller: false,
-            plan: FaultPlan::new(seed).with(
-                FaultKind::LoadGlitch {
-                    sm: 5,
-                    glitch: LoadGlitch::Surge { watts: 1e9 },
-                },
-                FaultWindow::from(onset),
-            ),
-        },
-    ]
-}
+use vs_bench::campaign::{fault_scenarios, CellOutcome};
+use vs_bench::{print_table, volts, BenchEnv};
+use vs_core::{CosimPool, PdsKind, ScenarioId, SupervisorConfig};
+use vs_telemetry::{Event, RunArtifact, RunManifest, SCHEMA_VERSION};
 
 /// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
 /// over `VS_FAULT_JSON`; `-` means stdout.
@@ -230,38 +67,15 @@ fn main() {
     let mut pool = CosimPool::new();
     for pds in pds_under_test {
         let cfg = settings.config(pds);
-        for sc in scenarios(settings.seed) {
+        for sc in fault_scenarios(settings.seed) {
             if sc.needs_controller && !pds.has_controller() {
                 continue;
             }
             eprintln!("  {} under {} ...", sc.name, pds.label());
             let run = pool.run_supervised(&cfg, &benchmark, &supervisor, &sc.plan);
-            events.push(Event::FaultRow(FaultCampaignRow {
-                pds: pds.label().to_string(),
-                fault: sc.name.to_string(),
-                verdict: run.verdict.label().to_string(),
-                min_sm_v: run.report.min_sm_voltage,
-                below_guardband_fraction: run.below_guardband_fraction(),
-                below_guardband_us: run.below_guardband_s * 1e6,
-                retries: u64::from(run.recovery.retries),
-                sanitized: u64::from(run.recovery.sanitized_controls),
-                error: run.error.as_ref().map(std::string::ToString::to_string),
-            }));
-            rows.push(vec![
-                pds.label().to_string(),
-                sc.name.to_string(),
-                run.verdict.label().to_string(),
-                volts(run.report.min_sm_voltage),
-                pct(run.below_guardband_fraction()),
-                format!("{:.1}", run.below_guardband_s * 1e6),
-                run.recovery.retries.to_string(),
-                run.recovery.sanitized_controls.to_string(),
-                run.error.as_ref().map_or_else(
-                    || "-".to_string(),
-                    // Keep the headline, drop the nested last-error detail.
-                    |e| e.to_string().split("; last error").next().unwrap().to_string(),
-                ),
-            ]);
+            let cell = CellOutcome::from_run(pds, sc.name, &run);
+            events.push(cell.event());
+            rows.push(cell.table_row());
         }
     }
 

@@ -1,0 +1,326 @@
+//! The fault-injection campaign as a library: the scenario catalogue and
+//! the per-cell row/event builders the `fault_campaign` binary prints.
+//!
+//! Extracted from the binary so the two views of a cell's error are pinned
+//! by tests: the human table keeps only the headline (everything before the
+//! first `"; last error"`), while the JSONL [`Event::FaultRow`] carries the
+//! **full** error string — truncating the machine-readable artifact would
+//! destroy exactly the detail a post-mortem needs.
+
+use vs_control::{ActuatorFault, DetectorFault};
+use vs_core::{
+    CrIvrFault, FaultKind, FaultPlan, FaultWindow, LoadGlitch, PdsKind, SupervisedReport,
+};
+use vs_telemetry::{Event, FaultCampaignRow};
+
+use crate::{pct, volts};
+
+/// One campaign cell: a named fault schedule.
+pub struct FaultScenario {
+    /// Display name (also the JSONL `fault` field).
+    pub name: &'static str,
+    /// Only meaningful with the voltage-smoothing controller present.
+    pub needs_controller: bool,
+    /// The seeded fault schedule.
+    pub plan: FaultPlan,
+}
+
+/// The campaign's fault catalogue: every mechanism (sensing, actuation,
+/// CR-IVR, load) at the severities the resilience table reports.
+pub fn fault_scenarios(seed: u64) -> Vec<FaultScenario> {
+    // Faults land at cycle 1 000 — after the stack settles, early enough to
+    // sit inside even the shortest scaled-down runs.
+    let onset = 1_000;
+    let glitch = FaultWindow::transient(onset, 2_000);
+    vec![
+        FaultScenario {
+            name: "baseline (no fault)",
+            needs_controller: false,
+            plan: FaultPlan::none(),
+        },
+        FaultScenario {
+            name: "detector stuck at 1.0 V",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Detector {
+                    sm: 0,
+                    fault: DetectorFault::StuckAt { volts: 1.0 },
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "detector stuck at 0.0 V",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Detector {
+                    sm: 0,
+                    fault: DetectorFault::StuckAt { volts: 0.0 },
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "detector noise 50 mV",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Detector {
+                    sm: 0,
+                    fault: DetectorFault::Noise { sigma_v: 0.05 },
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "detector 50% dropout",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Detector {
+                    sm: 0,
+                    fault: DetectorFault::Dropout { p_drop: 0.5 },
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "DIWS stuck full width",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Actuator {
+                    sm: 0,
+                    fault: ActuatorFault::DiwsStuck { issue_width: 2.0 },
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "FII disabled",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Actuator {
+                    sm: 4,
+                    fault: ActuatorFault::FiiDisabled,
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "DCC DAC railed",
+            needs_controller: true,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::Actuator {
+                    sm: 4,
+                    fault: ActuatorFault::DccRailed,
+                },
+                FaultWindow::ALWAYS,
+            ),
+        },
+        FaultScenario {
+            name: "CR-IVR col 0 offline",
+            needs_controller: false,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::CrIvr {
+                    column: 0,
+                    fault: CrIvrFault::Offline,
+                },
+                FaultWindow::from(onset),
+            ),
+        },
+        FaultScenario {
+            name: "CR-IVR col 0 at 50%",
+            needs_controller: false,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::CrIvr {
+                    column: 0,
+                    fault: CrIvrFault::Degraded { factor: 0.5 },
+                },
+                FaultWindow::from(onset),
+            ),
+        },
+        FaultScenario {
+            name: "CR-IVR col 0 at 25%",
+            needs_controller: false,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::CrIvr {
+                    column: 0,
+                    fault: CrIvrFault::Degraded { factor: 0.25 },
+                },
+                FaultWindow::from(onset),
+            ),
+        },
+        FaultScenario {
+            name: "NaN telemetry burst",
+            needs_controller: false,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::LoadGlitch {
+                    sm: 5,
+                    glitch: LoadGlitch::NonFinite,
+                },
+                glitch,
+            ),
+        },
+        FaultScenario {
+            name: "load surge +60 W",
+            needs_controller: false,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::LoadGlitch {
+                    sm: 5,
+                    glitch: LoadGlitch::Surge { watts: 60.0 },
+                },
+                glitch,
+            ),
+        },
+        FaultScenario {
+            name: "short to rail (1 GW)",
+            needs_controller: false,
+            plan: FaultPlan::new(seed).with(
+                FaultKind::LoadGlitch {
+                    sm: 5,
+                    glitch: LoadGlitch::Surge { watts: 1e9 },
+                },
+                FaultWindow::from(onset),
+            ),
+        },
+    ]
+}
+
+/// The table form of an error: the headline alone, with the nested
+/// last-error detail dropped. Only the human table uses this; the JSONL
+/// artifact always carries the full string.
+pub fn short_error(full: &str) -> String {
+    full.split("; last error").next().unwrap_or(full).to_string()
+}
+
+/// One campaign cell's outcome, holding the **full** error string. The two
+/// serializations differ on purpose: [`CellOutcome::event`] keeps the whole
+/// error, [`CellOutcome::table_row`] shows only [`short_error`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// PDS label (`PdsKind::label`).
+    pub pds: String,
+    /// Scenario name.
+    pub fault: String,
+    /// Verdict label.
+    pub verdict: String,
+    /// Minimum SM voltage over the run, volts.
+    pub min_sm_v: f64,
+    /// Fraction of cycles below the guardband.
+    pub below_guardband_fraction: f64,
+    /// Worst-layer time below the guardband, microseconds.
+    pub below_guardband_us: f64,
+    /// Solver retries.
+    pub retries: u64,
+    /// Sanitized control commands.
+    pub sanitized: u64,
+    /// Full error string, if the run errored.
+    pub error: Option<String>,
+}
+
+impl CellOutcome {
+    /// Collapses one supervised run into a campaign cell.
+    pub fn from_run(pds: PdsKind, fault: &str, run: &SupervisedReport) -> Self {
+        CellOutcome {
+            pds: pds.label().to_string(),
+            fault: fault.to_string(),
+            verdict: run.verdict.label().to_string(),
+            min_sm_v: run.report.min_sm_voltage,
+            below_guardband_fraction: run.below_guardband_fraction(),
+            below_guardband_us: run.below_guardband_s * 1e6,
+            retries: u64::from(run.recovery.retries),
+            sanitized: u64::from(run.recovery.sanitized_controls),
+            error: run.error.as_ref().map(std::string::ToString::to_string),
+        }
+    }
+
+    /// The machine-readable JSONL event: full error string, never
+    /// truncated.
+    pub fn event(&self) -> Event {
+        Event::FaultRow(FaultCampaignRow {
+            pds: self.pds.clone(),
+            fault: self.fault.clone(),
+            verdict: self.verdict.clone(),
+            min_sm_v: self.min_sm_v,
+            below_guardband_fraction: self.below_guardband_fraction,
+            below_guardband_us: self.below_guardband_us,
+            retries: self.retries,
+            sanitized: self.sanitized,
+            error: self.error.clone(),
+        })
+    }
+
+    /// The human table row: error reduced to its headline.
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.pds.clone(),
+            self.fault.clone(),
+            self.verdict.clone(),
+            volts(self.min_sm_v),
+            pct(self.below_guardband_fraction),
+            format!("{:.1}", self.below_guardband_us),
+            self.retries.to_string(),
+            self.sanitized.to_string(),
+            self.error
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |e| short_error(e)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(error: Option<&str>) -> CellOutcome {
+        CellOutcome {
+            pds: "VS cross-layer".to_string(),
+            fault: "short to rail (1 GW)".to_string(),
+            verdict: "aborted".to_string(),
+            min_sm_v: 0.123,
+            below_guardband_fraction: 0.4,
+            below_guardband_us: 1.5,
+            retries: 3,
+            sanitized: 0,
+            error: error.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn fourteen_scenarios_with_unique_names() {
+        let scs = fault_scenarios(42);
+        assert_eq!(scs.len(), 14);
+        let mut names: Vec<_> = scs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn table_truncates_but_jsonl_keeps_the_full_error() {
+        let full = "recovery exhausted after 3 retries at cycle 1042; \
+                    last error: divergence at t=1.489e-06s (dt=2.3e-11s)";
+        let c = cell(Some(full));
+
+        // Human table: headline only.
+        let row = c.table_row();
+        assert_eq!(row[8], "recovery exhausted after 3 retries at cycle 1042");
+
+        // JSONL event: the complete string, including the nested detail.
+        let json = c.event().to_json().to_string_compact();
+        assert!(json.contains("last error: divergence at t=1.489e-06s"), "{json}");
+        assert!(json.contains("recovery exhausted after 3 retries"), "{json}");
+    }
+
+    #[test]
+    fn errorless_cell_renders_a_dash() {
+        let row = cell(None).table_row();
+        assert_eq!(row[8], "-");
+        let json = cell(None).event().to_json().to_string_compact();
+        assert!(json.contains("\"error\":null"), "{json}");
+    }
+
+    #[test]
+    fn short_error_without_marker_is_identity() {
+        assert_eq!(short_error("plain message"), "plain message");
+        assert_eq!(short_error("head; last error: tail"), "head");
+    }
+}

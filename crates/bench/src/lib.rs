@@ -27,13 +27,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
-use vs_core::{CosimConfig, CosimPool, CosimReport, PdsKind, PowerManagement, ScenarioId};
+use vs_core::{CosimConfig, CosimReport, PdsKind, PowerManagement, ScenarioId};
 use vs_gpu::all_benchmarks;
 
+pub mod campaign;
 pub mod claims;
 pub mod experiments;
+pub mod shard;
 pub mod sweep;
 
 pub use experiments::{ExperimentId, ExperimentOutput, Recorder};
@@ -247,18 +249,6 @@ pub fn pds_configs() -> [PdsKind; 4] {
     ]
 }
 
-/// The process-wide suite memo: full-suite runs keyed by their complete
-/// configuration. Experiments sharing a suite (every figure that rebuilds
-/// the conventional baseline, fig13's DIWS point vs fig14, fig15/16 vs
-/// fig17's PM rows) compute it once; a parallel sweep blocks duplicate
-/// requests on the same cell instead of running the suite twice.
-type SuiteCell = Arc<OnceLock<Arc<Vec<CosimReport>>>>;
-
-fn suite_cache() -> &'static Mutex<HashMap<String, SuiteCell>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, SuiteCell>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
 /// Runs every benchmark under `cfg`, in order; reports progress on stderr.
 /// Results are memoized process-wide (see the determinism contract in the
 /// crate docs: a suite's reports depend only on `cfg` and `pm`).
@@ -267,41 +257,20 @@ pub fn run_suite(cfg: &CosimConfig) -> Arc<Vec<CosimReport>> {
 }
 
 /// Runs every benchmark under `cfg` with power management enabled
-/// (memoized).
+/// (memoized). The suite is sharded into per-scenario tasks: concurrent
+/// requesters and idle sweep workers claim scenarios instead of blocking on
+/// the whole suite, and each worker thread runs its tasks on a long-lived
+/// [`vs_core::CosimPool`] shard (see [`shard`]).
 pub fn run_suite_with_pm(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<CosimReport>> {
-    let key = format!("{cfg:?}|{pm:?}");
-    let cell = {
-        let mut cache = suite_cache().lock().expect("suite cache poisoned");
-        cache.entry(key).or_default().clone()
-    };
-    // Compute outside the map lock so unrelated suites run concurrently;
-    // OnceLock serializes duplicate requests for the same suite.
-    cell.get_or_init(|| {
-        // One pool for the whole suite: all twelve runs share the PDS
-        // netlist, so every run after the first reuses the solver buffers
-        // and cached DC operating point (see vs_core::CosimPool).
-        let mut pool = CosimPool::new();
-        Arc::new(
-            ScenarioId::ALL
-                .into_iter()
-                .map(|id| {
-                    eprintln!("  running {} under {} ...", id, cfg.pds.label());
-                    let profile = id.profile();
-                    pool.run_profile(cfg, &profile, pm.clone())
-                })
-                .collect(),
-        )
-    })
-    .clone()
+    shard::run_suite_sharded(cfg, pm)
 }
 
-/// Runs one scenario under `cfg` with power management.
+/// Runs one scenario under `cfg` with power management, on the calling
+/// thread's [`vs_core::CosimPool`] shard (so back-to-back calls reuse the
+/// solver workspace and DC operating-point cache instead of rebuilding a
+/// fresh `Cosim` per run).
 pub fn run_one_with_pm(cfg: &CosimConfig, id: ScenarioId, pm: &PowerManagement) -> CosimReport {
-    let profile = id.profile();
-    vs_core::Cosim::builder(cfg, &profile)
-        .power_management(pm.clone())
-        .build()
-        .run()
+    shard::with_worker_pool(|pool| pool.run_scenario_with_pm(cfg, id, pm.clone()))
 }
 
 /// Baseline cache: conventional-PDS runs per benchmark, used to normalize

@@ -1,0 +1,369 @@
+//! Scenario-level suite sharding: the two-level work queue behind the
+//! parallel sweep.
+//!
+//! The PR-4 sweep scheduled at *experiment* granularity: a worker that
+//! requested a suite already being computed by another worker parked on a
+//! `OnceLock` until all twelve scenarios finished, and a sweep of few
+//! experiments could not use more workers than experiments. This module
+//! replaces that memo with a two-level queue:
+//!
+//! * **Level 1 (experiments)** stays in [`crate::sweep::run_sweep`]: workers
+//!   pop experiment indices off an atomic counter.
+//! * **Level 2 (scenarios)** lives here: a memoized suite is a job whose
+//!   twelve [`ScenarioId`] runs are individually claimable tasks.
+//!   Every requester *joins the computation* — it claims and runs unclaimed
+//!   scenarios instead of idling — and workers with nothing else to do can
+//!   [`steal_scenario_task`] from any in-flight suite.
+//!
+//! Each worker thread owns a long-lived [`CosimPool`] shard (a thread-local),
+//! so solver buffers and the DC operating-point cache are reused across every
+//! scenario the thread runs, whichever suite the task came from.
+//!
+//! Determinism contract: a suite's reports are assembled in
+//! [`ScenarioId::ALL`] order from per-scenario slots, and workspace reuse
+//! never changes results (see `vs_core::CosimPool`), so the memoized value —
+//! and every artifact derived from it — is bit-identical whatever the worker
+//! count, claim order, or stealing pattern. Only stderr progress lines and
+//! the observational [`ShardStats`] counters vary.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use vs_core::{CosimConfig, CosimPool, CosimReport, PowerManagement, ScenarioId};
+
+/// Tasks per suite: one per catalogue scenario.
+const N_TASKS: usize = ScenarioId::ALL.len();
+
+/// Stable identity of a memoized suite: the [`CosimConfig`] and
+/// [`PowerManagement`] key words (see their `stable_key_into` methods).
+/// Unlike the historical `format!("{cfg:?}|{pm:?}")` key, this cannot
+/// collide or split when `Debug` formatting changes, and adding a config
+/// field without extending the key is a compile error at the leaf type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SuiteKey(Vec<u64>);
+
+impl SuiteKey {
+    /// Builds the key for a suite of `cfg` under `pm`.
+    pub fn new(cfg: &CosimConfig, pm: &PowerManagement) -> Self {
+        let mut words = Vec::with_capacity(32);
+        cfg.stable_key_into(&mut words);
+        pm.stable_key_into(&mut words);
+        SuiteKey(words)
+    }
+}
+
+/// Mutable half of a [`SuiteJob`]: per-scenario result slots plus the
+/// assembled value once all twelve are in.
+struct JobState {
+    slots: Vec<Option<CosimReport>>,
+    filled: usize,
+    done: Option<Arc<Vec<CosimReport>>>,
+    /// Set when a claimed task panicked: waiters must panic too instead of
+    /// blocking forever on a suite that can no longer complete.
+    poisoned: bool,
+}
+
+/// One memoized suite computation with individually claimable scenario
+/// tasks.
+struct SuiteJob {
+    cfg: CosimConfig,
+    pm: PowerManagement,
+    /// Claim counter over [`ScenarioId::ALL`]; `fetch_add` hands each task
+    /// to exactly one worker.
+    next: AtomicUsize,
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl SuiteJob {
+    fn new(cfg: CosimConfig, pm: PowerManagement) -> Self {
+        SuiteJob {
+            cfg,
+            pm,
+            next: AtomicUsize::new(0),
+            state: Mutex::new(JobState {
+                slots: (0..N_TASKS).map(|_| None).collect(),
+                filled: 0,
+                done: None,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// True while unclaimed scenario tasks remain (a claim may still lose
+    /// the race; [`SuiteJob::run_one_task`] is the authority).
+    fn has_unclaimed(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < N_TASKS
+    }
+
+    /// Claims and runs one scenario task on the calling thread's pool.
+    /// Returns `false` when every task was already claimed.
+    fn run_one_task(&self) -> bool {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        let Some(&id) = ScenarioId::ALL.get(i) else {
+            return false;
+        };
+        eprintln!("  running {} under {} ...", id, self.cfg.pds.label());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            with_worker_pool(|pool| pool.run_scenario_with_pm(&self.cfg, id, self.pm.clone()))
+        }));
+        match outcome {
+            Ok(report) => {
+                let mut st = self.state.lock().expect("suite job state poisoned");
+                st.slots[i] = Some(report);
+                st.filled += 1;
+                if st.filled == N_TASKS {
+                    // Assemble in ScenarioId::ALL order — the slot index *is*
+                    // the canonical order, however the tasks were scheduled.
+                    let reports: Vec<CosimReport> = st
+                        .slots
+                        .iter_mut()
+                        .map(|s| s.take().expect("all slots filled"))
+                        .collect();
+                    st.done = Some(Arc::new(reports));
+                    drop(st);
+                    self.cv.notify_all();
+                }
+                true
+            }
+            Err(payload) => {
+                {
+                    let mut st = self.state.lock().expect("suite job state poisoned");
+                    st.poisoned = true;
+                }
+                self.cv.notify_all();
+                resume_unwind(payload)
+            }
+        }
+    }
+
+    /// Blocks until the suite is assembled, helping other in-flight suites
+    /// while waiting (this thread's claimable work here is already gone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while running one of this suite's tasks.
+    fn wait(&self) -> Arc<Vec<CosimReport>> {
+        loop {
+            {
+                let st = self.state.lock().expect("suite job state poisoned");
+                assert!(
+                    !st.poisoned,
+                    "a worker panicked while running this suite; see its report above"
+                );
+                if let Some(done) = &st.done {
+                    return done.clone();
+                }
+            }
+            // Steal a scenario from some other suite rather than idling; if
+            // nothing is stealable, park briefly on the condvar (timed, so
+            // newly created jobs become stealable without a notification).
+            if !steal_scenario_task() {
+                let st = self.state.lock().expect("suite job state poisoned");
+                if st.done.is_none() && !st.poisoned {
+                    let _ = self
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(1))
+                        .expect("suite job state poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// The process-wide shard registry: the suite memo, the in-flight list
+/// stealers scan, and the observational counters.
+struct Registry {
+    memo: Mutex<HashMap<SuiteKey, Arc<SuiteJob>>>,
+    in_flight: Mutex<Vec<Arc<SuiteJob>>>,
+    scenario_tasks: AtomicU64,
+    steals: AtomicU64,
+    dc_cache_hits: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        memo: Mutex::new(HashMap::new()),
+        in_flight: Mutex::new(Vec::new()),
+        scenario_tasks: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        dc_cache_hits: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    /// This thread's long-lived solver-workspace shard. Sweep worker threads
+    /// keep it for their whole lifetime, so every scenario after a thread's
+    /// first reuses the solver buffers (and, on a netlist-fingerprint match,
+    /// the DC operating point).
+    static WORKER_POOL: RefCell<CosimPool> = RefCell::new(CosimPool::new());
+}
+
+/// Runs `f` with the calling thread's [`CosimPool`] shard, folding the
+/// pool's DC-cache-hit delta into the global [`ShardStats`].
+pub fn with_worker_pool<R>(f: impl FnOnce(&mut CosimPool) -> R) -> R {
+    WORKER_POOL.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let hits_before = pool.dc_cache_hits();
+        let out = f(&mut pool);
+        let reg = registry();
+        reg.scenario_tasks.fetch_add(1, Ordering::Relaxed);
+        reg.dc_cache_hits
+            .fetch_add(pool.dc_cache_hits() - hits_before, Ordering::Relaxed);
+        out
+    })
+}
+
+/// Observational counters for the scenario-level scheduler (never part of
+/// any artifact: they depend on scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Scenario runs served by worker-pool shards.
+    pub scenario_tasks: u64,
+    /// Tasks claimed by a worker other than the suite's requester.
+    pub steals: u64,
+    /// Scenario runs whose DC operating point came from a shard's cache.
+    pub dc_cache_hits: u64,
+}
+
+/// A snapshot of the global [`ShardStats`].
+pub fn shard_stats() -> ShardStats {
+    let reg = registry();
+    ShardStats {
+        scenario_tasks: reg.scenario_tasks.load(Ordering::Relaxed),
+        steals: reg.steals.load(Ordering::Relaxed),
+        dc_cache_hits: reg.dc_cache_hits.load(Ordering::Relaxed),
+    }
+}
+
+/// Claims and runs one scenario task from any in-flight suite. Returns
+/// `true` if a task was run. This is what idle sweep workers spin on once
+/// the experiment queue drains.
+pub fn steal_scenario_task() -> bool {
+    let job = {
+        let mut in_flight = registry()
+            .in_flight
+            .lock()
+            .expect("in-flight suite list poisoned");
+        // Suites with every task claimed can never be stolen from again.
+        in_flight.retain(|j| j.has_unclaimed());
+        in_flight.first().cloned()
+    };
+    match job {
+        Some(job) if job.run_one_task() => {
+            registry().steals.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Runs (or joins) the memoized suite of `cfg` under `pm`: all twelve
+/// scenarios, reports in [`ScenarioId::ALL`] order. Concurrent requesters
+/// share one computation, each claiming and running unclaimed scenarios.
+///
+/// # Panics
+///
+/// Panics if the circuit solver fails irrecoverably on any scenario — on
+/// every requester, so a sweep never silently drops a suite.
+pub fn run_suite_sharded(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<CosimReport>> {
+    let key = SuiteKey::new(cfg, pm);
+    let job = {
+        let mut memo = registry().memo.lock().expect("suite memo poisoned");
+        match memo.get(&key) {
+            Some(job) => job.clone(),
+            None => {
+                let job = Arc::new(SuiteJob::new(cfg.clone(), pm.clone()));
+                memo.insert(key, job.clone());
+                registry()
+                    .in_flight
+                    .lock()
+                    .expect("in-flight suite list poisoned")
+                    .push(job.clone());
+                job
+            }
+        }
+    };
+    // Join the computation: claim tasks until none remain, then help
+    // elsewhere until the last claimed task lands.
+    while job.run_one_task() {}
+    job.wait()
+}
+
+/// Clears the suite memo, in-flight list, and counters. Tests that compare
+/// sweeps across worker counts call this between runs so every sweep
+/// recomputes its suites. Must not be called while a sweep is running.
+#[doc(hidden)]
+pub fn reset_suite_memo_for_tests() {
+    let reg = registry();
+    reg.memo.lock().expect("suite memo poisoned").clear();
+    reg.in_flight
+        .lock()
+        .expect("in-flight suite list poisoned")
+        .clear();
+    reg.scenario_tasks.store(0, Ordering::Relaxed);
+    reg.steals.store(0, Ordering::Relaxed);
+    reg.dc_cache_hits.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::PdsKind;
+
+    fn cfg(seed: u64) -> CosimConfig {
+        CosimConfig {
+            seed,
+            ..CosimConfig::default()
+        }
+    }
+
+    #[test]
+    fn suite_keys_distinguish_configs_and_pm() {
+        let pm = PowerManagement::default();
+        let a = SuiteKey::new(&cfg(1), &pm);
+        let b = SuiteKey::new(&cfg(2), &pm);
+        assert_ne!(a, b);
+        assert_eq!(a, SuiteKey::new(&cfg(1), &pm));
+
+        // The historical Debug-string key could only be as strong as Debug
+        // formatting; the word key must separate any one-field difference,
+        // including inside PowerManagement.
+        let pm_hv = PowerManagement {
+            use_hypervisor: true,
+            ..PowerManagement::default()
+        };
+        assert_ne!(SuiteKey::new(&cfg(1), &pm), SuiteKey::new(&cfg(1), &pm_hv));
+        let close = CosimConfig {
+            pds: PdsKind::VsCrossLayer { area_mult: 0.2 + 1e-12 },
+            ..cfg(1)
+        };
+        assert_ne!(SuiteKey::new(&cfg(1), &pm), SuiteKey::new(&close, &pm));
+    }
+
+    #[test]
+    fn suite_key_is_hashable_map_key() {
+        let mut map = HashMap::new();
+        map.insert(SuiteKey::new(&cfg(1), &PowerManagement::default()), 1);
+        map.insert(SuiteKey::new(&cfg(2), &PowerManagement::default()), 2);
+        assert_eq!(
+            map[&SuiteKey::new(&cfg(1), &PowerManagement::default())],
+            1
+        );
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn steal_with_no_in_flight_suites_is_a_noop() {
+        // Whatever other tests left behind, a fully-claimed or empty
+        // registry must return false rather than block or panic.
+        while steal_scenario_task() {}
+        assert!(!steal_scenario_task());
+    }
+}

@@ -1,22 +1,29 @@
 //! The parallel sweep runner: executes a set of experiments across a worker
 //! pool and writes one JSONL artifact per experiment plus a suite manifest.
 //!
-//! Determinism: each worker pops the next experiment index off an atomic
-//! queue, runs it with a *copy* of the shared [`RunSettings`], and stores
-//! the result at its canonical slot. Experiments share no RNG stream or
-//! mutable state (the process-wide suite memo is value-identical however it
-//! is filled), so artifacts are bit-identical whatever the thread count or
-//! scheduling order — only the schema-tagged wall-time events differ.
+//! Scheduling is a two-level work queue. Level 1: each worker pops the next
+//! experiment index off an atomic queue, runs it with a *copy* of the shared
+//! [`RunSettings`], and stores the result at its canonical slot. Level 2:
+//! experiments that run benchmark suites fan those out into per-scenario
+//! tasks (see [`crate::shard`]); a worker whose experiment queue has drained
+//! steals scenario tasks from suites still in flight instead of exiting, so
+//! `--jobs 8` helps even a single-experiment sweep.
+//!
+//! Determinism: experiments share no RNG stream or mutable state (the
+//! process-wide suite memo assembles its reports in canonical scenario
+//! order however its tasks were scheduled), so artifacts are bit-identical
+//! whatever the thread count, stealing pattern, or scheduling order — only
+//! the schema-tagged wall-time events differ.
 
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vs_telemetry::{json::Json, Event, StageSample};
 
-use crate::{ExperimentId, ExperimentOutput, RunSettings};
+use crate::{shard, ExperimentId, ExperimentOutput, RunSettings};
 
 /// What to run and how.
 #[derive(Debug, Clone, Default)]
@@ -64,7 +71,10 @@ pub fn effective_jobs(jobs: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Runs the sweep: a pool of `jobs` workers drains the experiment list.
+/// Runs the sweep: a pool of `jobs` workers drains the experiment queue,
+/// then steals scenario tasks from in-flight suites until everything lands.
+/// The pool is *not* capped at the experiment count — extra workers go
+/// straight to scenario stealing.
 pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
     let ids: Vec<ExperimentId> = match &opts.only {
         Some(list) => ExperimentId::ALL
@@ -73,23 +83,35 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
             .collect(),
         None => ExperimentId::ALL.to_vec(),
     };
-    let jobs = effective_jobs(opts.jobs).min(ids.len().max(1));
+    let jobs = effective_jobs(opts.jobs);
     let started = Instant::now();
     let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<ExperimentRun>>> = Mutex::new(vec![None; ids.len()]);
     let settings = opts.settings;
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&id) = ids.get(i) else { break };
-                eprintln!("[sweep] {} ...", id.name());
-                let t0 = Instant::now();
-                let output = id.run(&settings);
-                let wall_s = t0.elapsed().as_secs_f64();
-                eprintln!("[sweep] {} done in {wall_s:.2}s", id.name());
-                slots.lock().expect("result slots poisoned")[i] =
-                    Some(ExperimentRun { id, output, wall_s });
+            scope.spawn(|| {
+                // Level 1: drain the experiment queue.
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&id) = ids.get(i) else { break };
+                    eprintln!("[sweep] {} ...", id.name());
+                    let t0 = Instant::now();
+                    let output = id.run(&settings);
+                    let wall_s = t0.elapsed().as_secs_f64();
+                    eprintln!("[sweep] {} done in {wall_s:.2}s", id.name());
+                    slots.lock().expect("result slots poisoned")[i] =
+                        Some(ExperimentRun { id, output, wall_s });
+                    completed.fetch_add(1, Ordering::Release);
+                }
+                // Level 2: no experiments left to own — steal scenario
+                // tasks from suites other workers still have in flight.
+                while completed.load(Ordering::Acquire) < ids.len() {
+                    if !shard::steal_scenario_task() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
             });
         }
     });

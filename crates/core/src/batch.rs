@@ -68,8 +68,25 @@ impl CosimPool {
     /// Panics if the circuit solver fails irrecoverably (see
     /// [`Cosim::run`]); the workspace is lost with the panic.
     pub fn run_scenario(&mut self, cfg: &CosimConfig, id: ScenarioId) -> CosimReport {
+        self.run_scenario_with_pm(cfg, id, PowerManagement::default())
+    }
+
+    /// Runs one catalogue scenario under `cfg` with power management on the
+    /// pooled workspace (the per-task unit of the sweep's scenario-level
+    /// sharding: each worker thread owns one pool and feeds it these).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit solver fails irrecoverably (see
+    /// [`Cosim::run`]); the workspace is lost with the panic.
+    pub fn run_scenario_with_pm(
+        &mut self,
+        cfg: &CosimConfig,
+        id: ScenarioId,
+        pm: PowerManagement,
+    ) -> CosimReport {
         let profile = id.profile();
-        self.run_profile(cfg, &profile, PowerManagement::default())
+        self.run_profile(cfg, &profile, pm)
     }
 
     /// Runs one workload profile under `cfg` with power management on the
@@ -139,6 +156,16 @@ mod tests {
         assert_eq!(pool.dc_cache_hits(), 1);
         assert!(a.completed && b.completed);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn pool_and_reports_are_send() {
+        // The sweep parks one pool per worker thread and moves reports
+        // across threads for assembly; both must stay `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<CosimPool>();
+        assert_send::<CosimReport>();
+        assert_send::<SolverWorkspace>();
     }
 
     #[test]

@@ -45,6 +45,19 @@ impl PdsKind {
             PdsKind::VsCrossLayer { .. } => "VS cross-layer",
         }
     }
+
+    /// Appends this kind's stable identity key: a variant tag followed by
+    /// the payload's bit pattern, so two kinds push the same words iff they
+    /// are bit-identical. Cache keys must use this, never `Debug` output
+    /// (formatting is free to elide or reorder fields as the type evolves).
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        match *self {
+            PdsKind::ConventionalVrm => out.push(1),
+            PdsKind::SingleLayerIvr => out.push(2),
+            PdsKind::VsCircuitOnly { area_mult } => out.extend([3, area_mult.to_bits()]),
+            PdsKind::VsCrossLayer { area_mult } => out.extend([4, area_mult.to_bits()]),
+        }
+    }
 }
 
 /// Full co-simulation configuration.
@@ -104,6 +117,41 @@ impl CosimConfig {
             ..CosimConfig::default()
         }
     }
+
+    /// Appends this config's stable identity key: every field's bit pattern
+    /// in declaration order. Two configs push the same words iff they are
+    /// bit-identical, so the result is safe to use as a cache key (unlike
+    /// `Debug` output, whose formatting is not an identity contract). The
+    /// exhaustive destructuring makes adding a field without extending the
+    /// key a compile error.
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        let CosimConfig {
+            pds,
+            v_threshold,
+            weights,
+            latency_cycles,
+            detector,
+            seed,
+            max_cycles,
+            workload_scale,
+            voltage_scaled_power,
+            record_traces,
+            trace_stride,
+        } = *self;
+        pds.stable_key_into(out);
+        out.push(v_threshold.to_bits());
+        weights.stable_key_into(out);
+        out.push(u64::from(latency_cycles));
+        detector.stable_key_into(out);
+        out.extend([
+            seed,
+            max_cycles,
+            workload_scale.to_bits(),
+            u64::from(voltage_scaled_power),
+            u64::from(record_traces),
+            u64::from(trace_stride),
+        ]);
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +164,35 @@ mod tests {
         assert!(PdsKind::VsCircuitOnly { area_mult: 1.72 }.is_stacked());
         assert!(!PdsKind::VsCircuitOnly { area_mult: 1.72 }.has_controller());
         assert!(PdsKind::VsCrossLayer { area_mult: 0.2 }.has_controller());
+    }
+
+    #[test]
+    fn stable_keys_distinguish_single_field_changes() {
+        let base = CosimConfig::default();
+        let key = |c: &CosimConfig| {
+            let mut k = Vec::new();
+            c.stable_key_into(&mut k);
+            k
+        };
+        let base_key = key(&base);
+        // Every single-field mutation must change the key.
+        let variants = [
+            CosimConfig { pds: PdsKind::ConventionalVrm, ..base.clone() },
+            CosimConfig { pds: PdsKind::VsCrossLayer { area_mult: 0.21 }, ..base.clone() },
+            CosimConfig { v_threshold: 0.91, ..base.clone() },
+            CosimConfig { latency_cycles: 61, ..base.clone() },
+            CosimConfig { seed: 43, ..base.clone() },
+            CosimConfig { max_cycles: base.max_cycles + 1, ..base.clone() },
+            CosimConfig { workload_scale: 0.5, ..base.clone() },
+            CosimConfig { voltage_scaled_power: true, ..base.clone() },
+            CosimConfig { record_traces: true, ..base.clone() },
+            CosimConfig { trace_stride: 9, ..base.clone() },
+        ];
+        for v in &variants {
+            assert_ne!(key(v), base_key, "key collision for {v:?}");
+        }
+        // And an identical config reproduces the key exactly.
+        assert_eq!(key(&base.clone()), base_key);
     }
 
     #[test]

@@ -169,6 +169,39 @@ pub struct PowerManagement {
     pub hypervisor_config: Option<vs_hypervisor::HypervisorConfig>,
 }
 
+impl PowerManagement {
+    /// Appends this value's stable identity key. `Option` fields encode as a
+    /// `0` word for `None` or a `1` word followed by the payload's key, so
+    /// `None` can never collide with any `Some`. Cache keys must use this,
+    /// never `Debug` output. The exhaustive destructuring makes adding a
+    /// field without extending the key a compile error.
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        let PowerManagement { dfs, pg, use_hypervisor, hypervisor_config } = self;
+        match dfs {
+            None => out.push(0),
+            Some(d) => {
+                out.push(1);
+                d.stable_key_into(out);
+            }
+        }
+        match pg {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                p.stable_key_into(out);
+            }
+        }
+        out.push(u64::from(*use_hypervisor));
+        match hypervisor_config {
+            None => out.push(0),
+            Some(h) => {
+                out.push(1);
+                h.stable_key_into(out);
+            }
+        }
+    }
+}
+
 /// Result of one co-simulated benchmark run.
 #[derive(Debug, Clone)]
 pub struct CosimReport {
@@ -235,29 +268,6 @@ impl Cosim {
     /// Starts a [`CosimBuilder`] for running `profile` under `cfg`.
     pub fn builder<'a>(cfg: &'a CosimConfig, profile: &'a WorkloadProfile) -> CosimBuilder<'a> {
         CosimBuilder::new(cfg, profile)
-    }
-
-    /// Prepares a run of `profile` under `cfg` with no higher-level power
-    /// management.
-    #[deprecated(note = "use `Cosim::builder(cfg, profile).build()`")]
-    pub fn new(cfg: &CosimConfig, profile: &WorkloadProfile) -> Self {
-        Self::builder(cfg, profile).build()
-    }
-
-    /// Prepares a run with DFS / PG / hypervisor options.
-    #[deprecated(note = "use `Cosim::builder(cfg, profile).power_management(pm).build()`")]
-    pub fn with_power_management(
-        cfg: &CosimConfig,
-        profile: &WorkloadProfile,
-        pm: PowerManagement,
-    ) -> Self {
-        Self::builder(cfg, profile).power_management(pm).build()
-    }
-
-    /// Installs an instrumentation handle for the next run.
-    #[deprecated(note = "use `CosimBuilder::telemetry` when constructing the run")]
-    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        self.telemetry = telemetry;
     }
 
     /// Tears the finished run down into the circuit solver's reusable
@@ -698,17 +708,6 @@ impl Cosim {
 pub fn run_scenario(cfg: &CosimConfig, id: ScenarioId) -> CosimReport {
     let profile = id.profile();
     Cosim::builder(cfg, &profile).build().run()
-}
-
-/// Convenience: run one benchmark by name under `cfg`.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of the twelve benchmarks.
-#[deprecated(note = "use `run_scenario` with a typed `ScenarioId`")]
-pub fn run_benchmark(cfg: &CosimConfig, name: &str) -> CosimReport {
-    let id: ScenarioId = name.parse().unwrap_or_else(|e| panic!("{e}"));
-    run_scenario(cfg, id)
 }
 
 #[cfg(test)]

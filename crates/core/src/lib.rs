@@ -59,8 +59,6 @@ mod supervisor;
 
 pub use batch::CosimPool;
 pub use config::{CosimConfig, PdsKind};
-#[allow(deprecated)]
-pub use cosim::run_benchmark;
 pub use cosim::{run_scenario, Cosim, CosimBuilder, CosimReport, PowerManagement};
 pub use fault::{CrIvrFault, FaultEvent, FaultKind, FaultPlan, FaultWindow, LoadGlitch};
 pub use imbalance::ImbalanceHistogram;

@@ -1321,6 +1321,15 @@ mod tests {
     use super::*;
     use crate::netlist::Waveform;
 
+    #[test]
+    fn workspace_is_send() {
+        // Worker threads in the sweep each own a long-lived workspace and
+        // the scheduler may move it between threads; all of its state is
+        // owned data, so `Send` must hold (and must keep holding).
+        fn assert_send<T: Send>() {}
+        assert_send::<SolverWorkspace>();
+    }
+
     fn rc_circuit() -> (Netlist, NodeId) {
         let mut net = Netlist::new();
         let vin = net.node("vin");

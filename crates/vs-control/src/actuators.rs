@@ -70,6 +70,17 @@ impl ActuatorWeights {
             dcc: self.dcc / s,
         }
     }
+
+    /// Appends this value's stable identity key: the bit patterns of every
+    /// field, in declaration order. Two weight vectors push the same words
+    /// iff they are bit-identical, so the key is safe to use as a cache
+    /// identity (unlike `Debug` output, whose formatting can elide or
+    /// reorder fields as the struct evolves). The exhaustive destructuring
+    /// makes adding a field without extending the key a compile error.
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        let ActuatorWeights { diws, fii, dcc } = *self;
+        out.extend([diws.to_bits(), fii.to_bits(), dcc.to_bits()]);
+    }
 }
 
 impl Default for ActuatorWeights {

@@ -51,6 +51,18 @@ impl DetectorKind {
             DetectorKind::Adc { bits } => full_scale_v / f64::from(2u32.pow(bits.min(24))),
         }
     }
+
+    /// Appends this value's stable identity key: a variant tag followed by
+    /// any payload fields, so two kinds push the same words iff they are
+    /// identical. Safe as a cache identity where `Debug` output is not
+    /// (formatting is free to change; this encoding is not).
+    pub fn stable_key_into(self, out: &mut Vec<u64>) {
+        match self {
+            DetectorKind::Oddd => out.push(1),
+            DetectorKind::Cpm => out.push(2),
+            DetectorKind::Adc { bits } => out.extend([3, u64::from(bits)]),
+        }
+    }
 }
 
 /// Single-pole RC low-pass filter, discretized with the bilinear-free

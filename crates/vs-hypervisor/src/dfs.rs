@@ -25,6 +25,21 @@ pub struct DfsConfig {
 }
 
 impl DfsConfig {
+    /// Appends this config's stable identity key: the bit patterns of every
+    /// field in declaration order. Unlike `Debug` output, the encoding is
+    /// part of the API contract; the exhaustive destructuring makes adding
+    /// a field without extending the key a compile error.
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        let DfsConfig { base_hz, step_hz, min_hz, epoch_cycles, perf_goal } = *self;
+        out.extend([
+            base_hz.to_bits(),
+            step_hz.to_bits(),
+            min_hz.to_bits(),
+            epoch_cycles,
+            perf_goal.to_bits(),
+        ]);
+    }
+
     /// The paper's experimental setting with a given performance goal.
     ///
     /// # Panics

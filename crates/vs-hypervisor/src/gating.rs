@@ -22,6 +22,22 @@ pub struct PgConfig {
     pub gates_scheduler: bool,
 }
 
+impl PgConfig {
+    /// Appends this config's stable identity key: the bit patterns of every
+    /// field in declaration order. Unlike `Debug` output, the encoding is
+    /// part of the API contract; the exhaustive destructuring makes adding
+    /// a field without extending the key a compile error.
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        let PgConfig { enabled, idle_detect_cycles, break_even_cycles, gates_scheduler } = *self;
+        out.extend([
+            u64::from(enabled),
+            u64::from(idle_detect_cycles),
+            u64::from(break_even_cycles),
+            u64::from(gates_scheduler),
+        ]);
+    }
+}
+
 impl Default for PgConfig {
     fn default() -> Self {
         PgConfig {

@@ -42,8 +42,9 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
-echo "== public-API parity (builder shims + pooled workspace reuse) =="
-cargo test --release -q -p vs-core --test builder_parity --test workspace_reuse
+echo "== pooled workspace reuse + sharded-sweep determinism =="
+cargo test --release -q -p vs-core --test workspace_reuse
+cargo test --release -q -p vs-bench --test sweep_shard
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
