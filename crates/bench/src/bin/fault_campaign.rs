@@ -7,10 +7,14 @@
 //! railed DAC, a dead sub-IVR, or NaN power telemetry degrades a run instead
 //! of killing the sweep.
 //!
-//! The scenario catalogue and row/event builders live in
-//! [`vs_bench::campaign`]; this binary only loops the cells and routes the
-//! two outputs (note their deliberate asymmetry: the printed table truncates
-//! errors to their headline, the JSONL artifact keeps the full string).
+//! The scenario catalogue, the per-cell row/event builders, and the
+//! parallel executor live in [`vs_bench::campaign`]; this binary only
+//! routes the two outputs (note their deliberate asymmetry: the printed
+//! table truncates errors to their headline, the JSONL artifact keeps the
+//! full string). `--jobs N` spreads the supervised runs over N workers —
+//! each on its own long-lived solver pool, under the same panic-isolation
+//! and retry policy as the sweep's scenario tasks — without changing a byte
+//! of the output.
 //!
 //! `VS_BENCH_SCALE` / `VS_BENCH_MAX_CYCLES` shorten or lengthen the runs as
 //! for the figure binaries.
@@ -18,12 +22,20 @@
 //! Pass `--json <path>` (or set `VS_FAULT_JSON=<path>`; `-` means stdout) to
 //! also emit the table as a machine-readable JSONL artifact in the
 //! `vs-telemetry` run-artifact schema: a manifest line followed by one
-//! `fault_row` event per campaign cell.
+//! `fault_row` event per campaign cell. File sinks are written atomically
+//! (tmp + rename).
+//!
+//! Exit codes follow the `sweep` contract: 0 success, 2 environment/usage
+//! error, 3 internal error (panic outside every isolation boundary,
+//! structured JSONL on stderr), 4 degraded (a campaign cell exhausted its
+//! retries and was quarantined).
 
-use vs_bench::campaign::{fault_scenarios, CellOutcome};
+use std::process::ExitCode;
+
+use vs_bench::campaign::run_campaign;
 use vs_bench::{print_table, volts, BenchEnv};
-use vs_core::{CosimPool, PdsKind, ScenarioId, SupervisorConfig};
-use vs_telemetry::{Event, RunArtifact, RunManifest, SCHEMA_VERSION};
+use vs_core::{ScenarioId, SupervisorConfig};
+use vs_telemetry::{write_atomic, Event, RunArtifact, RunManifest, SCHEMA_VERSION};
 
 /// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
 /// over `VS_FAULT_JSON`; `-` means stdout.
@@ -37,17 +49,34 @@ fn json_sink(env: &BenchEnv) -> Option<String> {
     env.fault_json.clone()
 }
 
-fn main() {
+/// Worker count from `--jobs N` (0 or absent = one per core).
+fn jobs_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("error: --jobs must be an integer");
+                    std::process::exit(2);
+                });
+        }
+    }
+    0
+}
+
+fn main() -> ExitCode {
+    vs_bench::install_panic_hook("fault_campaign");
     let env = BenchEnv::from_env_or_exit();
     let settings = env.settings;
+    let jobs = jobs_arg();
     let supervisor = SupervisorConfig::default();
     let benchmark = ScenarioId::Heartwall.profile();
-    let pds_under_test = [
-        PdsKind::VsCircuitOnly { area_mult: 1.72 },
-        PdsKind::VsCrossLayer { area_mult: 0.2 },
-    ];
 
-    let mut rows = Vec::new();
+    let cells = run_campaign(&settings, jobs);
+    let quarantined = cells.iter().filter(|c| c.verdict == "quarantined").count();
+
     let mut events = vec![Event::Manifest(RunManifest {
         schema_version: SCHEMA_VERSION,
         benchmark: benchmark.name.clone(),
@@ -61,22 +90,10 @@ fn main() {
             vs_telemetry::crate_version().to_string(),
         )],
     })];
-    // All campaign cells share the heartwall workload; the pool recycles the
-    // solver workspace across the ~28 runs without changing a bit of any of
-    // them.
-    let mut pool = CosimPool::new();
-    for pds in pds_under_test {
-        let cfg = settings.config(pds);
-        for sc in fault_scenarios(settings.seed) {
-            if sc.needs_controller && !pds.has_controller() {
-                continue;
-            }
-            eprintln!("  {} under {} ...", sc.name, pds.label());
-            let run = pool.run_supervised(&cfg, &benchmark, &supervisor, &sc.plan);
-            let cell = CellOutcome::from_run(pds, sc.name, &run);
-            events.push(cell.event());
-            rows.push(cell.table_row());
-        }
+    let mut rows = Vec::new();
+    for cell in &cells {
+        events.push(cell.event());
+        rows.push(cell.table_row());
     }
 
     print_table(
@@ -97,7 +114,8 @@ fn main() {
     println!(
         "\nverdicts: healthy = no excursion/recovery; degraded = recovered or \
          brief excursion; guardband-violated = >{:.2}% of cycles below {} ; \
-         aborted = solver exhausted recovery.",
+         aborted = solver exhausted recovery; quarantined = the cell itself \
+         kept failing and was skipped.",
         supervisor.guardband_tolerance * 100.0,
         volts(supervisor.v_guardband),
     );
@@ -107,9 +125,17 @@ fn main() {
         if sink == "-" {
             print!("{}", artifact.to_jsonl());
         } else {
-            std::fs::write(&sink, artifact.to_jsonl())
-                .unwrap_or_else(|e| panic!("writing {sink}: {e}"));
+            write_atomic(std::path::Path::new(&sink), artifact.to_jsonl().as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: writing {sink}: {e}");
+                    std::process::exit(2);
+                });
             eprintln!("wrote JSONL resilience table to {sink}");
         }
     }
+    if quarantined > 0 {
+        eprintln!("fault campaign DEGRADED: {quarantined} quarantined cell(s)");
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! sweep [run] [--jobs N] [--out DIR] [--only id,...]
 //!             [--profile env|golden|tiny] [--seed N] [--deterministic]
-//!             [--diff GOLDEN_DIR] [--tolerances FILE]
+//!             [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE]
 //! sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]
 //! sweep list
 //! ```
@@ -11,15 +11,34 @@
 //! `run` executes the catalogue across a worker pool, writes one JSONL
 //! artifact per experiment plus `manifest.jsonl` into `--out` (default
 //! `target/sweep`), and checks the EXPERIMENTS.md headline claims. With
-//! `--diff` it then compares every artifact against the goldens. Exit code
-//! is non-zero when a claim or diff fails.
+//! `--diff` it then compares every artifact against the goldens.
+//!
+//! Crash safety: artifacts land atomically (tmp + rename) and every
+//! completed unit of work is appended to `<out>/journal.jsonl` with a
+//! content checksum. `--resume DIR` replays that journal — verified
+//! scenario reports are installed instead of recomputed, and only missing,
+//! torn, or checksum-mismatched work runs again, converging to the same
+//! bytes an undisturbed run produces. Scenario tasks that keep failing are
+//! retried with backoff and then quarantined: the sweep completes
+//! *degraded*, with a `degraded` manifest section naming each lost
+//! (suite, scenario) and its error chain.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | success — everything ran, claims and diffs passed |
+//! | 1 | a headline claim or golden diff failed |
+//! | 2 | environment/usage error (bad flag, malformed `VS_BENCH_*`, unreadable file) |
+//! | 3 | internal error — a panic outside every isolation boundary (structured JSONL on stderr) |
+//! | 4 | degraded — the sweep completed but quarantined tasks and/or failed experiments (see the manifest) |
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vs_bench::claims::{check_claims, ClaimResult};
 use vs_bench::sweep::{run_sweep, SweepOptions};
-use vs_bench::{ExperimentId, RunSettings};
+use vs_bench::{journal, shard, ExperimentId, RunSettings};
 use vs_telemetry::{diff_artifacts, RunArtifact, ToleranceSpec};
 
 const DEFAULT_TOLERANCES: &str = "goldens/tolerances.json";
@@ -28,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [run] [--jobs N] [--out DIR] [--only id,...] \
          [--profile env|golden|tiny] [--seed N] [--deterministic] \
-         [--diff GOLDEN_DIR] [--tolerances FILE]\n\
+         [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE]\n\
          \x20      sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]\n\
          \x20      sweep list"
     );
@@ -41,6 +60,7 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() -> ExitCode {
+    vs_bench::install_panic_hook("sweep");
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -95,6 +115,7 @@ fn run_main(args: &[String]) -> ExitCode {
     let mut diff_dir: Option<PathBuf> = None;
     let mut tolerances: Option<String> = None;
     let mut deterministic = false;
+    let mut resume: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -121,6 +142,7 @@ fn run_main(args: &[String]) -> ExitCode {
             "--diff" => diff_dir = Some(PathBuf::from(value("--diff"))),
             "--tolerances" => tolerances = Some(value("--tolerances")),
             "--deterministic" => deterministic = true,
+            "--resume" => resume = Some(PathBuf::from(value("--resume"))),
             _ => usage(),
         }
     }
@@ -137,7 +159,33 @@ fn run_main(args: &[String]) -> ExitCode {
         settings.seed = seed;
     }
 
-    let result = run_sweep(&SweepOptions { jobs, only, settings });
+    if let Some(dir) = &resume {
+        // Resume targets the journaled directory itself: artifacts land
+        // where the interrupted run left its verified work.
+        out = dir.clone();
+        let state = journal::load_resume(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot read journal in {}: {e}", dir.display())));
+        eprintln!(
+            "[sweep] resume: {} scenario(s) + {} artifact(s) verified, \
+             {} damaged entr{} to recompute, {} journal line(s) skipped",
+            state.verified_scenarios,
+            state.verified_experiments,
+            state.damaged,
+            if state.damaged == 1 { "y" } else { "ies" },
+            state.skipped_lines,
+        );
+        shard::install_preloaded_suites(state.preloaded);
+    }
+    // Golden (deterministic) trees carry no journal; every other run
+    // journals completed work into the output directory for --resume.
+    let journal_dir = (!deterministic).then(|| out.clone());
+    let result = run_sweep(&SweepOptions {
+        jobs,
+        only,
+        settings,
+        journal_dir,
+        ..SweepOptions::default()
+    });
     let written = if deterministic {
         result.write_deterministic_to(&out)
     } else {
@@ -191,6 +239,17 @@ fn run_main(args: &[String]) -> ExitCode {
     if let Some(golden) = diff_dir {
         let spec = load_tolerances(tolerances.as_deref());
         ok &= diff_trees(&golden, &out, &spec);
+    }
+    if result.is_degraded() {
+        eprintln!(
+            "[sweep] DEGRADED: {} quarantined task(s), {} failed experiment(s) \
+             (see the manifest's degraded section); rerun with --resume {} once \
+             the cause is fixed",
+            result.quarantined.len(),
+            result.runs.iter().filter(|r| r.error.is_some()).count(),
+            out.display(),
+        );
+        return ExitCode::from(4);
     }
     if ok {
         ExitCode::SUCCESS
@@ -246,8 +305,10 @@ fn diff_trees(golden: &Path, candidate: &Path, spec: &ToleranceSpec) -> bool {
                 let stem = name.strip_suffix(".jsonl")?;
                 // The suite manifest carries wall time, not metrics; the
                 // fault-campaign artifact is not produced by the sweep and
-                // is diffed byte-for-byte by `scripts/ci.sh --golden`.
-                (stem != "manifest" && stem != "fault_campaign").then(|| stem.to_string())
+                // is diffed byte-for-byte by `scripts/ci.sh --golden`; the
+                // completion journal is bookkeeping, not an artifact.
+                (stem != "manifest" && stem != "fault_campaign" && stem != "journal")
+                    .then(|| stem.to_string())
             })
             .collect();
         stems.sort();

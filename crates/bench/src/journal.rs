@@ -1,0 +1,298 @@
+//! The sweep's journaled-resume layer: per-scenario report caching plus
+//! journal replay.
+//!
+//! While a sweep runs, every finished scenario task is persisted twice,
+//! in order:
+//!
+//! 1. its [`CosimReport`] is written atomically to a per-suite cache file
+//!    (`scenarios/<suite-digest>/<scenario>.json`, bit-exact through
+//!    `vs_core`'s persisted-report encoding), then
+//! 2. a [`JournalRecord::ScenarioDone`] carrying the file's content
+//!    checksum is appended to `journal.jsonl`.
+//!
+//! Because the journal line lands strictly *after* its artifact, a crash at
+//! any instant leaves the journal an under-approximation of the completed
+//! work — never an over-approximation. `sweep --resume <dir>` calls
+//! [`load_resume`], which replays the journal leniently, re-hashes every
+//! named file, parses the cached reports, and returns only the entries that
+//! survive all three checks; everything else (torn files, corrupted journal
+//! lines, checksum mismatches) is counted as damaged and recomputed.
+//!
+//! The chaos harness taps both writes here: a scheduled
+//! [`crate::chaos::torn_write`] replaces the atomic write with a direct
+//! truncated one *and suppresses the journal append* — the exact on-disk
+//! state a `SIGKILL` between steps 1 and 2 produces.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+use vs_core::{CosimReport, ScenarioId};
+use vs_telemetry::{
+    append_journal, checksum_hex,
+    json::{self, Json},
+    read_journal, write_atomic, JournalRecord,
+};
+
+use crate::chaos;
+use crate::shard::SuiteKey;
+
+/// The completion journal's file name inside a sweep directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Serializes journal appends from concurrent sweep workers (single-line
+/// `O_APPEND` writes are already atomic on POSIX; the lock makes the
+/// guarantee portable).
+static APPEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// The cache path for one (suite, scenario) report, relative to the sweep
+/// directory: `scenarios/<suite-digest>/<scenario>.json`.
+pub fn scenario_cache_rel(key: &SuiteKey, id: ScenarioId) -> String {
+    format!("scenarios/{}/{}.json", key.cache_dir(), id.name())
+}
+
+/// The one-line cache-file payload: the full suite key (hex words, so the
+/// file is self-describing) plus the persisted report.
+fn payload(key: &SuiteKey, id: ScenarioId, report: &CosimReport) -> String {
+    let mut line = Json::obj([
+        ("suite", Json::from(key.to_hex().as_str())),
+        ("scenario", Json::from(id.name())),
+        ("report", report.to_persist_json()),
+    ])
+    .to_string_compact();
+    line.push('\n');
+    line
+}
+
+/// Persists one finished scenario: atomic cache write, then journal append.
+/// A scheduled chaos tear (keyed by the cache file's name) instead writes a
+/// truncated file directly and skips the journal line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the shard executor treats them as
+/// best-effort (a lost record costs a recompute on resume, not the sweep).
+pub fn record_scenario(
+    dir: &Path,
+    key: &SuiteKey,
+    id: ScenarioId,
+    report: &CosimReport,
+) -> io::Result<()> {
+    let rel = scenario_cache_rel(key, id);
+    let path = dir.join(&rel);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let bytes = payload(key, id, report).into_bytes();
+    let file_name = format!("{}.json", id.name());
+    if let Some(cut) = chaos::torn_write(&file_name, bytes.len()) {
+        // Simulated SIGKILL between artifact write and journal append: the
+        // file lands torn under its final name and is never journaled.
+        return std::fs::write(&path, &bytes[..cut]);
+    }
+    write_atomic(&path, &bytes)?;
+    let record = JournalRecord::ScenarioDone {
+        suite: key.to_hex(),
+        scenario: id.name().to_string(),
+        file: rel,
+        checksum: checksum_hex(&bytes),
+    };
+    let _guard = APPEND_LOCK.lock().expect("journal append lock poisoned");
+    append_journal(&dir.join(JOURNAL_FILE), &record)
+}
+
+/// Appends an experiment-artifact completion record to the journal.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn record_experiment(dir: &Path, id: &str, file: &str, bytes: &[u8]) -> io::Result<()> {
+    let record = JournalRecord::ExperimentDone {
+        id: id.to_string(),
+        file: file.to_string(),
+        checksum: checksum_hex(bytes),
+    };
+    let _guard = APPEND_LOCK.lock().expect("journal append lock poisoned");
+    append_journal(&dir.join(JOURNAL_FILE), &record)
+}
+
+/// What a journal replay recovered from a sweep directory.
+#[derive(Debug, Default)]
+pub struct ResumeState {
+    /// Verified (suite, scenario) reports, ready for
+    /// [`crate::shard::install_preloaded_suites`].
+    pub preloaded: HashMap<SuiteKey, Vec<(ScenarioId, CosimReport)>>,
+    /// Scenario records that survived checksum + parse verification.
+    pub verified_scenarios: usize,
+    /// Experiment-artifact records whose files still hash correctly.
+    pub verified_experiments: usize,
+    /// Journaled entries whose files were missing, torn, or unparseable —
+    /// their work recomputes.
+    pub damaged: usize,
+    /// Journal lines skipped by the lenient reader (torn tail, corruption).
+    pub skipped_lines: usize,
+}
+
+/// Replays `dir`'s completion journal, verifying every record against the
+/// bytes actually on disk. A missing journal yields an empty state (the
+/// resume then recomputes everything), never an error: the journal is an
+/// optimization, not a source of truth.
+///
+/// Duplicate records for the same (suite, scenario) or experiment keep the
+/// *last* occurrence — a resumed-then-crashed sweep re-journals work it
+/// redid, and the newest file is the one on disk.
+///
+/// # Errors
+///
+/// Propagates only filesystem errors from reading the journal itself
+/// (other than it not existing).
+pub fn load_resume(dir: &Path) -> io::Result<ResumeState> {
+    let mut state = ResumeState::default();
+    let text = match std::fs::read_to_string(dir.join(JOURNAL_FILE)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(state),
+        Err(e) => return Err(e),
+    };
+    let (records, skipped) = read_journal(&text);
+    state.skipped_lines = skipped;
+
+    // Last record wins per unit of work.
+    let mut scenarios: HashMap<(String, String), (String, String)> = HashMap::new();
+    let mut experiments: HashMap<String, (String, String)> = HashMap::new();
+    for rec in records {
+        match rec {
+            JournalRecord::ScenarioDone { suite, scenario, file, checksum } => {
+                scenarios.insert((suite, scenario), (file, checksum));
+            }
+            JournalRecord::ExperimentDone { id, file, checksum } => {
+                experiments.insert(id, (file, checksum));
+            }
+            JournalRecord::InternalError { .. } => {}
+        }
+    }
+
+    for ((suite_hex, scenario_name), (file, checksum)) in scenarios {
+        match verify_scenario(dir, &suite_hex, &scenario_name, &file, &checksum) {
+            Some((key, id, report)) => {
+                state.verified_scenarios += 1;
+                state.preloaded.entry(key).or_default().push((id, report));
+            }
+            None => state.damaged += 1,
+        }
+    }
+    for (_, (file, checksum)) in experiments {
+        match std::fs::read(dir.join(&file)) {
+            Ok(bytes) if checksum_hex(&bytes) == checksum => state.verified_experiments += 1,
+            _ => state.damaged += 1,
+        }
+    }
+    Ok(state)
+}
+
+/// Full verification of one scenario record: the named file must exist,
+/// hash to the journaled checksum, parse, agree with the record's suite and
+/// scenario identity, and round-trip into a [`CosimReport`].
+fn verify_scenario(
+    dir: &Path,
+    suite_hex: &str,
+    scenario_name: &str,
+    file: &str,
+    checksum: &str,
+) -> Option<(SuiteKey, ScenarioId, CosimReport)> {
+    let key = SuiteKey::from_hex(suite_hex)?;
+    let id = ScenarioId::from_str(scenario_name).ok()?;
+    let bytes = std::fs::read(dir.join(file)).ok()?;
+    if checksum_hex(&bytes) != checksum {
+        return None;
+    }
+    let parsed = json::parse(std::str::from_utf8(&bytes).ok()?.trim()).ok()?;
+    if parsed.get("suite")?.as_str()? != suite_hex
+        || parsed.get("scenario")?.as_str()? != scenario_name
+    {
+        return None;
+    }
+    let report = CosimReport::from_persist_json(parsed.get("report")?)?;
+    Some((key, id, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::{CosimConfig, CosimPool, PowerManagement};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vs-bench-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn record_then_replay_roundtrips_and_flags_damage() {
+        let dir = tmp_dir("roundtrip");
+        // Empty directory: no journal is an empty state, not an error.
+        let empty = load_resume(&dir).unwrap();
+        assert!(empty.preloaded.is_empty());
+        assert_eq!(empty.damaged, 0);
+
+        let cfg = CosimConfig {
+            workload_scale: 0.02,
+            max_cycles: 5_000,
+            ..CosimConfig::default()
+        };
+        let pm = PowerManagement::default();
+        let key = SuiteKey::new(&cfg, &pm);
+        let mut pool = CosimPool::new();
+        let a = pool.run_scenario_with_pm(&cfg, ScenarioId::Bfs, pm.clone());
+        let b = pool.run_scenario_with_pm(&cfg, ScenarioId::Hotspot, pm.clone());
+        record_scenario(&dir, &key, ScenarioId::Bfs, &a).unwrap();
+        record_scenario(&dir, &key, ScenarioId::Hotspot, &b).unwrap();
+        // Re-journaling the same scenario must dedupe (last record wins).
+        record_scenario(&dir, &key, ScenarioId::Bfs, &a).unwrap();
+
+        let state = load_resume(&dir).unwrap();
+        assert_eq!(state.verified_scenarios, 2);
+        assert_eq!(state.damaged, 0);
+        assert_eq!(state.skipped_lines, 0);
+        let entries = &state.preloaded[&key];
+        assert_eq!(entries.len(), 2);
+        let restored = &entries
+            .iter()
+            .find(|(id, _)| *id == ScenarioId::Bfs)
+            .unwrap()
+            .1;
+        assert_eq!(restored.cycles, a.cycles);
+        assert_eq!(
+            restored.ledger.board_input_j.to_bits(),
+            a.ledger.board_input_j.to_bits()
+        );
+        assert_eq!(restored.min_sm_voltage.to_bits(), a.min_sm_voltage.to_bits());
+
+        // Truncate one cache file: its record must turn damaged while the
+        // other survives.
+        let rel = scenario_cache_rel(&key, ScenarioId::Bfs);
+        let bytes = std::fs::read(dir.join(&rel)).unwrap();
+        std::fs::write(dir.join(&rel), &bytes[..bytes.len() / 2]).unwrap();
+        let state = load_resume(&dir).unwrap();
+        assert_eq!(state.verified_scenarios, 1);
+        assert_eq!(state.damaged, 1);
+        assert_eq!(
+            state.preloaded[&key][0].0,
+            ScenarioId::Hotspot,
+            "only the intact record replays"
+        );
+
+        // An experiment record verifies by checksum alone.
+        std::fs::write(dir.join("fig.jsonl"), b"artifact-bytes").unwrap();
+        record_experiment(&dir, "fig", "fig.jsonl", b"artifact-bytes").unwrap();
+        let state = load_resume(&dir).unwrap();
+        assert_eq!(state.verified_experiments, 1);
+        std::fs::write(dir.join("fig.jsonl"), b"tampered").unwrap();
+        let state = load_resume(&dir).unwrap();
+        assert_eq!(state.verified_experiments, 0);
+        assert_eq!(state.damaged, 2, "torn cache + mismatched artifact");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

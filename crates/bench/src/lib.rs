@@ -33,12 +33,38 @@ use vs_core::{CosimConfig, CosimReport, PdsKind, PowerManagement, ScenarioId};
 use vs_gpu::all_benchmarks;
 
 pub mod campaign;
+pub mod chaos;
 pub mod claims;
 pub mod experiments;
+pub mod journal;
 pub mod shard;
 pub mod sweep;
 
 pub use experiments::{ExperimentId, ExperimentOutput, Recorder};
+
+/// Installs the process panic hook for the artifact-writing binaries.
+///
+/// Panics *inside* a shard isolation boundary are the executor's business
+/// (they become structured task errors, retried and quarantined); the hook
+/// prints one concise line and stands aside. A panic anywhere else is an
+/// internal error: the hook emits a structured
+/// [`vs_telemetry::JournalRecord::InternalError`] JSONL line on stderr —
+/// machine-readable by whatever supervises the process — and exits 3, the
+/// binaries' internal-error code (see the exit contract in `bin/sweep.rs`).
+pub fn install_panic_hook(component: &'static str) {
+    std::panic::set_hook(Box::new(move |info| {
+        if shard::isolation_active() {
+            eprintln!("  (isolated panic, will retry: {info})");
+            return;
+        }
+        let record = vs_telemetry::JournalRecord::InternalError {
+            component: component.to_string(),
+            message: info.to_string(),
+        };
+        eprintln!("{}", record.to_json().to_string_compact());
+        std::process::exit(3);
+    }));
+}
 
 /// Benchmark names in the paper's presentation order.
 pub fn benchmark_names() -> Vec<String> {

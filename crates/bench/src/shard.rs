@@ -1,5 +1,5 @@
-//! Scenario-level suite sharding: the two-level work queue behind the
-//! parallel sweep.
+//! Scenario-level suite sharding: the crash-safe two-level work queue
+//! behind the parallel sweep.
 //!
 //! The PR-4 sweep scheduled at *experiment* granularity: a worker that
 //! requested a suite already being computed by another worker parked on a
@@ -19,6 +19,22 @@
 //! so solver buffers and the DC operating-point cache are reused across every
 //! scenario the thread runs, whichever suite the task came from.
 //!
+//! # Crash safety (PR 6)
+//!
+//! Every claimed task runs inside an **isolation boundary**
+//! (`run_isolated`, built on [`isolated`]): panics are caught, the
+//! thread's pool shard is rebuilt (a panic can unwind through a
+//! half-stepped solver, so the shard is never trusted afterwards — the
+//! `UnwindSafe` audit behind the `AssertUnwindSafe`), and the attempt is
+//! retried with seeded jittered backoff under an optional watchdog
+//! [`CycleBudget`] deadline. A task that exhausts its attempts is
+//! **quarantined** ([`QuarantineRecord`], drained by the sweep via
+//! [`drain_quarantined`]): its suite completes *degraded* — missing that
+//! scenario's report — instead of aborting the process. Completed scenarios
+//! are appended to the sweep's resume journal (see [`crate::journal`]), and
+//! a resumed sweep prefills verified reports through
+//! [`install_preloaded_suites`] so only damaged or missing work recomputes.
+//!
 //! Determinism contract: a suite's reports are assembled in
 //! [`ScenarioId::ALL`] order from per-scenario slots, and workspace reuse
 //! never changes results (see `vs_core::CosimPool`), so the memoized value —
@@ -26,14 +42,21 @@
 //! count, claim order, or stealing pattern. Only stderr progress lines and
 //! the observational [`ShardStats`] counters vary.
 
-use std::cell::RefCell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
-use vs_core::{CosimConfig, CosimPool, CosimReport, PowerManagement, ScenarioId};
+use vs_core::{
+    CosimConfig, CosimPool, CosimReport, CycleBudget, PowerManagement, ScenarioId,
+};
+use vs_telemetry::fnv1a_64;
+
+use crate::chaos::{self, ChaosMode};
 
 /// Tasks per suite: one per catalogue scenario.
 const N_TASKS: usize = ScenarioId::ALL.len();
@@ -54,22 +77,138 @@ impl SuiteKey {
         pm.stable_key_into(&mut words);
         SuiteKey(words)
     }
+
+    /// The raw key words.
+    pub fn words(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Serializes the key losslessly as dot-joined 16-digit hex words.
+    /// Many words are `f64::to_bits` images above 2^53, so they must never
+    /// travel through a JSON number — this string form is what the resume
+    /// journal and the degraded manifest section carry.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(self.0.len() * 17);
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(&format!("{w:016x}"));
+        }
+        out
+    }
+
+    /// Parses a [`SuiteKey::to_hex`] string; `None` on any malformed word.
+    pub fn from_hex(text: &str) -> Option<SuiteKey> {
+        if text.is_empty() {
+            return None;
+        }
+        let mut words = Vec::new();
+        for part in text.split('.') {
+            words.push(u64::from_str_radix(part, 16).ok()?);
+        }
+        Some(SuiteKey(words))
+    }
+
+    /// A short filesystem-safe digest of the key, used as the per-suite
+    /// cache directory name (the full key travels inside the cached files).
+    pub fn cache_dir(&self) -> String {
+        format!("{:016x}", fnv1a_64(self.to_hex().as_bytes()))
+    }
+}
+
+/// Retry / watchdog policy for isolated scenario tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Attempts per task before quarantine (min 1).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Per-attempt wall-clock deadline, checked cooperatively inside the
+    /// run loop via [`CycleBudget::wall_clock`]; `None` = no watchdog.
+    pub task_deadline: Option<Duration>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 500,
+            backoff_seed: 0,
+            task_deadline: None,
+        }
+    }
+}
+
+/// A task that exhausted its retry budget: the full per-attempt error
+/// chain, named by suite and scenario in the degraded manifest section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The suite the task belonged to.
+    pub suite: SuiteKey,
+    /// The scenario that kept failing.
+    pub scenario: ScenarioId,
+    /// Attempts spent.
+    pub attempts: u32,
+    /// One error string per attempt (error chains flattened with `": "`).
+    pub errors: Vec<String>,
+}
+
+/// Outcome of `run_isolated` when every attempt failed.
+struct TaskFailure {
+    attempts: u32,
+    errors: Vec<String>,
+}
+
+/// One scenario slot of a suite job.
+enum Slot {
+    Empty,
+    Ready(Box<CosimReport>),
+    /// Quarantined: the suite assembles without this scenario (degraded).
+    Failed,
 }
 
 /// Mutable half of a [`SuiteJob`]: per-scenario result slots plus the
 /// assembled value once all twelve are in.
 struct JobState {
-    slots: Vec<Option<CosimReport>>,
+    slots: Vec<Slot>,
     filled: usize,
     done: Option<Arc<Vec<CosimReport>>>,
-    /// Set when a claimed task panicked: waiters must panic too instead of
-    /// blocking forever on a suite that can no longer complete.
+    /// Set when a task panicked *outside* the isolation boundary: waiters
+    /// must panic too instead of blocking forever on a suite that can no
+    /// longer complete.
     poisoned: bool,
+}
+
+impl JobState {
+    /// Assembles the suite once every slot is decided: reports in
+    /// [`ScenarioId::ALL`] order, quarantined slots skipped (degraded).
+    fn assemble_if_complete(&mut self) -> bool {
+        if self.filled < N_TASKS || self.done.is_some() {
+            return false;
+        }
+        let reports: Vec<CosimReport> = self
+            .slots
+            .iter_mut()
+            .filter_map(|s| match std::mem::replace(s, Slot::Failed) {
+                Slot::Ready(r) => Some(*r),
+                Slot::Empty | Slot::Failed => None,
+            })
+            .collect();
+        self.done = Some(Arc::new(reports));
+        true
+    }
 }
 
 /// One memoized suite computation with individually claimable scenario
 /// tasks.
 struct SuiteJob {
+    key: SuiteKey,
     cfg: CosimConfig,
     pm: PowerManagement,
     /// Claim counter over [`ScenarioId::ALL`]; `fetch_add` hands each task
@@ -80,17 +219,40 @@ struct SuiteJob {
 }
 
 impl SuiteJob {
-    fn new(cfg: CosimConfig, pm: PowerManagement) -> Self {
+    fn new(key: SuiteKey, cfg: CosimConfig, pm: PowerManagement) -> Self {
+        // Prefill slots from the resume preload: journal-verified reports
+        // short-circuit their tasks entirely (counted as replays).
+        let mut slots: Vec<Slot> = (0..N_TASKS).map(|_| Slot::Empty).collect();
+        let mut filled = 0;
+        {
+            let preloaded = registry().preloaded.lock().expect("preload map poisoned");
+            if let Some(entries) = preloaded.get(&key) {
+                for (id, report) in entries {
+                    let i = ScenarioId::ALL
+                        .iter()
+                        .position(|s| s == id)
+                        .expect("catalogue scenario");
+                    if matches!(slots[i], Slot::Empty) {
+                        slots[i] = Slot::Ready(Box::new(report.clone()));
+                        filled += 1;
+                        registry().replayed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        let mut state = JobState {
+            slots,
+            filled,
+            done: None,
+            poisoned: false,
+        };
+        state.assemble_if_complete();
         SuiteJob {
+            key,
             cfg,
             pm,
             next: AtomicUsize::new(0),
-            state: Mutex::new(JobState {
-                slots: (0..N_TASKS).map(|_| None).collect(),
-                filled: 0,
-                done: None,
-                poisoned: false,
-            }),
+            state: Mutex::new(state),
             cv: Condvar::new(),
         }
     }
@@ -108,27 +270,48 @@ impl SuiteJob {
         let Some(&id) = ScenarioId::ALL.get(i) else {
             return false;
         };
+        {
+            let st = self.state.lock().expect("suite job state poisoned");
+            // Preloaded (journal-replayed) slots consume their claim
+            // without running anything; likewise once the suite assembled
+            // (which empties the slots), nothing is left to compute.
+            if st.done.is_some() || !matches!(st.slots[i], Slot::Empty) {
+                return true;
+            }
+        }
         eprintln!("  running {} under {} ...", id, self.cfg.pds.label());
+        let exec = executor_config();
+        // The isolation boundary lives in `run_isolated`; this outer guard
+        // only catches the *unexpected* (a panic in the scheduler itself,
+        // or one escaping the boundary), which still poisons the job so
+        // waiters fail loudly instead of hanging.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            with_worker_pool(|pool| pool.run_scenario_with_pm(&self.cfg, id, self.pm.clone()))
+            run_isolated(&self.key, &self.cfg, &self.pm, id, &exec)
         }));
         match outcome {
-            Ok(report) => {
-                let mut st = self.state.lock().expect("suite job state poisoned");
-                st.slots[i] = Some(report);
-                st.filled += 1;
-                if st.filled == N_TASKS {
-                    // Assemble in ScenarioId::ALL order — the slot index *is*
-                    // the canonical order, however the tasks were scheduled.
-                    let reports: Vec<CosimReport> = st
-                        .slots
-                        .iter_mut()
-                        .map(|s| s.take().expect("all slots filled"))
-                        .collect();
-                    st.done = Some(Arc::new(reports));
-                    drop(st);
-                    self.cv.notify_all();
-                }
+            Ok(Ok(report)) => {
+                record_to_journal(&self.key, id, &report);
+                self.fill_slot(i, Slot::Ready(Box::new(report)));
+                true
+            }
+            Ok(Err(failure)) => {
+                eprintln!(
+                    "  quarantining {} under {} after {} attempt(s)",
+                    id,
+                    self.cfg.pds.label(),
+                    failure.attempts
+                );
+                registry()
+                    .quarantined
+                    .lock()
+                    .expect("quarantine list poisoned")
+                    .push(QuarantineRecord {
+                        suite: self.key.clone(),
+                        scenario: id,
+                        attempts: failure.attempts,
+                        errors: failure.errors,
+                    });
+                self.fill_slot(i, Slot::Failed);
                 true
             }
             Err(payload) => {
@@ -142,12 +325,25 @@ impl SuiteJob {
         }
     }
 
+    fn fill_slot(&self, i: usize, slot: Slot) {
+        let mut st = self.state.lock().expect("suite job state poisoned");
+        st.slots[i] = slot;
+        st.filled += 1;
+        if st.assemble_if_complete() {
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
     /// Blocks until the suite is assembled, helping other in-flight suites
     /// while waiting (this thread's claimable work here is already gone).
+    /// A degraded suite (quarantined tasks) returns with those reports
+    /// missing; consult [`drain_quarantined`] for what was lost.
     ///
     /// # Panics
     ///
-    /// Panics if a worker panicked while running one of this suite's tasks.
+    /// Panics if a worker panicked outside the isolation boundary while
+    /// running one of this suite's tasks.
     fn wait(&self) -> Arc<Vec<CosimReport>> {
         loop {
             {
@@ -177,13 +373,20 @@ impl SuiteJob {
 }
 
 /// The process-wide shard registry: the suite memo, the in-flight list
-/// stealers scan, and the observational counters.
+/// stealers scan, the crash-safety state (executor policy, journal sink,
+/// resume preload, quarantine list), and the observational counters.
 struct Registry {
     memo: Mutex<HashMap<SuiteKey, Arc<SuiteJob>>>,
     in_flight: Mutex<Vec<Arc<SuiteJob>>>,
     scenario_tasks: AtomicU64,
     steals: AtomicU64,
     dc_cache_hits: AtomicU64,
+    replayed: AtomicU64,
+    retries: AtomicU64,
+    executor: Mutex<ExecutorConfig>,
+    journal_dir: Mutex<Option<PathBuf>>,
+    preloaded: Mutex<HashMap<SuiteKey, Vec<(ScenarioId, CosimReport)>>>,
+    quarantined: Mutex<Vec<QuarantineRecord>>,
 }
 
 fn registry() -> &'static Registry {
@@ -194,6 +397,12 @@ fn registry() -> &'static Registry {
         scenario_tasks: AtomicU64::new(0),
         steals: AtomicU64::new(0),
         dc_cache_hits: AtomicU64::new(0),
+        replayed: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        executor: Mutex::new(ExecutorConfig::default()),
+        journal_dir: Mutex::new(None),
+        preloaded: Mutex::new(HashMap::new()),
+        quarantined: Mutex::new(Vec::new()),
     })
 }
 
@@ -203,6 +412,12 @@ thread_local! {
     /// first reuses the solver buffers (and, on a netlist-fingerprint match,
     /// the DC operating point).
     static WORKER_POOL: RefCell<CosimPool> = RefCell::new(CosimPool::new());
+
+    /// Whether this thread is currently inside an isolation boundary (a
+    /// `catch_unwind` that converts the panic into a structured task
+    /// error). The process panic hook consults this to tell a *handled*
+    /// panic from one that will take the process down.
+    static ISOLATION_ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Runs `f` with the calling thread's [`CosimPool`] shard, folding the
@@ -220,6 +435,168 @@ pub fn with_worker_pool<R>(f: impl FnOnce(&mut CosimPool) -> R) -> R {
     })
 }
 
+/// Replaces the calling thread's pool shard with a fresh one. Called after
+/// a panic unwound through the shard: the `RefCell` guard drops cleanly
+/// during unwind, but the pool may have lost its workspace mid-run, so it
+/// is rebuilt rather than trusted (the "poisoned shard" rule).
+pub(crate) fn rebuild_worker_pool() {
+    WORKER_POOL.with(|cell| *cell.borrow_mut() = CosimPool::new());
+}
+
+/// Whether the calling thread is inside an isolation boundary (see
+/// [`isolated`]); the binaries' panic hooks use this to let handled panics
+/// pass instead of exiting the process.
+pub fn isolation_active() -> bool {
+    ISOLATION_ACTIVE.with(Cell::get)
+}
+
+/// Renders a caught panic payload (the `&str` / `String` carried by
+/// virtually every panic) for error chains.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` inside an isolation boundary: panics are caught and returned
+/// as their message instead of unwinding further. The boundary flag is
+/// visible to the process panic hook via [`isolation_active`].
+pub fn isolated<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    ISOLATION_ACTIVE.with(|c| c.set(true));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    ISOLATION_ACTIVE.with(|c| c.set(false));
+    out.map_err(|p| panic_message(p.as_ref()))
+}
+
+/// Flattens an error and its source chain into one string.
+fn error_chain(e: &dyn std::error::Error) -> String {
+    let mut out = e.to_string();
+    let mut src = e.source();
+    while let Some(s) = src {
+        out.push_str(": ");
+        out.push_str(&s.to_string());
+        src = s.source();
+    }
+    out
+}
+
+/// Deterministic jittered backoff for retry `attempt` (1-based): an
+/// exponential delay in `[exp/2, exp]` where `exp = base * 2^(attempt-1)`
+/// capped, jittered by a seeded hash of (seed, task tag, attempt) so
+/// colliding retries decorrelate reproducibly — no wall-clock or RNG state
+/// enters the schedule.
+pub(crate) fn retry_backoff(exec: &ExecutorConfig, tag: &str, attempt: u32) -> Duration {
+    let exp = exec
+        .backoff_base_ms
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(10))
+        .min(exec.backoff_cap_ms)
+        .max(1);
+    let text = format!("backoff:{}:{tag}:{attempt}", exec.backoff_seed);
+    let h = fnv1a_64(text.as_bytes());
+    let half = exp / 2;
+    Duration::from_millis(half + h % (exp - half + 1))
+}
+
+/// Runs one scenario task under the full isolation policy: per-attempt
+/// `catch_unwind`, watchdog budget, chaos injection, pool-shard rebuild on
+/// panic, and seeded backoff between attempts. Returns the report, or the
+/// complete per-attempt error history once attempts are exhausted.
+fn run_isolated(
+    key: &SuiteKey,
+    cfg: &CosimConfig,
+    pm: &PowerManagement,
+    id: ScenarioId,
+    exec: &ExecutorConfig,
+) -> Result<CosimReport, TaskFailure> {
+    let attempts = exec.max_attempts.max(1);
+    let tag = format!("{}:{}", key.to_hex(), id.name());
+    let mut errors = Vec::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            registry().retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(retry_backoff(exec, &tag, attempt));
+        }
+        let chaos = chaos::chaos_for(id, attempt);
+        let budget = match chaos {
+            Some(ChaosMode::Stall { at_cycle }) => CycleBudget::tripping_at(at_cycle),
+            _ => exec
+                .task_deadline
+                .map_or_else(CycleBudget::unlimited, CycleBudget::wall_clock),
+        };
+        let outcome = isolated(|| {
+            if matches!(chaos, Some(ChaosMode::Panic)) {
+                panic!("chaos: injected panic for {id} (attempt {attempt})");
+            }
+            with_worker_pool(|pool| pool.try_run_scenario_with_pm(cfg, id, pm.clone(), budget))
+        });
+        match outcome {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => errors.push(format!("attempt {attempt}: {}", error_chain(&e))),
+            Err(msg) => {
+                errors.push(format!("attempt {attempt}: panic: {msg}"));
+                rebuild_worker_pool();
+            }
+        }
+    }
+    Err(TaskFailure { attempts, errors })
+}
+
+/// Appends a finished scenario to the resume journal, when a sink is
+/// installed. Journaling is best-effort: a failed write costs a recompute
+/// on resume, never the sweep.
+fn record_to_journal(key: &SuiteKey, id: ScenarioId, report: &CosimReport) {
+    let Some(dir) = journal_dir() else { return };
+    if let Err(e) = crate::journal::record_scenario(&dir, key, id, report) {
+        eprintln!("  warning: journaling {id}: {e} (resume will recompute it)");
+    }
+}
+
+/// Installs the retry / watchdog policy isolated tasks run under.
+pub fn set_executor_config(config: ExecutorConfig) {
+    *registry().executor.lock().expect("executor config poisoned") = config;
+}
+
+/// The currently installed [`ExecutorConfig`].
+pub fn executor_config() -> ExecutorConfig {
+    *registry().executor.lock().expect("executor config poisoned")
+}
+
+/// Points the completion journal at `dir` (`None` disables journaling).
+pub fn set_journal_dir(dir: Option<PathBuf>) {
+    *registry().journal_dir.lock().expect("journal sink poisoned") = dir;
+}
+
+/// Where the completion journal is being written, if anywhere.
+pub fn journal_dir() -> Option<PathBuf> {
+    registry()
+        .journal_dir
+        .lock()
+        .expect("journal sink poisoned")
+        .clone()
+}
+
+/// Installs journal-verified reports for replay: suites created afterwards
+/// prefill matching scenario slots instead of recomputing them. Replaces
+/// any previous preload (`sweep --resume` calls this once, up front).
+pub fn install_preloaded_suites(map: HashMap<SuiteKey, Vec<(ScenarioId, CosimReport)>>) {
+    *registry().preloaded.lock().expect("preload map poisoned") = map;
+}
+
+/// Takes the quarantine records accumulated since the last drain (the
+/// sweep drains once per run, so records never leak across sweeps).
+pub fn drain_quarantined() -> Vec<QuarantineRecord> {
+    std::mem::take(
+        &mut *registry()
+            .quarantined
+            .lock()
+            .expect("quarantine list poisoned"),
+    )
+}
+
 /// Observational counters for the scenario-level scheduler (never part of
 /// any artifact: they depend on scheduling).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -230,6 +607,10 @@ pub struct ShardStats {
     pub steals: u64,
     /// Scenario runs whose DC operating point came from a shard's cache.
     pub dc_cache_hits: u64,
+    /// Scenario tasks replayed from the resume journal instead of run.
+    pub replayed: u64,
+    /// Retry attempts spent by the isolated executor.
+    pub retries: u64,
 }
 
 /// A snapshot of the global [`ShardStats`].
@@ -239,6 +620,8 @@ pub fn shard_stats() -> ShardStats {
         scenario_tasks: reg.scenario_tasks.load(Ordering::Relaxed),
         steals: reg.steals.load(Ordering::Relaxed),
         dc_cache_hits: reg.dc_cache_hits.load(Ordering::Relaxed),
+        replayed: reg.replayed.load(Ordering::Relaxed),
+        retries: reg.retries.load(Ordering::Relaxed),
     }
 }
 
@@ -267,11 +650,14 @@ pub fn steal_scenario_task() -> bool {
 /// Runs (or joins) the memoized suite of `cfg` under `pm`: all twelve
 /// scenarios, reports in [`ScenarioId::ALL`] order. Concurrent requesters
 /// share one computation, each claiming and running unclaimed scenarios.
+/// A quarantined scenario leaves its report out (degraded suite); see
+/// [`drain_quarantined`].
 ///
 /// # Panics
 ///
-/// Panics if the circuit solver fails irrecoverably on any scenario — on
-/// every requester, so a sweep never silently drops a suite.
+/// Panics only if a worker panicked *outside* the isolation boundary —
+/// solver failures, deadline trips, and in-task panics all flow into the
+/// retry/quarantine machinery instead.
 pub fn run_suite_sharded(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<CosimReport>> {
     let key = SuiteKey::new(cfg, pm);
     let job = {
@@ -279,7 +665,7 @@ pub fn run_suite_sharded(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<Cos
         match memo.get(&key) {
             Some(job) => job.clone(),
             None => {
-                let job = Arc::new(SuiteJob::new(cfg.clone(), pm.clone()));
+                let job = Arc::new(SuiteJob::new(key.clone(), cfg.clone(), pm.clone()));
                 memo.insert(key, job.clone());
                 registry()
                     .in_flight
@@ -296,7 +682,8 @@ pub fn run_suite_sharded(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<Cos
     job.wait()
 }
 
-/// Clears the suite memo, in-flight list, and counters. Tests that compare
+/// Clears the suite memo, in-flight list, counters, quarantine list,
+/// resume preload, journal sink, and executor policy. Tests that compare
 /// sweeps across worker counts call this between runs so every sweep
 /// recomputes its suites. Must not be called while a sweep is running.
 #[doc(hidden)]
@@ -310,6 +697,15 @@ pub fn reset_suite_memo_for_tests() {
     reg.scenario_tasks.store(0, Ordering::Relaxed);
     reg.steals.store(0, Ordering::Relaxed);
     reg.dc_cache_hits.store(0, Ordering::Relaxed);
+    reg.replayed.store(0, Ordering::Relaxed);
+    reg.retries.store(0, Ordering::Relaxed);
+    *reg.executor.lock().expect("executor config poisoned") = ExecutorConfig::default();
+    *reg.journal_dir.lock().expect("journal sink poisoned") = None;
+    reg.preloaded.lock().expect("preload map poisoned").clear();
+    reg.quarantined
+        .lock()
+        .expect("quarantine list poisoned")
+        .clear();
 }
 
 #[cfg(test)]
@@ -360,10 +756,50 @@ mod tests {
     }
 
     #[test]
+    fn suite_key_hex_roundtrip_is_lossless() {
+        let key = SuiteKey::new(&cfg(42), &PowerManagement::default());
+        let hex = key.to_hex();
+        assert_eq!(SuiteKey::from_hex(&hex), Some(key.clone()));
+        // Every word is fixed-width hex — no JSON number ever touches the
+        // f64-bit words, which exceed 2^53.
+        assert!(hex.split('.').all(|w| w.len() == 16));
+        assert_eq!(key.cache_dir().len(), 16);
+        assert_eq!(SuiteKey::from_hex(""), None);
+        assert_eq!(SuiteKey::from_hex("xyz"), None);
+    }
+
+    #[test]
     fn steal_with_no_in_flight_suites_is_a_noop() {
         // Whatever other tests left behind, a fully-claimed or empty
         // registry must return false rather than block or panic.
         while steal_scenario_task() {}
         assert!(!steal_scenario_task());
+    }
+
+    #[test]
+    fn isolated_converts_panics_to_messages() {
+        assert_eq!(isolated(|| 7), Ok(7));
+        assert!(!isolation_active());
+        let err = isolated(|| panic!("boom {}", 1)).unwrap_err();
+        assert_eq!(err, "boom 1");
+        assert!(!isolation_active(), "flag must clear after a caught panic");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let exec = ExecutorConfig::default();
+        let a = retry_backoff(&exec, "suite:bfs", 1);
+        assert_eq!(a, retry_backoff(&exec, "suite:bfs", 1));
+        // Exponential envelope: attempt k waits within [exp/2, exp] where
+        // exp = base * 2^(k-1), capped.
+        for attempt in 1..6 {
+            let exp = (exec.backoff_base_ms << (attempt - 1)).min(exec.backoff_cap_ms);
+            let d = retry_backoff(&exec, "suite:bfs", attempt).as_millis() as u64;
+            assert!(d >= exp / 2 && d <= exp, "attempt {attempt}: {d}ms vs {exp}ms");
+        }
+        // Different tasks jitter apart (with these constants).
+        let b = retry_backoff(&exec, "suite:hotspot", 1);
+        let c = retry_backoff(&exec, "suite:heartwall", 1);
+        assert!(a != b || a != c, "jitter should decorrelate tasks");
     }
 }

@@ -2,28 +2,41 @@
 //! pool and writes one JSONL artifact per experiment plus a suite manifest.
 //!
 //! Scheduling is a two-level work queue. Level 1: each worker pops the next
-//! experiment index off an atomic queue, runs it with a *copy* of the shared
-//! [`RunSettings`], and stores the result at its canonical slot. Level 2:
-//! experiments that run benchmark suites fan those out into per-scenario
-//! tasks (see [`crate::shard`]); a worker whose experiment queue has drained
-//! steals scenario tasks from suites still in flight instead of exiting, so
+//! experiment off an atomic queue — in *priority order* (heaviest suites
+//! first, see [`schedule_order`]), results landing at canonical slots — and
+//! runs it with a *copy* of the shared [`RunSettings`]. Level 2: experiments
+//! that run benchmark suites fan those out into per-scenario tasks (see
+//! [`crate::shard`]); a worker whose experiment queue has drained steals
+//! scenario tasks from suites still in flight instead of exiting, so
 //! `--jobs 8` helps even a single-experiment sweep.
+//!
+//! Crash safety: every experiment (and every scenario task, one level down)
+//! runs inside an isolation boundary — a panic becomes a failed run in the
+//! result, not a dead process. Scenario tasks that exhaust their retries
+//! quarantine, and the sweep completes **degraded**: [`SweepResult`]
+//! carries the quarantine records, the manifest grows a `degraded` section
+//! naming every lost (suite, scenario) with its error chain, and the
+//! `sweep` binary exits 4. Artifacts are written atomically (tmp + rename)
+//! and journaled, so `sweep --resume` can replay verified work (see
+//! [`crate::journal`]).
 //!
 //! Determinism: experiments share no RNG stream or mutable state (the
 //! process-wide suite memo assembles its reports in canonical scenario
 //! order however its tasks were scheduled), so artifacts are bit-identical
 //! whatever the thread count, stealing pattern, or scheduling order — only
-//! the schema-tagged wall-time events differ.
+//! the schema-tagged wall-time events differ. The priority order itself is
+//! a pure function of the experiment list, never of wall time.
 
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use vs_telemetry::{json::Json, Event, StageSample};
+use vs_telemetry::{json::Json, DegradedEntry, Event, RunArtifact, StageSample};
 
-use crate::{shard, ExperimentId, ExperimentOutput, RunSettings};
+use crate::shard::{self, ExecutorConfig, QuarantineRecord};
+use crate::{chaos, journal, ExperimentId, ExperimentOutput, RunSettings};
 
 /// What to run and how.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +48,11 @@ pub struct SweepOptions {
     pub only: Option<Vec<ExperimentId>>,
     /// Settings every experiment runs under.
     pub settings: RunSettings,
+    /// Retry / watchdog policy for scenario tasks.
+    pub executor: ExecutorConfig,
+    /// Where to journal completed work for `--resume`; `None` disables the
+    /// journal (and scenario caching) entirely.
+    pub journal_dir: Option<PathBuf>,
 }
 
 /// One completed experiment inside a sweep.
@@ -42,10 +60,13 @@ pub struct SweepOptions {
 pub struct ExperimentRun {
     /// Which experiment.
     pub id: ExperimentId,
-    /// Its text + artifact.
+    /// Its text + artifact (empty placeholder when the run failed).
     pub output: ExperimentOutput,
     /// Wall time of this run, seconds (excluded from every diff by schema).
     pub wall_s: f64,
+    /// Why the run failed, if it did (a panic that unwound out of the
+    /// experiment — e.g. a quarantined scenario its computation needed).
+    pub error: Option<String>,
 }
 
 /// A completed sweep, experiments in canonical order.
@@ -59,6 +80,17 @@ pub struct SweepResult {
     pub settings: RunSettings,
     /// Total sweep wall time, seconds.
     pub total_wall_s: f64,
+    /// Scenario tasks that exhausted their retries, sorted by (suite,
+    /// scenario) for a deterministic manifest.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl SweepResult {
+    /// Whether the sweep completed degraded: quarantined scenario tasks
+    /// and/or failed experiments. The `sweep` binary maps this to exit 4.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty() || self.runs.iter().any(|r| r.error.is_some())
+    }
 }
 
 /// Resolves `jobs = 0` to the machine's available parallelism.
@@ -71,10 +103,46 @@ pub fn effective_jobs(jobs: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Runs the sweep: a pool of `jobs` workers drains the experiment queue,
-/// then steals scenario tasks from in-flight suites until everything lands.
-/// The pool is *not* capped at the experiment count — extra workers go
-/// straight to scenario stealing.
+/// Approximate scenario-task count of an experiment: how many suite runs
+/// its computation triggers (x12 scenarios), from the experiment
+/// definitions. Only the *relative order* matters — this is the priority
+/// weight for [`schedule_order`] — so the numbers are maintained as rough
+/// suite counts, not exact costs.
+fn cost_weight(id: ExperimentId) -> u64 {
+    match id {
+        // baseline + 6 actuator-weight combinations
+        ExperimentId::Fig13 => 84,
+        // baseline + 5 threshold settings
+        ExperimentId::Fig12 => 72,
+        // all four PDS configurations
+        ExperimentId::Fig8 | ExperimentId::Table3 => 48,
+        // baseline + conventional-PM + VS-PM suites
+        ExperimentId::Fig15 | ExperimentId::Fig16 | ExperimentId::Fig17 => 36,
+        // latency sensitivity: a handful of suites
+        ExperimentId::Fig11 => 30,
+        // baseline + cross-layer suite
+        ExperimentId::Fig14 => 24,
+        // single-suite or analytic experiments
+        _ => 12,
+    }
+}
+
+/// The dispatch order for `ids`: indices into `ids`, heaviest experiments
+/// first (stable, so equal weights keep canonical order). Launching the
+/// longest suites first keeps the pool busy at the tail of the sweep —
+/// a light experiment finishing last can't strand idle workers behind a
+/// late-started `fig13`. Results still land at canonical slots; this
+/// order is observable only in scheduling, never in artifacts.
+pub fn schedule_order(ids: &[ExperimentId]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cost_weight(ids[i])));
+    order
+}
+
+/// Runs the sweep: a pool of `jobs` workers drains the experiment queue
+/// (priority order), then steals scenario tasks from in-flight suites until
+/// everything lands. The pool is *not* capped at the experiment count —
+/// extra workers go straight to scenario stealing.
 pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
     let ids: Vec<ExperimentId> = match &opts.only {
         Some(list) => ExperimentId::ALL
@@ -83,6 +151,9 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
             .collect(),
         None => ExperimentId::ALL.to_vec(),
     };
+    shard::set_executor_config(opts.executor);
+    shard::set_journal_dir(opts.journal_dir.clone());
+    let order = schedule_order(&ids);
     let jobs = effective_jobs(opts.jobs);
     let started = Instant::now();
     let next = AtomicUsize::new(0);
@@ -92,17 +163,37 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| {
-                // Level 1: drain the experiment queue.
+                // Level 1: drain the experiment queue in priority order.
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&id) = ids.get(i) else { break };
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(k) else { break };
+                    let id = ids[i];
                     eprintln!("[sweep] {} ...", id.name());
                     let t0 = Instant::now();
-                    let output = id.run(&settings);
+                    // Isolation boundary: an experiment that panics (most
+                    // likely because a scenario it needed was quarantined)
+                    // becomes a failed run, not a dead sweep.
+                    let outcome = shard::isolated(|| id.run(&settings));
                     let wall_s = t0.elapsed().as_secs_f64();
-                    eprintln!("[sweep] {} done in {wall_s:.2}s", id.name());
-                    slots.lock().expect("result slots poisoned")[i] =
-                        Some(ExperimentRun { id, output, wall_s });
+                    let run = match outcome {
+                        Ok(output) => {
+                            eprintln!("[sweep] {} done in {wall_s:.2}s", id.name());
+                            ExperimentRun { id, output, wall_s, error: None }
+                        }
+                        Err(msg) => {
+                            eprintln!("[sweep] {} FAILED: {msg}", id.name());
+                            ExperimentRun {
+                                id,
+                                output: ExperimentOutput {
+                                    text: String::new(),
+                                    artifact: RunArtifact { events: Vec::new() },
+                                },
+                                wall_s,
+                                error: Some(msg),
+                            }
+                        }
+                    };
+                    slots.lock().expect("result slots poisoned")[i] = Some(run);
                     completed.fetch_add(1, Ordering::Release);
                 }
                 // Level 2: no experiments left to own — steal scenario
@@ -115,17 +206,28 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
             });
         }
     });
-    let runs = slots
+    let runs: Vec<ExperimentRun> = slots
         .into_inner()
         .expect("result slots poisoned")
         .into_iter()
         .map(|r| r.expect("every experiment slot filled"))
         .collect();
+    // Quarantine records accumulate in claim order, which is scheduling-
+    // dependent; sort so degraded manifests are deterministic.
+    let mut quarantined = shard::drain_quarantined();
+    quarantined.sort_by_key(|q| {
+        let pos = vs_core::ScenarioId::ALL
+            .iter()
+            .position(|s| *s == q.scenario)
+            .unwrap_or(usize::MAX);
+        (q.suite.to_hex(), pos)
+    });
     SweepResult {
         runs,
         jobs,
         settings,
         total_wall_s: started.elapsed().as_secs_f64(),
+        quarantined,
     }
 }
 
@@ -135,8 +237,14 @@ pub const MANIFEST_FILE: &str = "manifest.jsonl";
 impl SweepResult {
     /// Writes the sweep to `dir`: one `<experiment>.jsonl` artifact per run
     /// (the deterministic events plus one appended wall-time event) and a
-    /// `manifest.jsonl` suite summary (a `suite` header line followed by one
-    /// `experiment` line per run).
+    /// `manifest.jsonl` suite summary (a `suite` header line, one
+    /// `experiment` line per run, and — in a degraded sweep — one
+    /// `degraded` line per quarantined scenario task).
+    ///
+    /// Every file lands via tmp-file + rename ([`vs_telemetry::write_atomic`])
+    /// and each artifact is journaled with its content checksum, so a crash
+    /// at any instant leaves no torn file under a final name and `--resume`
+    /// can verify what completed.
     ///
     /// # Errors
     ///
@@ -148,7 +256,8 @@ impl SweepResult {
     /// Like [`SweepResult::write_to`] but with every wall-time field left
     /// out — artifacts carry only schema-deterministic events and the
     /// manifest omits `wall_s`/`total_wall_s`. This is the mode goldens are
-    /// blessed in, so re-running it produces byte-identical files.
+    /// blessed in, so re-running it produces byte-identical files. No
+    /// journal records are written (golden trees carry no journal).
     ///
     /// # Errors
     ///
@@ -167,40 +276,75 @@ impl SweepResult {
             ("seed", Json::from(self.settings.seed)),
             ("jobs", Json::from(self.jobs as u64)),
             ("experiments", Json::from(self.runs.len() as u64)),
+            ("degraded", Json::from(self.quarantined.len() as u64)),
         ];
         if !deterministic {
             suite.push(("total_wall_s", Json::from(self.total_wall_s)));
         }
         let mut manifest_lines = vec![Json::obj(suite)];
         for run in &self.runs {
-            let mut artifact = run.output.artifact.clone();
-            if !deterministic {
-                artifact.events.push(Event::Stages(vec![StageSample {
-                    stage: "experiment".to_string(),
-                    total_s: run.wall_s,
-                    count: 1,
-                }]));
-            }
-            let file = format!("{}.jsonl", run.id.name());
-            std::fs::write(dir.join(&file), artifact.to_jsonl())?;
             let mut line = vec![
                 ("type", Json::from("experiment")),
                 ("id", Json::from(run.id.name())),
-                ("artifact", Json::from(file)),
-                ("settings_dependent", Json::from(run.id.settings_dependent())),
             ];
+            if let Some(error) = &run.error {
+                // A failed experiment writes no artifact (there is nothing
+                // trustworthy to write); the manifest records the failure.
+                line.push(("failed", Json::from(true)));
+                line.push(("error", Json::from(error.as_str())));
+            } else {
+                let mut artifact = run.output.artifact.clone();
+                if !deterministic {
+                    artifact.events.push(Event::Stages(vec![StageSample {
+                        stage: "experiment".to_string(),
+                        total_s: run.wall_s,
+                        count: 1,
+                    }]));
+                }
+                let file = format!("{}.jsonl", run.id.name());
+                let bytes = artifact.to_jsonl().into_bytes();
+                let torn = write_file(dir, &file, &bytes)?;
+                if !deterministic && !torn {
+                    journal::record_experiment(dir, run.id.name(), &file, &bytes)?;
+                }
+                line.push(("artifact", Json::from(file)));
+            }
+            line.push(("settings_dependent", Json::from(run.id.settings_dependent())));
             if !deterministic {
                 line.push(("wall_s", Json::from(run.wall_s)));
             }
             manifest_lines.push(Json::obj(line));
+        }
+        for q in &self.quarantined {
+            let entry = DegradedEntry {
+                suite: q.suite.to_hex(),
+                scenario: q.scenario.name().to_string(),
+                attempts: u64::from(q.attempts),
+                errors: q.errors.clone(),
+            };
+            manifest_lines.push(entry.to_json());
         }
         let mut text = String::new();
         for line in manifest_lines {
             text.push_str(&line.to_string_compact());
             text.push('\n');
         }
-        std::fs::write(dir.join(MANIFEST_FILE), text)
+        write_file(dir, MANIFEST_FILE, text.as_bytes()).map(|_| ())
     }
+}
+
+/// Writes one sweep file atomically — unless the chaos plan scheduled this
+/// name to tear, in which case a truncated file lands *directly* under the
+/// final name (and the caller must skip journaling it). Returns whether
+/// the write was torn.
+fn write_file(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<bool> {
+    let path = dir.join(name);
+    if let Some(cut) = chaos::torn_write(name, bytes.len()) {
+        std::fs::write(&path, &bytes[..cut])?;
+        return Ok(true);
+    }
+    vs_telemetry::write_atomic(&path, bytes)?;
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -220,6 +364,7 @@ mod tests {
             jobs: 2,
             only: Some(vec![ExperimentId::Fig5, ExperimentId::Table2, ExperimentId::Table1]),
             settings: RunSettings::tiny_profile(),
+            ..SweepOptions::default()
         };
         let result = run_sweep(&opts);
         let ids: Vec<_> = result.runs.iter().map(|r| r.id).collect();
@@ -227,5 +372,39 @@ mod tests {
             ids,
             vec![ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Fig5]
         );
+        assert!(!result.is_degraded());
+        assert!(result.quarantined.is_empty());
+    }
+
+    #[test]
+    fn schedule_order_is_longest_first_and_deterministic() {
+        // Priorities are a pure function of the list: heaviest first,
+        // ties in canonical order. No wall-clock measurement involved.
+        let ids = vec![
+            ExperimentId::Table1, // weight 12
+            ExperimentId::Fig8,   // 48
+            ExperimentId::Fig13,  // 84
+            ExperimentId::Fig14,  // 24
+            ExperimentId::Table3, // 48
+            ExperimentId::Fig12,  // 72
+        ];
+        let order = schedule_order(&ids);
+        let scheduled: Vec<ExperimentId> = order.iter().map(|&i| ids[i]).collect();
+        assert_eq!(
+            scheduled,
+            vec![
+                ExperimentId::Fig13,
+                ExperimentId::Fig12,
+                ExperimentId::Fig8,   // 48, before Table3 by list order
+                ExperimentId::Table3, // 48
+                ExperimentId::Fig14,
+                ExperimentId::Table1,
+            ]
+        );
+        assert_eq!(order, schedule_order(&ids), "stable across calls");
+        // The full catalogue starts with the heaviest suite experiment.
+        let all = ExperimentId::ALL.to_vec();
+        let first = schedule_order(&all)[0];
+        assert_eq!(all[first], ExperimentId::Fig13);
     }
 }

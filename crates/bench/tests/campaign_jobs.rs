@@ -1,0 +1,62 @@
+//! Tier-1: the parallel fault campaign is byte-identical across worker
+//! counts. Every supervised run goes through a worker's pool shard under
+//! the isolation/retry policy, and the canonical-slot assembly must keep
+//! scheduling out of the results — same contract as the sweep's shards.
+//!
+//! One `#[test]` on purpose: the worker-pool registry and executor config
+//! are process-wide.
+
+use vs_bench::campaign::{campaign_pds, fault_scenarios, run_campaign};
+use vs_bench::shard;
+use vs_bench::RunSettings;
+
+/// Small enough for debug-mode CI: 21 supervised heartwall runs per sweep.
+fn micro() -> RunSettings {
+    RunSettings {
+        workload_scale: 0.02,
+        max_cycles: 12_000,
+        seed: 42,
+    }
+}
+
+#[test]
+fn campaign_is_bit_identical_across_worker_counts() {
+    let settings = micro();
+
+    // The catalogue shape the cell count derives from: 14 fault scenarios,
+    // 7 of which need the cross-layer controller.
+    let scenarios = fault_scenarios(settings.seed);
+    let needs_controller = scenarios.iter().filter(|s| s.needs_controller).count();
+    assert_eq!(scenarios.len(), 14);
+    assert_eq!(needs_controller, 7);
+    let [circuit_only, cross_layer] = campaign_pds();
+    assert!(!circuit_only.has_controller());
+    assert!(cross_layer.has_controller());
+
+    let mut runs = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        shard::reset_suite_memo_for_tests();
+        let cells = run_campaign(&settings, jobs);
+        // 14 cross-layer cells + 7 circuit-only cells, canonical order.
+        assert_eq!(cells.len(), 21, "--jobs {jobs}");
+        assert!(
+            cells.iter().all(|c| c.verdict != "quarantined"),
+            "--jobs {jobs}: clean campaign must not quarantine"
+        );
+        // Byte-level view: the JSONL event each cell would emit.
+        let jsonl: Vec<String> = cells
+            .iter()
+            .map(|c| c.event().to_json().to_string_compact())
+            .collect();
+        runs.push((jobs, jsonl));
+    }
+
+    let (_, reference) = &runs[0];
+    for (jobs, jsonl) in &runs[1..] {
+        assert_eq!(
+            jsonl, reference,
+            "campaign rows differ between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    shard::reset_suite_memo_for_tests();
+}

@@ -44,6 +44,7 @@ fn golden_artifacts_and_headline_claims() {
         jobs: 0,
         only: None,
         settings: RunSettings::golden_profile(),
+        ..SweepOptions::default()
     });
     let spec = tolerances();
     let mut failures = Vec::new();
@@ -154,6 +155,52 @@ fn sweep_is_bit_identical_across_worker_counts() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// `sweep --resume` round-trip through the real binary: a completed run's
+/// directory is damaged (torn artifact, corrupted journal line), and a
+/// resumed run heals it to artifacts byte-identical with a fresh sweep.
+#[test]
+#[ignore = "tier-2: run via scripts/ci.sh --golden"]
+fn sweep_resume_round_trip_heals_damage() {
+    let only = "fig14,fig9";
+    let base = std::env::temp_dir().join(format!("vs-sweep-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let fresh_dir = base.join("fresh");
+    let resumed_dir = base.join("resumed");
+    let fresh = sweep_subprocess(&fresh_dir, 2, only);
+    let _ = sweep_subprocess(&resumed_dir, 2, only);
+
+    // Damage the second run's directory the way a SIGKILL mid-write would:
+    // tear one artifact mid-byte and corrupt the final journal line.
+    let artifact = resumed_dir.join("fig14.jsonl");
+    let bytes = std::fs::read(&artifact).unwrap();
+    std::fs::write(&artifact, &bytes[..bytes.len() / 3]).unwrap();
+    let journal = resumed_dir.join("journal.jsonl");
+    let mut text = std::fs::read_to_string(&journal).unwrap();
+    text.truncate(text.len() - 7); // tear the last record mid-line
+    std::fs::write(&journal, text).unwrap();
+
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["run", "--profile", "tiny", "--only", only, "--jobs", "2", "--resume"])
+        .arg(&resumed_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("launch sweep --resume");
+    assert!(
+        matches!(status.code(), Some(0 | 1)),
+        "resume subprocess died: {status:?}"
+    );
+    for name in only.split(',') {
+        let healed = load_artifact(&resumed_dir.join(format!("{name}.jsonl")));
+        assert_eq!(
+            healed.deterministic_jsonl(),
+            *fresh.get(name).expect("fresh artifact"),
+            "artifact {name} differs after --resume"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// Every settings-dependent experiment actually responds to the settings,
 /// and every constant experiment is invariant to them — the overrides are
 /// honoured uniformly across the catalogue.
@@ -167,8 +214,8 @@ fn settings_overrides_are_honoured_uniformly() {
     // kernel's iteration count.
     let a = RunSettings::tiny_profile();
     let b = RunSettings::golden_profile();
-    let run_a = run_sweep(&SweepOptions { jobs: 0, only: None, settings: a });
-    let run_b = run_sweep(&SweepOptions { jobs: 0, only: None, settings: b });
+    let run_a = run_sweep(&SweepOptions { jobs: 0, only: None, settings: a, ..SweepOptions::default() });
+    let run_b = run_sweep(&SweepOptions { jobs: 0, only: None, settings: b, ..SweepOptions::default() });
     for (ra, rb) in run_a.runs.iter().zip(&run_b.runs) {
         assert_eq!(ra.id, rb.id);
         // Manifests must record the settings either way.

@@ -28,7 +28,9 @@ fn sweep(jobs: usize) -> (Vec<(String, String, String)>, ShardStats) {
         jobs,
         only: Some(vec![ExperimentId::Fig8]),
         settings: micro(),
+        ..SweepOptions::default()
     });
+    assert!(!result.is_degraded(), "clean sweep must not degrade");
     assert_eq!(result.jobs, jobs, "worker pool must not be capped at the experiment count");
     let artifacts = result
         .runs

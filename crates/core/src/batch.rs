@@ -18,7 +18,7 @@ use crate::config::CosimConfig;
 use crate::cosim::{Cosim, CosimReport, PowerManagement};
 use crate::fault::FaultPlan;
 use crate::scenarios::ScenarioId;
-use crate::supervisor::{SupervisedReport, SupervisorConfig};
+use crate::supervisor::{CosimError, CycleBudget, SupervisedReport, SupervisorConfig};
 
 /// Runs scenarios back-to-back, recycling one [`SolverWorkspace`] so every
 /// run after the first skips the circuit solver's warm-up allocations (and,
@@ -112,6 +112,50 @@ impl CosimPool {
         report
     }
 
+    /// Fallible twin of [`CosimPool::run_scenario_with_pm`]: runs under a
+    /// watchdog [`CycleBudget`] and returns solver failures or deadline
+    /// trips as an error. The workspace is recovered on *both* paths, so a
+    /// timed-out task does not cost the pool its warm solver state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CosimError`] the supervised run recorded.
+    pub fn try_run_scenario_with_pm(
+        &mut self,
+        cfg: &CosimConfig,
+        id: ScenarioId,
+        pm: PowerManagement,
+        budget: CycleBudget,
+    ) -> Result<CosimReport, CosimError> {
+        let profile = id.profile();
+        self.try_run_profile(cfg, &profile, pm, budget)
+    }
+
+    /// Fallible twin of [`CosimPool::run_profile`] under a watchdog
+    /// [`CycleBudget`]; recovers the workspace whether the run completes or
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CosimError`] the supervised run recorded.
+    pub fn try_run_profile(
+        &mut self,
+        cfg: &CosimConfig,
+        profile: &WorkloadProfile,
+        pm: PowerManagement,
+        budget: CycleBudget,
+    ) -> Result<CosimReport, CosimError> {
+        let workspace = std::mem::take(&mut self.workspace);
+        let mut cosim = Cosim::builder(cfg, profile)
+            .power_management(pm)
+            .workspace(workspace)
+            .budget(budget)
+            .build();
+        let result = cosim.try_run();
+        self.workspace = cosim.into_workspace();
+        result
+    }
+
     /// Runs one workload profile under a supervisor and fault plan on the
     /// pooled workspace (the batch equivalent of
     /// [`Cosim::run_supervised`]).
@@ -122,8 +166,26 @@ impl CosimPool {
         sup: &SupervisorConfig,
         plan: &FaultPlan,
     ) -> SupervisedReport {
+        self.run_supervised_with_budget(cfg, profile, sup, plan, CycleBudget::unlimited())
+    }
+
+    /// [`CosimPool::run_supervised`] with a watchdog [`CycleBudget`]: a
+    /// deadline trip surfaces as [`CosimError::DeadlineExceeded`] in the
+    /// report's `error` slot (and classifies as an aborted verdict), letting
+    /// the fault campaign's sharded executor retry wedged cells.
+    pub fn run_supervised_with_budget(
+        &mut self,
+        cfg: &CosimConfig,
+        profile: &WorkloadProfile,
+        sup: &SupervisorConfig,
+        plan: &FaultPlan,
+        budget: CycleBudget,
+    ) -> SupervisedReport {
         let workspace = std::mem::take(&mut self.workspace);
-        let mut cosim = Cosim::builder(cfg, profile).workspace(workspace).build();
+        let mut cosim = Cosim::builder(cfg, profile)
+            .workspace(workspace)
+            .budget(budget)
+            .build();
         let report = cosim.run_supervised(sup, plan);
         self.workspace = cosim.into_workspace();
         report
@@ -166,6 +228,38 @@ mod tests {
         assert_send::<CosimPool>();
         assert_send::<CosimReport>();
         assert_send::<SolverWorkspace>();
+    }
+
+    #[test]
+    fn tripped_budget_errors_and_keeps_workspace_warm() {
+        let cfg = tiny(PdsKind::ConventionalVrm);
+        let mut pool = CosimPool::new();
+        // Warm the DC cache, then trip a budget deterministically mid-run.
+        let ok = pool.run_scenario(&cfg, ScenarioId::Heartwall);
+        assert!(ok.completed);
+        let err = pool
+            .try_run_scenario_with_pm(
+                &cfg,
+                ScenarioId::Heartwall,
+                PowerManagement::default(),
+                CycleBudget::tripping_at(100),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CosimError::DeadlineExceeded { cycle: 100 }));
+        // The workspace survived the failed run: the next run still serves
+        // its DC operating point from the cache.
+        let hits = pool.dc_cache_hits();
+        let again = pool
+            .try_run_scenario_with_pm(
+                &cfg,
+                ScenarioId::Heartwall,
+                PowerManagement::default(),
+                CycleBudget::unlimited(),
+            )
+            .unwrap();
+        assert!(again.completed);
+        assert_eq!(pool.dc_cache_hits(), hits + 1);
+        assert_eq!(again.cycles, ok.cycles);
     }
 
     #[test]

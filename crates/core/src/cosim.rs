@@ -24,7 +24,7 @@ use crate::fault::{FaultKind, FaultPlan, LoadGlitch};
 use crate::imbalance::ImbalanceHistogram;
 use crate::rig::{EnergyLedger, PdsRig};
 use crate::scenarios::ScenarioId;
-use crate::supervisor::{classify, CosimError, SupervisedReport, SupervisorConfig};
+use crate::supervisor::{classify, CosimError, CycleBudget, SupervisedReport, SupervisorConfig};
 
 /// Configures and constructs a [`Cosim`] — the single typed entry point
 /// replacing the historical `Cosim::new` / `Cosim::with_power_management` /
@@ -46,6 +46,7 @@ pub struct CosimBuilder<'a> {
     profile: &'a WorkloadProfile,
     pm: PowerManagement,
     sup: SupervisorConfig,
+    budget: CycleBudget,
     telemetry: Telemetry,
     workspace: SolverWorkspace,
 }
@@ -59,6 +60,7 @@ impl<'a> CosimBuilder<'a> {
             profile,
             pm: PowerManagement::default(),
             sup: SupervisorConfig::default(),
+            budget: CycleBudget::unlimited(),
             telemetry: Telemetry::disabled(),
             workspace: SolverWorkspace::new(),
         }
@@ -75,6 +77,15 @@ impl<'a> CosimBuilder<'a> {
     /// supervisor explicitly.
     pub fn supervisor(mut self, sup: SupervisorConfig) -> Self {
         self.sup = sup;
+        self
+    }
+
+    /// Installs a cooperative watchdog budget: the run loop checks it each
+    /// cycle and aborts with [`CosimError::DeadlineExceeded`] once it is
+    /// exceeded. The default ([`CycleBudget::unlimited`]) costs two `None`
+    /// branches per cycle.
+    pub fn budget(mut self, budget: CycleBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -143,6 +154,7 @@ impl<'a> CosimBuilder<'a> {
             cfg: cfg.clone(),
             pm,
             sup: self.sup,
+            budget: self.budget,
             gpu,
             power,
             rig,
@@ -249,6 +261,7 @@ pub struct Cosim {
     cfg: CosimConfig,
     pm: PowerManagement,
     sup: SupervisorConfig,
+    budget: CycleBudget,
     gpu: Gpu,
     power: PowerModel,
     rig: PdsRig,
@@ -295,6 +308,22 @@ impl Cosim {
             panic!("PDS transient step: {e}");
         }
         run.report
+    }
+
+    /// Like [`Cosim::run`] but returns solver failures and watchdog
+    /// deadline trips (see [`CosimBuilder::budget`]) as an error instead of
+    /// panicking — the entry point the crash-safe sweep executor uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CosimError`] the supervised run recorded.
+    pub fn try_run(&mut self) -> Result<CosimReport, CosimError> {
+        let sup = self.sup;
+        let run = self.run_supervised(&sup, &FaultPlan::none());
+        match run.error {
+            Some(e) => Err(e),
+            None => Ok(run.report),
+        }
     }
 
     /// Runs under a supervisor: installs the supervisor's solver-recovery
@@ -387,6 +416,12 @@ impl Cosim {
         }
 
         while !self.gpu.done() && self.gpu.cycle() < self.cfg.max_cycles {
+            if self.budget.exceeded(self.gpu.cycle()) {
+                error = Some(CosimError::DeadlineExceeded {
+                    cycle: self.gpu.cycle(),
+                });
+                break;
+            }
             let span = self.telemetry.stages.start();
             self.gpu.tick_into(&mut events);
             self.telemetry.stages.stop(Stage::GpuStep, span);

@@ -60,6 +60,24 @@ impl ImbalanceHistogram {
         }
     }
 
+    /// Rebuilds a histogram from persisted state (the inverse of
+    /// [`ImbalanceHistogram::topology`] / [`ImbalanceHistogram::bins`] /
+    /// [`ImbalanceHistogram::peak_observed`]); used by the sweep's
+    /// journaled-resume report cache.
+    pub fn from_parts(topology: (usize, usize), bins: [u64; 4], peak_observed: f64) -> Self {
+        ImbalanceHistogram {
+            n_layers: topology.0,
+            n_columns: topology.1,
+            bins,
+            peak_observed,
+        }
+    }
+
+    /// The `(layers, columns)` topology this histogram was built for.
+    pub fn topology(&self) -> (usize, usize) {
+        (self.n_layers, self.n_columns)
+    }
+
     /// Raw bin counts.
     pub fn bins(&self) -> [u64; 4] {
         self.bins

@@ -52,6 +52,7 @@ mod config;
 mod cosim;
 mod fault;
 mod imbalance;
+mod persist;
 mod rig;
 mod scenarios;
 mod seed;
@@ -68,4 +69,4 @@ pub use scenarios::{
     WorstCaseResult,
 };
 pub use seed::derive_seed;
-pub use supervisor::{CosimError, RunVerdict, SupervisedReport, SupervisorConfig};
+pub use supervisor::{CosimError, CycleBudget, RunVerdict, SupervisedReport, SupervisorConfig};

@@ -1,0 +1,339 @@
+//! Exact JSON persistence for [`CosimReport`] — the sweep's scenario-level
+//! resume cache.
+//!
+//! The journaled-resume path (`sweep --resume`) replays finished
+//! (suite, scenario) tasks from per-scenario report files instead of
+//! re-simulating them, so the round-trip here must be *bit-exact*: every
+//! artifact derived from a replayed report has to match the one a fresh run
+//! would produce. Two representation hazards drive the encoding:
+//!
+//! * Finite `f64`s go through [`Json::Num`], whose writer emits the
+//!   shortest decimal that round-trips to the same bits.
+//! * Non-finite `f64`s (a zero-cycle run reports `min_sm_voltage = +inf`)
+//!   would serialize as `null` through `Json::Num`; they are written as the
+//!   strings `"inf"` / `"-inf"` / `"nan"` instead.
+
+use vs_telemetry::json::Json;
+
+use crate::config::PdsKind;
+use crate::cosim::CosimReport;
+use crate::imbalance::ImbalanceHistogram;
+use crate::rig::EnergyLedger;
+
+/// Encodes an `f64` exactly: finite values as numbers (shortest
+/// round-trip), non-finite values as tagged strings.
+fn num(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("nan".to_string())
+    } else if v > 0.0 {
+        Json::Str("inf".to_string())
+    } else {
+        Json::Str("-inf".to_string())
+    }
+}
+
+/// Inverse of [`num`].
+fn f64_of(j: &Json) -> Option<f64> {
+    match j {
+        Json::Num(x) => Some(*x),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn get_f64(j: &Json, key: &str) -> Option<f64> {
+    f64_of(j.get(key)?)
+}
+
+fn get_u64(j: &Json, key: &str) -> Option<u64> {
+    j.get(key)?.as_u64()
+}
+
+fn pds_to_json(pds: PdsKind) -> Json {
+    match pds {
+        PdsKind::ConventionalVrm => Json::obj([("kind", Json::from("conventional_vrm"))]),
+        PdsKind::SingleLayerIvr => Json::obj([("kind", Json::from("single_layer_ivr"))]),
+        PdsKind::VsCircuitOnly { area_mult } => Json::obj([
+            ("kind", Json::from("vs_circuit_only")),
+            ("area_mult", num(area_mult)),
+        ]),
+        PdsKind::VsCrossLayer { area_mult } => Json::obj([
+            ("kind", Json::from("vs_cross_layer")),
+            ("area_mult", num(area_mult)),
+        ]),
+    }
+}
+
+fn pds_from_json(j: &Json) -> Option<PdsKind> {
+    match j.get("kind")?.as_str()? {
+        "conventional_vrm" => Some(PdsKind::ConventionalVrm),
+        "single_layer_ivr" => Some(PdsKind::SingleLayerIvr),
+        "vs_circuit_only" => Some(PdsKind::VsCircuitOnly {
+            area_mult: get_f64(j, "area_mult")?,
+        }),
+        "vs_cross_layer" => Some(PdsKind::VsCrossLayer {
+            area_mult: get_f64(j, "area_mult")?,
+        }),
+        _ => None,
+    }
+}
+
+const LEDGER_FIELDS: [&str; 11] = [
+    "board_input_j",
+    "sm_load_j",
+    "vrm_loss_j",
+    "ivr_loss_j",
+    "pdn_loss_j",
+    "crivr_loss_j",
+    "crivr_overhead_j",
+    "level_shifter_j",
+    "controller_j",
+    "dcc_j",
+    "fake_j",
+];
+
+fn ledger_to_json(l: &EnergyLedger) -> Json {
+    let vals = [
+        l.board_input_j,
+        l.sm_load_j,
+        l.vrm_loss_j,
+        l.ivr_loss_j,
+        l.pdn_loss_j,
+        l.crivr_loss_j,
+        l.crivr_overhead_j,
+        l.level_shifter_j,
+        l.controller_j,
+        l.dcc_j,
+        l.fake_j,
+    ];
+    Json::obj(LEDGER_FIELDS.iter().copied().zip(vals.map(num)))
+}
+
+fn ledger_from_json(j: &Json) -> Option<EnergyLedger> {
+    Some(EnergyLedger {
+        board_input_j: get_f64(j, "board_input_j")?,
+        sm_load_j: get_f64(j, "sm_load_j")?,
+        vrm_loss_j: get_f64(j, "vrm_loss_j")?,
+        ivr_loss_j: get_f64(j, "ivr_loss_j")?,
+        pdn_loss_j: get_f64(j, "pdn_loss_j")?,
+        crivr_loss_j: get_f64(j, "crivr_loss_j")?,
+        crivr_overhead_j: get_f64(j, "crivr_overhead_j")?,
+        level_shifter_j: get_f64(j, "level_shifter_j")?,
+        controller_j: get_f64(j, "controller_j")?,
+        dcc_j: get_f64(j, "dcc_j")?,
+        fake_j: get_f64(j, "fake_j")?,
+    })
+}
+
+fn summary_to_json(s: &vs_circuit::TraceSummary) -> Json {
+    Json::obj([
+        ("min", num(s.min)),
+        ("q1", num(s.q1)),
+        ("median", num(s.median)),
+        ("q3", num(s.q3)),
+        ("max", num(s.max)),
+        ("mean", num(s.mean)),
+    ])
+}
+
+fn summary_from_json(j: &Json) -> Option<vs_circuit::TraceSummary> {
+    Some(vs_circuit::TraceSummary {
+        min: get_f64(j, "min")?,
+        q1: get_f64(j, "q1")?,
+        median: get_f64(j, "median")?,
+        q3: get_f64(j, "q3")?,
+        max: get_f64(j, "max")?,
+        mean: get_f64(j, "mean")?,
+    })
+}
+
+fn imbalance_to_json(h: &ImbalanceHistogram) -> Json {
+    let (layers, columns) = h.topology();
+    Json::obj([
+        ("n_layers", Json::from(layers as u64)),
+        ("n_columns", Json::from(columns as u64)),
+        (
+            "bins",
+            Json::Arr(h.bins().iter().map(|&b| Json::from(b)).collect()),
+        ),
+        ("peak_observed", num(h.peak_observed())),
+    ])
+}
+
+fn imbalance_from_json(j: &Json) -> Option<ImbalanceHistogram> {
+    let layers = get_u64(j, "n_layers")? as usize;
+    let columns = get_u64(j, "n_columns")? as usize;
+    let arr = j.get("bins")?.as_arr()?;
+    if arr.len() != 4 {
+        return None;
+    }
+    let mut bins = [0u64; 4];
+    for (slot, v) in bins.iter_mut().zip(arr) {
+        *slot = v.as_u64()?;
+    }
+    Some(ImbalanceHistogram::from_parts(
+        (layers, columns),
+        bins,
+        get_f64(j, "peak_observed")?,
+    ))
+}
+
+impl CosimReport {
+    /// Serializes the report for the sweep's scenario-level resume cache.
+    /// [`CosimReport::from_persist_json`] restores it bit-exactly.
+    pub fn to_persist_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::from(self.benchmark.as_str())),
+            ("pds", pds_to_json(self.pds)),
+            ("cycles", Json::from(self.cycles)),
+            ("completed", Json::from(self.completed)),
+            ("instructions", Json::from(self.instructions)),
+            ("ledger", ledger_to_json(&self.ledger)),
+            ("min_sm_voltage", num(self.min_sm_voltage)),
+            ("max_sm_voltage", num(self.max_sm_voltage)),
+            (
+                "sm_voltage_summaries",
+                Json::Arr(self.sm_voltage_summaries.iter().map(summary_to_json).collect()),
+            ),
+            ("throttle_fraction", num(self.throttle_fraction)),
+            ("imbalance", imbalance_to_json(&self.imbalance)),
+            ("avg_freq_scale", num(self.avg_freq_scale)),
+            ("gating_saved_j", num(self.gating_saved_j)),
+        ])
+    }
+
+    /// Restores a report persisted by [`CosimReport::to_persist_json`];
+    /// `None` if any field is missing or malformed (a damaged cache entry —
+    /// the resume path then recomputes the scenario).
+    pub fn from_persist_json(j: &Json) -> Option<CosimReport> {
+        Some(CosimReport {
+            benchmark: j.get("benchmark")?.as_str()?.to_string(),
+            pds: pds_from_json(j.get("pds")?)?,
+            cycles: get_u64(j, "cycles")?,
+            completed: j.get("completed")?.as_bool()?,
+            instructions: get_u64(j, "instructions")?,
+            ledger: ledger_from_json(j.get("ledger")?)?,
+            min_sm_voltage: get_f64(j, "min_sm_voltage")?,
+            max_sm_voltage: get_f64(j, "max_sm_voltage")?,
+            sm_voltage_summaries: {
+                let arr = j.get("sm_voltage_summaries")?.as_arr()?;
+                let mut out = Vec::with_capacity(arr.len());
+                for s in arr {
+                    out.push(summary_from_json(s)?);
+                }
+                out
+            },
+            throttle_fraction: get_f64(j, "throttle_fraction")?,
+            imbalance: imbalance_from_json(j.get("imbalance")?)?,
+            avg_freq_scale: get_f64(j, "avg_freq_scale")?,
+            gating_saved_j: get_f64(j, "gating_saved_j")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CosimConfig;
+    use crate::cosim::run_scenario;
+    use crate::scenarios::ScenarioId;
+    use vs_telemetry::json;
+
+    fn bits(report: &CosimReport) -> Vec<u64> {
+        // Every f64 in the report, as raw bits, for exactness assertions.
+        let l = &report.ledger;
+        let mut out = vec![
+            l.board_input_j,
+            l.sm_load_j,
+            l.vrm_loss_j,
+            l.ivr_loss_j,
+            l.pdn_loss_j,
+            l.crivr_loss_j,
+            l.crivr_overhead_j,
+            l.level_shifter_j,
+            l.controller_j,
+            l.dcc_j,
+            l.fake_j,
+            report.min_sm_voltage,
+            report.max_sm_voltage,
+            report.throttle_fraction,
+            report.avg_freq_scale,
+            report.gating_saved_j,
+            report.imbalance.peak_observed(),
+        ];
+        for s in &report.sm_voltage_summaries {
+            out.extend([s.min, s.q1, s.median, s.q3, s.max, s.mean]);
+        }
+        out.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn real_report_roundtrips_bit_exactly_through_text() {
+        let cfg = CosimConfig {
+            pds: crate::config::PdsKind::VsCrossLayer { area_mult: 0.2 },
+            workload_scale: 0.02,
+            max_cycles: 30_000,
+            record_traces: true,
+            ..CosimConfig::default()
+        };
+        let report = run_scenario(&cfg, ScenarioId::Hotspot);
+        let text = report.to_persist_json().to_string_compact();
+        let back = CosimReport::from_persist_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(bits(&report), bits(&back));
+        assert_eq!(report.benchmark, back.benchmark);
+        assert_eq!(report.pds, back.pds);
+        assert_eq!(report.cycles, back.cycles);
+        assert_eq!(report.completed, back.completed);
+        assert_eq!(report.instructions, back.instructions);
+        assert_eq!(report.imbalance.bins(), back.imbalance.bins());
+        assert_eq!(report.imbalance.topology(), back.imbalance.topology());
+        // And serialization is deterministic: same report, same bytes.
+        assert_eq!(text, back.to_persist_json().to_string_compact());
+    }
+
+    #[test]
+    fn non_finite_voltages_survive_the_roundtrip() {
+        let cfg = CosimConfig {
+            workload_scale: 0.02,
+            max_cycles: 30_000,
+            ..CosimConfig::default()
+        };
+        let mut report = run_scenario(&cfg, ScenarioId::Bfs);
+        // A zero-cycle run reports +inf/-inf extrema; a poisoned stat is NaN.
+        report.min_sm_voltage = f64::INFINITY;
+        report.max_sm_voltage = f64::NEG_INFINITY;
+        report.throttle_fraction = f64::NAN;
+        let text = report.to_persist_json().to_string_compact();
+        let back = CosimReport::from_persist_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.min_sm_voltage, f64::INFINITY);
+        assert_eq!(back.max_sm_voltage, f64::NEG_INFINITY);
+        assert!(back.throttle_fraction.is_nan());
+    }
+
+    #[test]
+    fn damaged_entries_parse_to_none() {
+        let cfg = CosimConfig {
+            workload_scale: 0.02,
+            max_cycles: 30_000,
+            ..CosimConfig::default()
+        };
+        let report = run_scenario(&cfg, ScenarioId::Bfs);
+        let text = report.to_persist_json().to_string_compact();
+        // Truncation at any earlier byte either fails to parse or loses a
+        // required field; both must come back as a recompute signal.
+        for cut in [text.len() / 4, text.len() / 2, text.len() - 2] {
+            let damaged = &text[..cut];
+            let recovered =
+                json::parse(damaged).ok().and_then(|j| CosimReport::from_persist_json(&j));
+            assert!(recovered.is_none(), "cut at {cut} parsed");
+        }
+        assert!(CosimReport::from_persist_json(&Json::Null).is_none());
+    }
+}

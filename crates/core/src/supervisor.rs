@@ -9,6 +9,7 @@
 //! [`RunVerdict`]. Sweeps get a per-cell verdict instead of a panic.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use vs_circuit::{RecoveryPolicy, SolverError, StepReport};
 use vs_telemetry::RunArtifact;
@@ -37,6 +38,87 @@ impl Default for SupervisorConfig {
             guardband_tolerance: 1e-3,
             recovery: RecoveryPolicy::default(),
         }
+    }
+}
+
+/// A cooperative watchdog budget for one run, checked at the top of the
+/// [`crate::Cosim::run_supervised`] cycle loop.
+///
+/// The sweep's task watchdog cannot rely on preemption (the dev host has one
+/// core, and a wedged solver call would starve any sibling watchdog thread),
+/// so the deadline is checked *cooperatively* inside the hot loop: a
+/// wall-clock deadline sampled every [`CycleBudget::check_stride`] cycles
+/// (`Instant::now` off the hot path's every-cycle cost), plus a
+/// deterministic `trip_at_cycle` hook that test/chaos harnesses use to
+/// simulate a stalled task without real waiting. An exceeded budget aborts
+/// the run with [`CosimError::DeadlineExceeded`]; the default
+/// ([`CycleBudget::unlimited`]) reduces the check to two `None` branches and
+/// is guarded against regression by `bench_hotpath`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBudget {
+    /// Wall-clock deadline; `None` = no wall-clock limit.
+    pub deadline: Option<Instant>,
+    /// Deterministic trip point: the run aborts once the GPU cycle reaches
+    /// this value. `None` = no trip. This is the chaos harness's stall
+    /// injection — it behaves exactly like a blown wall-clock deadline
+    /// without depending on host speed.
+    pub trip_at_cycle: Option<u64>,
+    /// Cycles between wall-clock checks (0 is treated as 1). The default
+    /// constructors use 1024: coarse enough that `Instant::now` never shows
+    /// up in the stage profile, fine enough that a deadline overshoots by
+    /// at most a few hundred microseconds of simulation.
+    pub check_stride: u64,
+}
+
+/// Default cycles between wall-clock deadline checks.
+const DEFAULT_CHECK_STRIDE: u64 = 1024;
+
+impl CycleBudget {
+    /// No limits: the check compiles down to two `None` tests per cycle.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        CycleBudget::default()
+    }
+
+    /// A wall-clock deadline of `limit` from now, checked every 1024
+    /// cycles.
+    #[must_use]
+    pub fn wall_clock(limit: Duration) -> Self {
+        CycleBudget {
+            deadline: Some(Instant::now() + limit),
+            trip_at_cycle: None,
+            check_stride: DEFAULT_CHECK_STRIDE,
+        }
+    }
+
+    /// A deterministic budget that trips once the run reaches `cycle`
+    /// (chaos/test hook; no wall clock involved).
+    #[must_use]
+    pub fn tripping_at(cycle: u64) -> Self {
+        CycleBudget {
+            deadline: None,
+            trip_at_cycle: Some(cycle),
+            check_stride: DEFAULT_CHECK_STRIDE,
+        }
+    }
+
+    /// Whether the budget is exceeded at `cycle`. Cheap when unlimited;
+    /// samples the wall clock only every [`CycleBudget::check_stride`]
+    /// cycles.
+    #[inline]
+    #[must_use]
+    pub fn exceeded(&self, cycle: u64) -> bool {
+        if let Some(trip) = self.trip_at_cycle {
+            if cycle >= trip {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if cycle.is_multiple_of(self.check_stride.max(1)) && Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -84,6 +166,12 @@ pub enum CosimError {
         /// The solver's final error.
         source: SolverError,
     },
+    /// The run's [`CycleBudget`] was exceeded (watchdog deadline or a
+    /// deterministic trip): the task was aborted as wedged.
+    DeadlineExceeded {
+        /// GPU cycle at which the watchdog fired.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for CosimError {
@@ -91,6 +179,9 @@ impl fmt::Display for CosimError {
         match self {
             CosimError::Solver { cycle, source } => {
                 write!(f, "solver failure at cycle {cycle}: {source}")
+            }
+            CosimError::DeadlineExceeded { cycle } => {
+                write!(f, "task deadline exceeded at cycle {cycle}")
             }
         }
     }
@@ -100,6 +191,7 @@ impl std::error::Error for CosimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CosimError::Solver { source, .. } => Some(source),
+            CosimError::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -217,6 +309,59 @@ mod tests {
         let v = classify(Some(&err), &[9_999], 10_000, &retried(), 1e-3);
         assert_eq!(v, RunVerdict::Aborted);
         assert!(err.to_string().contains("cycle 42"));
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = CycleBudget::unlimited();
+        for cycle in [0, 1, 1024, u64::MAX] {
+            assert!(!b.exceeded(cycle));
+        }
+    }
+
+    #[test]
+    fn tripping_budget_is_deterministic() {
+        let b = CycleBudget::tripping_at(500);
+        assert!(!b.exceeded(0));
+        assert!(!b.exceeded(499));
+        assert!(b.exceeded(500));
+        assert!(b.exceeded(501));
+    }
+
+    #[test]
+    fn wall_clock_budget_checks_only_on_stride() {
+        // A deadline already in the past must trip on stride boundaries and
+        // stay quiet between them (the hot loop never pays Instant::now
+        // off-stride).
+        let b = CycleBudget {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            trip_at_cycle: None,
+            check_stride: 1024,
+        };
+        assert!(b.exceeded(0));
+        assert!(!b.exceeded(1));
+        assert!(!b.exceeded(1023));
+        assert!(b.exceeded(2048));
+        // A generous deadline does not trip.
+        let b = CycleBudget::wall_clock(Duration::from_secs(3600));
+        assert!(!b.exceeded(0));
+        // Zero stride is treated as every cycle, not a division hazard.
+        let b = CycleBudget {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            trip_at_cycle: None,
+            check_stride: 0,
+        };
+        assert!(b.exceeded(7));
+    }
+
+    #[test]
+    fn deadline_error_formats_and_has_no_source() {
+        use std::error::Error as _;
+        let e = CosimError::DeadlineExceeded { cycle: 512 };
+        assert_eq!(e.to_string(), "task deadline exceeded at cycle 512");
+        assert!(e.source().is_none());
+        let v = classify(Some(&e), &[0], 1_000, &clean(), 1e-3);
+        assert_eq!(v, RunVerdict::Aborted);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Crash-safe artifact plumbing: content checksums, atomic writes, and the
+//! append-only completion journal the sweep's `--resume` replays.
+//!
+//! Three layers, all dependency-free by crate policy:
+//!
+//! * [`fnv1a_64`] / [`checksum_hex`] — a hand-rolled FNV-1a 64 content
+//!   checksum. Every artifact and scenario-cache write records one, so a
+//!   torn file (a crash mid-write, a truncation) is detected on resume
+//!   instead of silently replayed.
+//! * [`write_atomic`] — tmp-file + rename in the destination directory, so
+//!   readers never observe a half-written artifact under its final name
+//!   (the rename is atomic on POSIX; a crash leaves at worst a stale
+//!   `.*.tmp`).
+//! * [`JournalRecord`] / [`read_journal`] — the `journal.jsonl` schema: one
+//!   record per finished unit of work, appended *after* its artifact landed.
+//!   The reader is deliberately lenient — a torn tail or corrupted line
+//!   (exactly what a `SIGKILL` mid-append produces) skips that record, which
+//!   resume then recomputes; it never aborts the whole resume.
+//!
+//! [`DegradedEntry`] is the degraded-mode manifest schema: one line per
+//! quarantined (suite, scenario) pair with its full per-attempt error chain.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit hash of `bytes` (the classical Fowler–Noll–Vo
+/// parameters). Used as a content checksum for artifacts and journal
+/// records; collision resistance is ample for detecting torn writes within
+/// one sweep directory, and the implementation keeps this crate
+/// dependency-free.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// [`fnv1a_64`] formatted as the 16-hex-digit string journal records carry
+/// (checksums exceed 2^53, so they must travel as strings, never JSON
+/// numbers).
+#[must_use]
+pub fn checksum_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a_64(bytes))
+}
+
+/// Writes `bytes` to `path` atomically: the content goes to a `.*.tmp`
+/// sibling in the same directory (same filesystem, so the rename cannot
+/// degrade to a copy) and is renamed over the destination. A crash before
+/// the rename leaves the previous version of `path` intact.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write or the rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = path.with_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One completion record in `journal.jsonl`, appended after the artifact it
+/// describes has fully landed on disk. Resume trusts a record only when the
+/// named file still hashes to `checksum`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// One (suite, scenario) co-simulation finished and its report was
+    /// cached.
+    ScenarioDone {
+        /// The suite's stable key, as dot-separated 16-hex-digit words
+        /// (the key words are `f64::to_bits` patterns that exceed 2^53, so
+        /// they cannot travel as JSON numbers).
+        suite: String,
+        /// Scenario name (`ScenarioId::name`).
+        scenario: String,
+        /// Cache file path, relative to the sweep directory.
+        file: String,
+        /// [`checksum_hex`] of the cache file's bytes.
+        checksum: String,
+    },
+    /// One experiment's artifact was written.
+    ExperimentDone {
+        /// Experiment name (also the artifact file stem).
+        id: String,
+        /// Artifact file name, relative to the sweep directory.
+        file: String,
+        /// [`checksum_hex`] of the artifact's bytes.
+        checksum: String,
+    },
+    /// A process-level failure (the structured form the binaries' panic
+    /// hook emits before exiting with the internal-error code).
+    InternalError {
+        /// Which binary/component failed.
+        component: String,
+        /// The panic/failure message.
+        message: String,
+    },
+}
+
+impl JournalRecord {
+    /// Serializes to the one-line JSON object form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            JournalRecord::ScenarioDone { suite, scenario, file, checksum } => Json::obj([
+                ("type", Json::from("scenario_done")),
+                ("suite", Json::from(suite.as_str())),
+                ("scenario", Json::from(scenario.as_str())),
+                ("file", Json::from(file.as_str())),
+                ("checksum", Json::from(checksum.as_str())),
+            ]),
+            JournalRecord::ExperimentDone { id, file, checksum } => Json::obj([
+                ("type", Json::from("experiment_done")),
+                ("id", Json::from(id.as_str())),
+                ("file", Json::from(file.as_str())),
+                ("checksum", Json::from(checksum.as_str())),
+            ]),
+            JournalRecord::InternalError { component, message } => Json::obj([
+                ("type", Json::from("internal_error")),
+                ("component", Json::from(component.as_str())),
+                ("message", Json::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Parses one record. `None` for well-formed JSON that is not a known
+    /// journal record (unknown `type`, missing fields) — resume treats both
+    /// malformed lines and unknown records as "not evidence of completion".
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<JournalRecord> {
+        let field = |k: &str| v.get(k)?.as_str().map(str::to_string);
+        match v.get("type")?.as_str()? {
+            "scenario_done" => Some(JournalRecord::ScenarioDone {
+                suite: field("suite")?,
+                scenario: field("scenario")?,
+                file: field("file")?,
+                checksum: field("checksum")?,
+            }),
+            "experiment_done" => Some(JournalRecord::ExperimentDone {
+                id: field("id")?,
+                file: field("file")?,
+                checksum: field("checksum")?,
+            }),
+            "internal_error" => Some(JournalRecord::InternalError {
+                component: field("component")?,
+                message: field("message")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Parses an append-only journal leniently: one record per line, skipping
+/// (and counting) lines that are torn, malformed, or of unknown shape. A
+/// `SIGKILL` mid-append tears exactly the final line; treating that as "one
+/// unit of work unproven" is what makes resume safe.
+#[must_use]
+pub fn read_journal(text: &str) -> (Vec<JournalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line).ok().as_ref().and_then(JournalRecord::from_json) {
+            Some(rec) => records.push(rec),
+            None => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+/// Appends one record to the journal at `path` (created if missing). One
+/// `write` call per line keeps concurrent appenders from interleaving
+/// partial lines on POSIX append-mode files; callers still serialize
+/// appends behind a lock for portability.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_journal(path: &Path, record: &JournalRecord) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut line = record.to_json().to_string_compact();
+    line.push('\n');
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(line.as_bytes())
+}
+
+/// One quarantined (suite, scenario) in a degraded-mode sweep manifest:
+/// the task exhausted its retries and the sweep completed without it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedEntry {
+    /// The suite's stable key (dot-separated hex words, as in
+    /// [`JournalRecord::ScenarioDone`]).
+    pub suite: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// How many attempts were made before quarantine.
+    pub attempts: u64,
+    /// The full error chain, one entry per attempt, oldest first.
+    pub errors: Vec<String>,
+}
+
+impl DegradedEntry {
+    /// Serializes to the manifest's `degraded` line form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::from("degraded")),
+            ("suite", Json::from(self.suite.as_str())),
+            ("scenario", Json::from(self.scenario.as_str())),
+            ("attempts", Json::from(self.attempts)),
+            (
+                "errors",
+                Json::Arr(self.errors.iter().map(|e| Json::from(e.as_str())).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a manifest `degraded` line.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<DegradedEntry> {
+        if v.get("type")?.as_str()? != "degraded" {
+            return None;
+        }
+        Some(DegradedEntry {
+            suite: v.get("suite")?.as_str()?.to_string(),
+            scenario: v.get("scenario")?.as_str()?.to_string(),
+            attempts: v.get("attempts")?.as_u64()?,
+            errors: v
+                .get("errors")?
+                .as_arr()?
+                .iter()
+                .map(|e| Some(e.as_str()?.to_string()))
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(checksum_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn checksum_detects_any_truncation() {
+        let full = b"{\"type\":\"scenario_done\",\"v\":1.25}\n";
+        let whole = checksum_hex(full);
+        for cut in 0..full.len() {
+            assert_ne!(checksum_hex(&full[..cut]), whole, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("vs-telemetry-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.jsonl");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_records_roundtrip() {
+        let records = vec![
+            JournalRecord::ScenarioDone {
+                suite: "00000000000000aa.3fc999999999999a".to_string(),
+                scenario: "bfs".to_string(),
+                file: "scenarios/12ab/bfs.json".to_string(),
+                checksum: "85944171f73967e8".to_string(),
+            },
+            JournalRecord::ExperimentDone {
+                id: "fig17".to_string(),
+                file: "fig17.jsonl".to_string(),
+                checksum: "00000000000000ff".to_string(),
+            },
+            JournalRecord::InternalError {
+                component: "sweep".to_string(),
+                message: "panicked at 'boom'".to_string(),
+            },
+        ];
+        for rec in &records {
+            let parsed = JournalRecord::from_json(&rec.to_json()).unwrap();
+            assert_eq!(&parsed, rec);
+        }
+    }
+
+    #[test]
+    fn journal_reader_is_lenient() {
+        let good = JournalRecord::ExperimentDone {
+            id: "fig8".to_string(),
+            file: "fig8.jsonl".to_string(),
+            checksum: "0".repeat(16),
+        };
+        let line = good.to_json().to_string_compact();
+        // A corrupt line, an unknown record type, and a torn tail all skip.
+        let text = format!(
+            "{line}\n{{{{not json\n{{\"type\":\"martian\"}}\n{}\n{}",
+            line,
+            &line[..line.len() / 2]
+        );
+        let (records, skipped) = read_journal(&text);
+        assert_eq!(records, vec![good.clone(), good]);
+        assert_eq!(skipped, 3);
+    }
+
+    #[test]
+    fn degraded_entries_roundtrip() {
+        let entry = DegradedEntry {
+            suite: "04.cafebabe00000000".to_string(),
+            scenario: "hotspot".to_string(),
+            attempts: 3,
+            errors: vec![
+                "attempt 1: injected panic".to_string(),
+                "attempt 2: task deadline exceeded at cycle 512".to_string(),
+                "attempt 3: injected panic".to_string(),
+            ],
+        };
+        let parsed = DegradedEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(parsed, entry);
+        // Non-degraded manifest lines parse as None, not an error.
+        assert_eq!(DegradedEntry::from_json(&Json::obj([("type", Json::from("suite"))])), None);
+    }
+}

@@ -14,6 +14,10 @@
 //!   event stream (manifest + decimated samples + end-of-run summaries)
 //!   that figures, fault campaigns, and regression tooling parse back with
 //!   [`RunArtifact::parse_jsonl`] instead of scraping stdout.
+//! * [`JournalRecord`] / [`write_atomic`] / [`fnv1a_64`] — crash-safe
+//!   artifact plumbing: atomic tmp-file + rename writes, hand-rolled
+//!   FNV-1a content checksums, and the append-only completion journal the
+//!   sweep's `--resume` replays (see the `journal` module docs).
 //! * [`Telemetry`] — the per-run handle bundling all three, with a
 //!   [`Telemetry::disabled`] mode that reduces every instrumentation point
 //!   to a branch (the perf benchmark guards this stays under the noise
@@ -41,6 +45,7 @@
 
 mod diff;
 mod events;
+mod journal;
 pub mod json;
 mod metrics;
 mod profile;
@@ -52,6 +57,10 @@ pub use diff::{
 pub use events::{
     ActuatorDuty, CycleSample, Event, FaultCampaignRow, GpuCounters, GuardbandStats, ParseError,
     RunArtifact, RunManifest, RunSummary, SolverHealth, StageSample, SCHEMA_VERSION,
+};
+pub use journal::{
+    append_journal, checksum_hex, fnv1a_64, read_journal, write_atomic, DegradedEntry,
+    JournalRecord,
 };
 pub use metrics::{labeled, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use profile::{Stage, StageProfiler};

@@ -8,9 +8,11 @@
 #              catalogue, diffs it against goldens/*.jsonl under
 #              goldens/tolerances.json, asserts every EXPERIMENTS.md
 #              headline claim, checks sweep determinism across worker
-#              counts, and diffs the fault-injection campaign byte-for-byte
-#              against goldens/fault_campaign.jsonl. Leaves the suite
-#              manifest at target/sweep/ as the uploadable artifact.
+#              counts, round-trips `sweep --resume` through the real binary
+#              against injected damage, and diffs the fault-injection
+#              campaign byte-for-byte against goldens/fault_campaign.jsonl.
+#              Leaves the suite manifest at target/sweep/ as the uploadable
+#              artifact.
 #
 # Runs from the repository root regardless of the caller's cwd.
 set -euo pipefail
@@ -45,6 +47,11 @@ cargo test -q --workspace
 echo "== pooled workspace reuse + sharded-sweep determinism =="
 cargo test --release -q -p vs-core --test workspace_reuse
 cargo test --release -q -p vs-bench --test sweep_shard
+
+echo "== chaos smoke: panic/stall/torn-write survival + journaled resume =="
+cargo test --release -q -p vs-bench --test chaos
+cargo test --release -q -p vs-bench --test resume
+cargo test --release -q -p vs-bench --test campaign_jobs
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
