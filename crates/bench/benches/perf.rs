@@ -13,6 +13,7 @@ use vs_circuit::{AcAnalysis, Integration, Transient};
 use vs_control::{ControllerConfig, VoltageController};
 use vs_core::{PdsKind, PdsRig};
 use vs_gpu::{benchmark, build_kernel, Gpu, GpuConfig, SchedulerKind};
+use vs_bench::obs;
 use vs_num::{eigenvalues, expm, LuFactors, Matrix};
 use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
 use vs_telemetry::{Stage, Telemetry};
@@ -174,6 +175,44 @@ fn bench_telemetry_overhead() {
     );
 }
 
+/// Guard: the executor tracing instrumentation in the task lifecycle must
+/// be free when tracing is off. With the tracer disabled, every probe a
+/// scenario task passes — the span-begin check, the gated executor metric
+/// calls, the queue-depth gate — reduces to one relaxed atomic load each.
+/// Same shape as the telemetry guard above: print via `bench`, assert on
+/// the best of five direct trials.
+fn bench_trace_overhead() {
+    const MAX_DISABLED_NS: f64 = 250.0;
+    obs::set_tracing(false);
+    let task_probes = || {
+        // One task's worth of disabled instrumentation: task + attempt
+        // span begins, the ok-counter, the labeled wall histogram, and
+        // the queue-depth gauge.
+        black_box(obs::tracer().begin());
+        black_box(obs::tracer().begin());
+        obs::metric_inc("executor.tasks_ok", 1);
+        obs::metric_observe_wall("executor.task_wall_s{scenario=bfs}", 0.5);
+        obs::metric_gauge("executor.queue_depth", 0.0);
+        black_box(obs::tracing_enabled());
+    };
+    bench("executor_tracing_disabled", task_probes);
+    let mut measured = f64::INFINITY;
+    for _ in 0..5 {
+        let iters = 100_000u32;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            task_probes();
+        }
+        measured = measured.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    println!("executor_tracing_disabled guard: best {measured:.1} ns (limit {MAX_DISABLED_NS} ns)");
+    assert!(
+        measured < MAX_DISABLED_NS,
+        "disabled executor tracing costs {measured:.1} ns per task \
+         (limit {MAX_DISABLED_NS} ns): the disabled path is no longer a branch"
+    );
+}
+
 fn main() {
     // `cargo bench` forwards a `--bench` flag; `cargo test --benches` runs
     // this binary with `--test` style flags. Only time things when actually
@@ -189,4 +228,5 @@ fn main() {
     bench_controller();
     bench_rig();
     bench_telemetry_overhead();
+    bench_trace_overhead();
 }

@@ -33,7 +33,7 @@
 use std::process::ExitCode;
 
 use vs_bench::campaign::run_campaign;
-use vs_bench::{print_table, volts, BenchEnv};
+use vs_bench::{obs, print_table, volts, BenchEnv};
 use vs_core::{ScenarioId, SupervisorConfig};
 use vs_telemetry::{write_atomic, Event, RunArtifact, RunManifest, SCHEMA_VERSION};
 
@@ -66,11 +66,35 @@ fn jobs_arg() -> usize {
     0
 }
 
+/// Applies `--progress plain|json|off` (or `--progress=MODE`) to the
+/// process-wide progress sink; shares the mode vocabulary with `sweep`.
+fn apply_progress_arg() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mode = match a.strip_prefix("--progress=") {
+            Some(m) => Some(m.to_string()),
+            None if a == "--progress" => Some(args.next().unwrap_or_default()),
+            None => None,
+        };
+        if let Some(mode) = mode {
+            match mode.parse() {
+                Ok(m) => obs::set_progress(m),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+    }
+}
+
 fn main() -> ExitCode {
     vs_bench::install_panic_hook("fault_campaign");
     let env = BenchEnv::from_env_or_exit();
     let settings = env.settings;
     let jobs = jobs_arg();
+    apply_progress_arg();
     let supervisor = SupervisorConfig::default();
     let benchmark = ScenarioId::Heartwall.profile();
 
@@ -135,7 +159,12 @@ fn main() -> ExitCode {
     }
     if quarantined > 0 {
         eprintln!("fault campaign DEGRADED: {quarantined} quarantined cell(s)");
+        eprintln!("[fault_campaign] exit 4: degraded — quarantined cells were skipped");
         return ExitCode::from(4);
     }
+    eprintln!(
+        "[fault_campaign] exit 0: success — {} cell(s) ran, none quarantined",
+        cells.len()
+    );
     ExitCode::SUCCESS
 }

@@ -4,7 +4,10 @@
 //! sweep [run] [--jobs N] [--out DIR] [--only id,...]
 //!             [--profile env|golden|tiny] [--seed N] [--deterministic]
 //!             [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE]
+//!             [--trace] [--progress plain|json|off]
 //! sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]
+//! sweep diff-baseline <baseline dir> <candidate dir> [--tolerances FILE]
+//! sweep report <dir>
 //! sweep list
 //! ```
 //!
@@ -23,6 +26,16 @@
 //! *degraded*, with a `degraded` manifest section naming each lost
 //! (suite, scenario) and its error chain.
 //!
+//! Observability: `--trace` records executor spans (task attempts,
+//! backoffs, pool rebuilds, journal replays, artifact writes) and writes a
+//! Chrome/Perfetto `trace.json` into `--out` — load it at `ui.perfetto.dev`
+//! or `chrome://tracing`. Tracing records wall times but never touches
+//! artifact bytes. `sweep report DIR` joins a finished run's manifest,
+//! journal, and trace into per-suite wall time, slowest scenarios
+//! (p50/p95/max), retries, quarantines, and replay savings.
+//! `sweep diff-baseline` compares two artifact stores through the
+//! tolerance-aware metric differ and prints a machine-readable verdict.
+//!
 //! # Exit codes
 //!
 //! | code | meaning |
@@ -37,9 +50,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vs_bench::claims::{check_claims, ClaimResult};
+use vs_bench::report::{diff_baseline, RunReport, TRACE_FILE};
 use vs_bench::sweep::{run_sweep, SweepOptions};
-use vs_bench::{journal, shard, ExperimentId, RunSettings};
-use vs_telemetry::{diff_artifacts, RunArtifact, ToleranceSpec};
+use vs_bench::{journal, obs, shard, ExperimentId, RunSettings};
+use vs_telemetry::{chrome_trace_json, diff_artifacts, write_atomic, RunArtifact, ToleranceSpec};
 
 const DEFAULT_TOLERANCES: &str = "goldens/tolerances.json";
 
@@ -47,8 +61,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [run] [--jobs N] [--out DIR] [--only id,...] \
          [--profile env|golden|tiny] [--seed N] [--deterministic] \
-         [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE]\n\
+         [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE] \
+         [--trace] [--progress plain|json|off]\n\
          \x20      sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]\n\
+         \x20      sweep diff-baseline <baseline dir> <candidate dir> [--tolerances FILE]\n\
+         \x20      sweep report <dir>\n\
          \x20      sweep list"
     );
     std::process::exit(2);
@@ -78,9 +95,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("diff") => diff_main(&args[1..]),
+        Some("diff-baseline") => diff_baseline_main(&args[1..]),
+        Some("report") => report_main(&args[1..]),
         Some("run") => run_main(&args[1..]),
         _ => run_main(&args),
     }
+}
+
+/// The one-line end-of-run summary tying the exit code to its meaning.
+fn summarize(code: u8, detail: &str) {
+    eprintln!("[sweep] exit {code}: {detail}");
 }
 
 fn parse_only(raw: &str) -> Vec<ExperimentId> {
@@ -106,6 +130,13 @@ fn load_tolerances(path: Option<&str>) -> ToleranceSpec {
     }
 }
 
+fn set_progress(mode: &str) {
+    match mode.parse() {
+        Ok(m) => obs::set_progress(m),
+        Err(e) => fail(&e),
+    }
+}
+
 fn run_main(args: &[String]) -> ExitCode {
     let mut jobs = 0usize;
     let mut out = PathBuf::from("target/sweep");
@@ -116,6 +147,7 @@ fn run_main(args: &[String]) -> ExitCode {
     let mut tolerances: Option<String> = None;
     let mut deterministic = false;
     let mut resume: Option<PathBuf> = None;
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -143,7 +175,12 @@ fn run_main(args: &[String]) -> ExitCode {
             "--tolerances" => tolerances = Some(value("--tolerances")),
             "--deterministic" => deterministic = true,
             "--resume" => resume = Some(PathBuf::from(value("--resume"))),
-            _ => usage(),
+            "--trace" => trace = true,
+            "--progress" => set_progress(&value("--progress")),
+            other => match other.strip_prefix("--progress=") {
+                Some(mode) => set_progress(mode),
+                None => usage(),
+            },
         }
     }
     let mut settings = match profile.as_str() {
@@ -179,6 +216,9 @@ fn run_main(args: &[String]) -> ExitCode {
     // Golden (deterministic) trees carry no journal; every other run
     // journals completed work into the output directory for --resume.
     let journal_dir = (!deterministic).then(|| out.clone());
+    if trace {
+        obs::set_tracing(true);
+    }
     let result = run_sweep(&SweepOptions {
         jobs,
         only,
@@ -193,6 +233,14 @@ fn run_main(args: &[String]) -> ExitCode {
     };
     if let Err(e) = written {
         fail(&format!("cannot write sweep to {}: {e}", out.display()));
+    }
+    if trace {
+        let text = chrome_trace_json(&obs::drain_trace(), Some(&obs::metrics_snapshot()));
+        let path = out.join(TRACE_FILE);
+        match write_atomic(&path, text.as_bytes()) {
+            Ok(()) => eprintln!("[sweep] trace -> {} (load at ui.perfetto.dev)", path.display()),
+            Err(e) => eprintln!("[sweep] cannot write trace {}: {e}", path.display()),
+        }
     }
     eprintln!(
         "[sweep] {} experiments in {:.1}s on {} worker(s) -> {}",
@@ -249,11 +297,14 @@ fn run_main(args: &[String]) -> ExitCode {
             result.runs.iter().filter(|r| r.error.is_some()).count(),
             out.display(),
         );
+        summarize(4, "degraded — completed with quarantined tasks or failed experiments");
         return ExitCode::from(4);
     }
     if ok {
+        summarize(0, "success — everything ran, claims and diffs passed");
         ExitCode::SUCCESS
     } else {
+        summarize(1, "a headline claim or golden diff failed");
         ExitCode::FAILURE
     }
 }
@@ -282,6 +333,52 @@ fn diff_main(args: &[String]) -> ExitCode {
     if diff_trees(&paths[0], &paths[1], &spec) {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `sweep report <dir>`: the joined run report.
+fn report_main(args: &[String]) -> ExitCode {
+    let [dir] = args else { usage() };
+    match RunReport::load(Path::new(dir)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// `sweep diff-baseline <baseline> <candidate>`: the regression gate.
+/// Machine-readable verdict on stdout, human rendering on stderr;
+/// exit 0 on pass, 1 on drift, 2 on environment errors.
+fn diff_baseline_main(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerances: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerances" => {
+                tolerances = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--tolerances needs a value"))
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => usage(),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else { usage() };
+    let spec = load_tolerances(tolerances.as_deref());
+    let verdict = diff_baseline(baseline, candidate, &spec).unwrap_or_else(|e| fail(&e));
+    println!("{}", verdict.to_json().to_string_compact());
+    eprint!("{}", verdict.render());
+    if verdict.is_pass() {
+        summarize(0, "baseline diff passed — candidate within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        summarize(1, "baseline diff failed — candidate drifted from the baseline");
         ExitCode::FAILURE
     }
 }

@@ -26,6 +26,7 @@ use vs_core::{
 };
 use vs_telemetry::{Event, FaultCampaignRow};
 
+use crate::obs;
 use crate::sweep::effective_jobs;
 use crate::{pct, shard, volts, RunSettings};
 
@@ -241,8 +242,28 @@ pub fn run_campaign(settings: &RunSettings, jobs: usize) -> Vec<CellOutcome> {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(pds, si)) = cells.get(i) else { break };
                 let sc = &scenarios[si];
-                eprintln!("  {} under {} ...", sc.name, pds.label());
+                obs::progress(
+                    "campaign",
+                    "cell",
+                    &[
+                        ("fault", sc.name.to_string()),
+                        ("pds", pds.label().to_string()),
+                    ],
+                    || format!("  {} under {} ...", sc.name, pds.label()),
+                );
+                let span = obs::tracer().begin();
                 let cell = run_cell(settings, pds, sc, &supervisor, &benchmark);
+                obs::tracer().end_span(
+                    obs::worker_track(),
+                    "campaign",
+                    "campaign_cell",
+                    span,
+                    &[
+                        ("fault", sc.name.to_string()),
+                        ("pds", pds.label().to_string()),
+                        ("verdict", cell.verdict.clone()),
+                    ],
+                );
                 slots.lock().expect("campaign slots poisoned")[i] = Some(cell);
             });
         }
@@ -296,7 +317,16 @@ fn run_cell(
             }
         }
     }
-    eprintln!("  quarantining campaign cell {tag} after {attempts} attempt(s)");
+    obs::progress(
+        "campaign",
+        "quarantine",
+        &[
+            ("fault", sc.name.to_string()),
+            ("pds", pds.label().to_string()),
+            ("attempts", attempts.to_string()),
+        ],
+        || format!("  quarantining campaign cell {tag} after {attempts} attempt(s)"),
+    );
     CellOutcome {
         pds: pds.label().to_string(),
         fault: sc.name.to_string(),

@@ -164,7 +164,7 @@ pub(super) fn fig9(r: &mut Recorder) {
     let results: Vec<_> = configs
         .iter()
         .map(|(label, slug, area, cross)| {
-            eprintln!("  running worst case: {label} ...");
+            crate::obs::progress_step(&format!("  running worst case: {label} ..."));
             let wc = run_worst_case(&WorstCaseConfig {
                 area_mult: *area,
                 cross_layer: *cross,
@@ -224,7 +224,7 @@ pub(super) fn fig10(r: &mut Recorder) {
     let latencies = [60u32, 80, 120, 140];
     let mut rows = Vec::new();
     for area in areas {
-        eprintln!("  area {area} ...");
+        crate::obs::progress_step(&format!("  area {area} ..."));
         let mut row = vec![format!("{area:.1}")];
         for lat in latencies {
             let v = worst_voltage_for(area, lat, true);
@@ -248,7 +248,7 @@ pub(super) fn fig10(r: &mut Recorder) {
     let areas_b = [2.0, 0.8, 0.4, 0.2];
     let mut rows_b = Vec::new();
     for lat in lats {
-        eprintln!("  latency {lat} ...");
+        crate::obs::progress_step(&format!("  latency {lat} ..."));
         let mut row = vec![format!("{lat}")];
         for area in areas_b {
             let v = worst_voltage_for(area, lat, true);
@@ -292,7 +292,7 @@ pub(super) fn fig11(settings: &RunSettings, r: &mut Recorder) {
     let mut pool = vs_core::CosimPool::new();
     for id in vs_core::ScenarioId::ALL {
         let name = id.name();
-        eprintln!("  running {name} (circuit-only / cross-layer) ...");
+        crate::obs::progress_step(&format!("  running {name} (circuit-only / cross-layer) ..."));
         let mk = |pds| CosimConfig {
             record_traces: true,
             // Noise-scaled equivalent of the paper's 0.9 V threshold.
@@ -350,7 +350,7 @@ pub(super) fn fig11(settings: &RunSettings, r: &mut Recorder) {
 /// Fig. 12: performance penalty of voltage smoothing vs the controller's
 /// trigger threshold.
 pub(super) fn fig12(settings: &RunSettings, r: &mut Recorder) {
-    eprintln!("building conventional baselines ...");
+    crate::obs::progress_step("building conventional baselines ...");
     let baseline = BaselineCache::build(settings);
     // Our PDN's effective decap (die + package) compresses benchmark
     // supply noise into ~0.97-1.0 V, so the sweep spans that band; the
@@ -358,7 +358,7 @@ pub(super) fn fig12(settings: &RunSettings, r: &mut Recorder) {
     let thresholds = [0.90, 0.94, 0.96, 0.98, 1.00];
     let mut rows: Vec<Vec<String>> = benchmark_names().into_iter().map(|n| vec![n]).collect();
     for th in thresholds {
-        eprintln!("threshold {th} ...");
+        crate::obs::progress_step(&format!("threshold {th} ..."));
         let cfg = CosimConfig {
             v_threshold: th,
             ..settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 })
@@ -387,7 +387,7 @@ pub(super) fn fig12(settings: &RunSettings, r: &mut Recorder) {
 /// DIWS / FII / DCC weight combinations.
 pub(super) fn fig13(settings: &RunSettings, r: &mut Recorder) {
     use vs_control::ActuatorWeights;
-    eprintln!("building conventional baselines ...");
+    crate::obs::progress_step("building conventional baselines ...");
     let baseline = BaselineCache::build(settings);
     let combos = [
         ("DIWS", "diws", ActuatorWeights::DIWS_ONLY),
@@ -403,7 +403,7 @@ pub(super) fn fig13(settings: &RunSettings, r: &mut Recorder) {
     ];
     let mut rows = Vec::new();
     for (label, slug, weights) in combos {
-        eprintln!("weights {label} ...");
+        crate::obs::progress_step(&format!("weights {label} ..."));
         let cfg = CosimConfig {
             weights,
             // Noise-scaled equivalent of the paper's 0.9 V threshold (our
@@ -432,9 +432,9 @@ pub(super) fn fig13(settings: &RunSettings, r: &mut Recorder) {
 /// Fig. 14: per-benchmark performance penalty and net energy saving of the
 /// cross-layer VS GPU vs the conventional PDS.
 pub(super) fn fig14(settings: &RunSettings, r: &mut Recorder) {
-    eprintln!("building conventional baselines ...");
+    crate::obs::progress_step("building conventional baselines ...");
     let baseline = BaselineCache::build(settings);
-    eprintln!("running cross-layer suite ...");
+    crate::obs::progress_step("running cross-layer suite ...");
     let cfg = CosimConfig {
         // Noise-scaled equivalent of the paper's 0.9 V threshold.
         v_threshold: 0.97,
@@ -475,7 +475,7 @@ pub(super) fn fig14(settings: &RunSettings, r: &mut Recorder) {
 /// Fig. 15: DFS on the conventional vs the voltage-stacked GPU — total
 /// normalized energy (computation + delivery loss).
 pub(super) fn fig15(settings: &RunSettings, r: &mut Recorder) {
-    eprintln!("building no-DFS conventional baselines ...");
+    crate::obs::progress_step("building no-DFS conventional baselines ...");
     let baseline = BaselineCache::build(settings);
     let pm_conv = PowerManagement {
         dfs: Some(DfsConfig::with_goal(0.7)),
@@ -486,9 +486,9 @@ pub(super) fn fig15(settings: &RunSettings, r: &mut Recorder) {
         use_hypervisor: true,
         ..PowerManagement::default()
     };
-    eprintln!("running DFS on the conventional PDS ...");
+    crate::obs::progress_step("running DFS on the conventional PDS ...");
     let conv = run_suite_with_pm(&settings.config(PdsKind::ConventionalVrm), &pm_conv);
-    eprintln!("running DFS on the cross-layer VS PDS (with VS-aware hypervisor) ...");
+    crate::obs::progress_step("running DFS on the cross-layer VS PDS (with VS-aware hypervisor) ...");
     let vs = run_suite_with_pm(
         &settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 }),
         &pm_vs,
@@ -543,7 +543,7 @@ pub(super) fn fig15(settings: &RunSettings, r: &mut Recorder) {
 
 /// Fig. 16: power gating on the conventional vs the voltage-stacked GPU.
 pub(super) fn fig16(settings: &RunSettings, r: &mut Recorder) {
-    eprintln!("building no-PG conventional baselines ...");
+    crate::obs::progress_step("building no-PG conventional baselines ...");
     let baseline = BaselineCache::build(settings);
     let pm_conv = PowerManagement {
         pg: Some(PgConfig::default()),
@@ -554,9 +554,9 @@ pub(super) fn fig16(settings: &RunSettings, r: &mut Recorder) {
         use_hypervisor: true,
         ..PowerManagement::default()
     };
-    eprintln!("running PG on the conventional PDS ...");
+    crate::obs::progress_step("running PG on the conventional PDS ...");
     let conv = run_suite_with_pm(&settings.config(PdsKind::ConventionalVrm), &pm_conv);
-    eprintln!("running PG on the cross-layer VS PDS (with VS-aware hypervisor) ...");
+    crate::obs::progress_step("running PG on the cross-layer VS PDS (with VS-aware hypervisor) ...");
     let vs = run_suite_with_pm(
         &settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 }),
         &pm_vs,
@@ -654,7 +654,7 @@ pub(super) fn fig17(settings: &RunSettings, r: &mut Recorder) {
     ];
     let mut rows = Vec::new();
     for (label, slug, pm) in configs {
-        eprintln!("running suite: {label} ...");
+        crate::obs::progress_step(&format!("running suite: {label} ..."));
         let runs = run_suite_with_pm(
             &settings.config(PdsKind::VsCrossLayer { area_mult: 0.2 }),
             &pm,

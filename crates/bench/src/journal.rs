@@ -70,6 +70,12 @@ fn payload(key: &SuiteKey, id: ScenarioId, report: &CosimReport) -> String {
 /// A scheduled chaos tear (keyed by the cache file's name) instead writes a
 /// truncated file directly and skips the journal line.
 ///
+/// `attempts` and `attempt_wall_s` travel as schema-v2 journal metadata
+/// (attempt count and per-attempt wall seconds) so `sweep report` can
+/// reconstruct task timings from a resumed run's journal alone. They are
+/// observational: replay verification never consults them, and the cache
+/// file's bytes (what the checksum covers) carry neither.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors; the shard executor treats them as
@@ -79,6 +85,8 @@ pub fn record_scenario(
     key: &SuiteKey,
     id: ScenarioId,
     report: &CosimReport,
+    attempts: u32,
+    attempt_wall_s: &[f64],
 ) -> io::Result<()> {
     let rel = scenario_cache_rel(key, id);
     let path = dir.join(&rel);
@@ -98,6 +106,8 @@ pub fn record_scenario(
         scenario: id.name().to_string(),
         file: rel,
         checksum: checksum_hex(&bytes),
+        attempts: Some(u64::from(attempts)),
+        attempt_wall_s: Some(attempt_wall_s.to_vec()),
     };
     let _guard = APPEND_LOCK.lock().expect("journal append lock poisoned");
     append_journal(&dir.join(JOURNAL_FILE), &record)
@@ -163,7 +173,7 @@ pub fn load_resume(dir: &Path) -> io::Result<ResumeState> {
     let mut experiments: HashMap<String, (String, String)> = HashMap::new();
     for rec in records {
         match rec {
-            JournalRecord::ScenarioDone { suite, scenario, file, checksum } => {
+            JournalRecord::ScenarioDone { suite, scenario, file, checksum, .. } => {
                 scenarios.insert((suite, scenario), (file, checksum));
             }
             JournalRecord::ExperimentDone { id, file, checksum } => {
@@ -247,10 +257,10 @@ mod tests {
         let mut pool = CosimPool::new();
         let a = pool.run_scenario_with_pm(&cfg, ScenarioId::Bfs, pm.clone());
         let b = pool.run_scenario_with_pm(&cfg, ScenarioId::Hotspot, pm.clone());
-        record_scenario(&dir, &key, ScenarioId::Bfs, &a).unwrap();
-        record_scenario(&dir, &key, ScenarioId::Hotspot, &b).unwrap();
+        record_scenario(&dir, &key, ScenarioId::Bfs, &a, 1, &[0.1]).unwrap();
+        record_scenario(&dir, &key, ScenarioId::Hotspot, &b, 1, &[0.1]).unwrap();
         // Re-journaling the same scenario must dedupe (last record wins).
-        record_scenario(&dir, &key, ScenarioId::Bfs, &a).unwrap();
+        record_scenario(&dir, &key, ScenarioId::Bfs, &a, 1, &[0.1]).unwrap();
 
         let state = load_resume(&dir).unwrap();
         assert_eq!(state.verified_scenarios, 2);

@@ -37,6 +37,8 @@ pub mod chaos;
 pub mod claims;
 pub mod experiments;
 pub mod journal;
+pub mod obs;
+pub mod report;
 pub mod shard;
 pub mod sweep;
 

@@ -49,14 +49,15 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vs_core::{
-    CosimConfig, CosimPool, CosimReport, CycleBudget, PowerManagement, ScenarioId,
+    CosimConfig, CosimError, CosimPool, CosimReport, CycleBudget, PowerManagement, ScenarioId,
 };
-use vs_telemetry::fnv1a_64;
+use vs_telemetry::{fnv1a_64, labeled};
 
 use crate::chaos::{self, ChaosMode};
+use crate::obs;
 
 /// Tasks per suite: one per catalogue scenario.
 const N_TASKS: usize = ScenarioId::ALL.len();
@@ -165,6 +166,17 @@ struct TaskFailure {
     errors: Vec<String>,
 }
 
+/// Outcome of `run_isolated` when an attempt succeeded: the report plus
+/// the execution metadata the journal's v2 records and the trace carry.
+/// Wall times are observational — they never enter artifact bytes.
+struct TaskSuccess {
+    report: CosimReport,
+    /// Attempts spent, including the successful one.
+    attempts: u32,
+    /// Wall seconds per attempt, oldest first.
+    attempt_wall_s: Vec<f64>,
+}
+
 /// One scenario slot of a suite job.
 enum Slot {
     Empty,
@@ -236,6 +248,18 @@ impl SuiteJob {
                         slots[i] = Slot::Ready(Box::new(report.clone()));
                         filled += 1;
                         registry().replayed.fetch_add(1, Ordering::Relaxed);
+                        if obs::tracing_enabled() {
+                            obs::metric_inc("executor.replays", 1);
+                            obs::tracer().instant(
+                                obs::worker_track(),
+                                "journal",
+                                "replay",
+                                &[
+                                    ("suite", key.cache_dir()),
+                                    ("scenario", id.name().to_string()),
+                                ],
+                            );
+                        }
                     }
                 }
             }
@@ -264,12 +288,15 @@ impl SuiteJob {
     }
 
     /// Claims and runs one scenario task on the calling thread's pool.
-    /// Returns `false` when every task was already claimed.
-    fn run_one_task(&self) -> bool {
+    /// Returns `false` when every task was already claimed. `via` labels
+    /// the claim in the trace: `"claim"` from the suite's own requester,
+    /// `"steal"` from an idle worker.
+    fn run_one_task(&self, via: &'static str) -> bool {
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         let Some(&id) = ScenarioId::ALL.get(i) else {
             return false;
         };
+        update_queue_depth_gauge();
         {
             let st = self.state.lock().expect("suite job state poisoned");
             // Preloaded (journal-replayed) slots consume their claim
@@ -279,8 +306,19 @@ impl SuiteJob {
                 return true;
             }
         }
-        eprintln!("  running {} under {} ...", id, self.cfg.pds.label());
+        obs::progress(
+            "task",
+            "run",
+            &[
+                ("scenario", id.name().to_string()),
+                ("pds", self.cfg.pds.label().to_string()),
+                ("via", via.to_string()),
+            ],
+            || format!("  running {} under {} ...", id, self.cfg.pds.label()),
+        );
         let exec = executor_config();
+        let track = obs::worker_track();
+        let task_span = obs::tracer().begin();
         // The isolation boundary lives in `run_isolated`; this outer guard
         // only catches the *unexpected* (a panic in the scheduler itself,
         // or one escaping the boundary), which still poisons the job so
@@ -288,18 +326,67 @@ impl SuiteJob {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run_isolated(&self.key, &self.cfg, &self.pm, id, &exec)
         }));
+        let end_task = |outcome: &'static str, attempts: u32| {
+            if task_span.is_some() {
+                obs::tracer().end_span(
+                    track,
+                    "executor",
+                    "task",
+                    task_span,
+                    &[
+                        ("suite", self.key.cache_dir()),
+                        ("scenario", id.name().to_string()),
+                        ("pds", self.cfg.pds.label().to_string()),
+                        ("via", via.to_string()),
+                        ("outcome", outcome.to_string()),
+                        ("attempts", attempts.to_string()),
+                    ],
+                );
+            }
+        };
         match outcome {
-            Ok(Ok(report)) => {
-                record_to_journal(&self.key, id, &report);
-                self.fill_slot(i, Slot::Ready(Box::new(report)));
+            Ok(Ok(success)) => {
+                end_task("ok", success.attempts);
+                if obs::tracing_enabled() {
+                    obs::metric_inc("executor.tasks_ok", 1);
+                    obs::metric_observe_wall(
+                        &labeled("executor.task_wall_s", &[("scenario", id.name())]),
+                        success.attempt_wall_s.iter().sum(),
+                    );
+                }
+                record_to_journal(&self.key, id, &success);
+                self.fill_slot(i, Slot::Ready(Box::new(success.report)));
                 true
             }
             Ok(Err(failure)) => {
-                eprintln!(
-                    "  quarantining {} under {} after {} attempt(s)",
-                    id,
-                    self.cfg.pds.label(),
-                    failure.attempts
+                end_task("quarantined", failure.attempts);
+                obs::metric_inc("executor.quarantines", 1);
+                obs::tracer().instant(
+                    track,
+                    "executor",
+                    "quarantine",
+                    &[
+                        ("suite", self.key.cache_dir()),
+                        ("scenario", id.name().to_string()),
+                        ("attempts", failure.attempts.to_string()),
+                    ],
+                );
+                obs::progress(
+                    "task",
+                    "quarantine",
+                    &[
+                        ("scenario", id.name().to_string()),
+                        ("pds", self.cfg.pds.label().to_string()),
+                        ("attempts", failure.attempts.to_string()),
+                    ],
+                    || {
+                        format!(
+                            "  quarantining {} under {} after {} attempt(s)",
+                            id,
+                            self.cfg.pds.label(),
+                            failure.attempts
+                        )
+                    },
                 );
                 registry()
                     .quarantined
@@ -387,6 +474,23 @@ struct Registry {
     journal_dir: Mutex<Option<PathBuf>>,
     preloaded: Mutex<HashMap<SuiteKey, Vec<(ScenarioId, CosimReport)>>>,
     quarantined: Mutex<Vec<QuarantineRecord>>,
+}
+
+/// Recomputes the executor queue-depth gauge: unclaimed scenario tasks
+/// across every in-flight suite. Gated on tracing (it takes the in-flight
+/// lock, which claims should not pay for when nobody is watching).
+fn update_queue_depth_gauge() {
+    if !obs::tracing_enabled() {
+        return;
+    }
+    let depth: usize = registry()
+        .in_flight
+        .lock()
+        .expect("in-flight suite list poisoned")
+        .iter()
+        .map(|j| N_TASKS.saturating_sub(j.next.load(Ordering::Relaxed)))
+        .sum();
+    obs::metric_gauge("executor.queue_depth", depth as f64);
 }
 
 fn registry() -> &'static Registry {
@@ -503,22 +607,43 @@ pub(crate) fn retry_backoff(exec: &ExecutorConfig, tag: &str, attempt: u32) -> D
 
 /// Runs one scenario task under the full isolation policy: per-attempt
 /// `catch_unwind`, watchdog budget, chaos injection, pool-shard rebuild on
-/// panic, and seeded backoff between attempts. Returns the report, or the
-/// complete per-attempt error history once attempts are exhausted.
+/// panic, and seeded backoff between attempts. Returns the report (with
+/// attempt-count and wall-time metadata), or the complete per-attempt
+/// error history once attempts are exhausted.
+///
+/// Each attempt is traced as a span whose `outcome` arg classifies how it
+/// ended: `ok`, `deadline` ([`CosimError::DeadlineExceeded`]), `error`
+/// (any other solver/run error), or `panic`. Backoff sleeps and pool-shard
+/// rebuilds get their own spans so a Perfetto timeline shows where a
+/// retried task's wall clock actually went.
 fn run_isolated(
     key: &SuiteKey,
     cfg: &CosimConfig,
     pm: &PowerManagement,
     id: ScenarioId,
     exec: &ExecutorConfig,
-) -> Result<CosimReport, TaskFailure> {
+) -> Result<TaskSuccess, TaskFailure> {
     let attempts = exec.max_attempts.max(1);
     let tag = format!("{}:{}", key.to_hex(), id.name());
+    let track = obs::worker_track();
     let mut errors = Vec::new();
+    let mut walls = Vec::new();
     for attempt in 0..attempts {
         if attempt > 0 {
             registry().retries.fetch_add(1, Ordering::Relaxed);
+            obs::metric_inc("executor.retries", 1);
+            let backoff_span = obs::tracer().begin();
             std::thread::sleep(retry_backoff(exec, &tag, attempt));
+            obs::tracer().end_span(
+                track,
+                "executor",
+                "backoff",
+                backoff_span,
+                &[
+                    ("scenario", id.name().to_string()),
+                    ("attempt", attempt.to_string()),
+                ],
+            );
         }
         let chaos = chaos::chaos_for(id, attempt);
         let budget = match chaos {
@@ -527,18 +652,65 @@ fn run_isolated(
                 .task_deadline
                 .map_or_else(CycleBudget::unlimited, CycleBudget::wall_clock),
         };
+        let attempt_span = obs::tracer().begin();
+        // Measured unconditionally: one `Instant` pair per multi-second
+        // solve is free, and it keeps journal v2 metadata (and therefore
+        // `report` on resumed runs) independent of whether tracing was on.
+        let started = Instant::now();
         let outcome = isolated(|| {
             if matches!(chaos, Some(ChaosMode::Panic)) {
                 panic!("chaos: injected panic for {id} (attempt {attempt})");
             }
             with_worker_pool(|pool| pool.try_run_scenario_with_pm(cfg, id, pm.clone(), budget))
         });
+        walls.push(started.elapsed().as_secs_f64());
+        let end_attempt = |outcome: &str| {
+            if attempt_span.is_some() {
+                obs::tracer().end_span(
+                    track,
+                    "executor",
+                    "attempt",
+                    attempt_span,
+                    &[
+                        ("suite", key.cache_dir()),
+                        ("scenario", id.name().to_string()),
+                        ("attempt", attempt.to_string()),
+                        ("outcome", outcome.to_string()),
+                    ],
+                );
+            }
+        };
         match outcome {
-            Ok(Ok(report)) => return Ok(report),
-            Ok(Err(e)) => errors.push(format!("attempt {attempt}: {}", error_chain(&e))),
+            Ok(Ok(report)) => {
+                end_attempt("ok");
+                return Ok(TaskSuccess {
+                    report,
+                    attempts: attempt + 1,
+                    attempt_wall_s: walls,
+                });
+            }
+            Ok(Err(e)) => {
+                let deadline = matches!(e, CosimError::DeadlineExceeded { .. });
+                end_attempt(if deadline { "deadline" } else { "error" });
+                if deadline {
+                    obs::metric_inc("executor.deadline_trips", 1);
+                }
+                errors.push(format!("attempt {attempt}: {}", error_chain(&e)));
+            }
             Err(msg) => {
+                end_attempt("panic");
+                obs::metric_inc("executor.task_panics", 1);
                 errors.push(format!("attempt {attempt}: panic: {msg}"));
+                let rebuild_span = obs::tracer().begin();
                 rebuild_worker_pool();
+                obs::metric_inc("executor.pool_rebuilds", 1);
+                obs::tracer().end_span(
+                    track,
+                    "executor",
+                    "pool_rebuild",
+                    rebuild_span,
+                    &[("scenario", id.name().to_string())],
+                );
             }
         }
     }
@@ -548,9 +720,25 @@ fn run_isolated(
 /// Appends a finished scenario to the resume journal, when a sink is
 /// installed. Journaling is best-effort: a failed write costs a recompute
 /// on resume, never the sweep.
-fn record_to_journal(key: &SuiteKey, id: ScenarioId, report: &CosimReport) {
+fn record_to_journal(key: &SuiteKey, id: ScenarioId, success: &TaskSuccess) {
     let Some(dir) = journal_dir() else { return };
-    if let Err(e) = crate::journal::record_scenario(&dir, key, id, report) {
+    let span = obs::tracer().begin();
+    let result = crate::journal::record_scenario(
+        &dir,
+        key,
+        id,
+        &success.report,
+        success.attempts,
+        &success.attempt_wall_s,
+    );
+    obs::tracer().end_span(
+        obs::worker_track(),
+        "journal",
+        "journal_write",
+        span,
+        &[("scenario", id.name().to_string())],
+    );
+    if let Err(e) = result {
         eprintln!("  warning: journaling {id}: {e} (resume will recompute it)");
     }
 }
@@ -639,8 +827,9 @@ pub fn steal_scenario_task() -> bool {
         in_flight.first().cloned()
     };
     match job {
-        Some(job) if job.run_one_task() => {
+        Some(job) if job.run_one_task("steal") => {
             registry().steals.fetch_add(1, Ordering::Relaxed);
+            obs::metric_inc("executor.steals", 1);
             true
         }
         _ => false,
@@ -666,19 +855,32 @@ pub fn run_suite_sharded(cfg: &CosimConfig, pm: &PowerManagement) -> Arc<Vec<Cos
             Some(job) => job.clone(),
             None => {
                 let job = Arc::new(SuiteJob::new(key.clone(), cfg.clone(), pm.clone()));
-                memo.insert(key, job.clone());
+                memo.insert(key.clone(), job.clone());
                 registry()
                     .in_flight
                     .lock()
                     .expect("in-flight suite list poisoned")
                     .push(job.clone());
+                if obs::tracing_enabled() {
+                    obs::metric_inc("executor.suites_enqueued", 1);
+                    obs::tracer().instant(
+                        obs::worker_track(),
+                        "executor",
+                        "suite_enqueue",
+                        &[
+                            ("suite", key.cache_dir()),
+                            ("pds", cfg.pds.label().to_string()),
+                        ],
+                    );
+                    update_queue_depth_gauge();
+                }
                 job
             }
         }
     };
     // Join the computation: claim tasks until none remain, then help
     // elsewhere until the last claimed task lands.
-    while job.run_one_task() {}
+    while job.run_one_task("claim") {}
     job.wait()
 }
 

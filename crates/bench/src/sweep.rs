@@ -35,7 +35,8 @@ use std::time::{Duration, Instant};
 
 use vs_telemetry::{json::Json, DegradedEntry, Event, RunArtifact, StageSample};
 
-use crate::shard::{self, ExecutorConfig, QuarantineRecord};
+use crate::obs;
+use crate::shard::{self, ExecutorConfig, QuarantineRecord, ShardStats};
 use crate::{chaos, journal, ExperimentId, ExperimentOutput, RunSettings};
 
 /// What to run and how.
@@ -83,6 +84,11 @@ pub struct SweepResult {
     /// Scenario tasks that exhausted their retries, sorted by (suite,
     /// scenario) for a deterministic manifest.
     pub quarantined: Vec<QuarantineRecord>,
+    /// Executor counter deltas over this sweep (tasks, steals, cache hits,
+    /// replays, retries). Observational — scheduling-dependent — so they
+    /// appear only in the non-deterministic manifest (`run_stats` line),
+    /// never in golden trees.
+    pub stats: ShardStats,
 }
 
 impl SweepResult {
@@ -155,6 +161,7 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
     shard::set_journal_dir(opts.journal_dir.clone());
     let order = schedule_order(&ids);
     let jobs = effective_jobs(opts.jobs);
+    let stats_before = shard::shard_stats();
     let started = Instant::now();
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
@@ -168,20 +175,52 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = order.get(k) else { break };
                     let id = ids[i];
-                    eprintln!("[sweep] {} ...", id.name());
+                    obs::progress(
+                        "experiment",
+                        "start",
+                        &[("id", id.name().to_string())],
+                        || format!("[sweep] {} ...", id.name()),
+                    );
+                    let span = obs::tracer().begin();
                     let t0 = Instant::now();
                     // Isolation boundary: an experiment that panics (most
                     // likely because a scenario it needed was quarantined)
                     // becomes a failed run, not a dead sweep.
                     let outcome = shard::isolated(|| id.run(&settings));
                     let wall_s = t0.elapsed().as_secs_f64();
+                    obs::tracer().end_span(
+                        obs::worker_track(),
+                        "experiment",
+                        "experiment",
+                        span,
+                        &[
+                            ("id", id.name().to_string()),
+                            (
+                                "outcome",
+                                if outcome.is_ok() { "ok" } else { "failed" }.to_string(),
+                            ),
+                        ],
+                    );
                     let run = match outcome {
                         Ok(output) => {
-                            eprintln!("[sweep] {} done in {wall_s:.2}s", id.name());
+                            obs::progress(
+                                "experiment",
+                                "done",
+                                &[("id", id.name().to_string())],
+                                || format!("[sweep] {} done in {wall_s:.2}s", id.name()),
+                            );
                             ExperimentRun { id, output, wall_s, error: None }
                         }
                         Err(msg) => {
-                            eprintln!("[sweep] {} FAILED: {msg}", id.name());
+                            obs::progress(
+                                "experiment",
+                                "failed",
+                                &[
+                                    ("id", id.name().to_string()),
+                                    ("error", msg.clone()),
+                                ],
+                                || format!("[sweep] {} FAILED: {msg}", id.name()),
+                            );
                             ExperimentRun {
                                 id,
                                 output: ExperimentOutput {
@@ -222,12 +261,20 @@ pub fn run_sweep(opts: &SweepOptions) -> SweepResult {
             .unwrap_or(usize::MAX);
         (q.suite.to_hex(), pos)
     });
+    let after = shard::shard_stats();
     SweepResult {
         runs,
         jobs,
         settings,
         total_wall_s: started.elapsed().as_secs_f64(),
         quarantined,
+        stats: ShardStats {
+            scenario_tasks: after.scenario_tasks - stats_before.scenario_tasks,
+            steals: after.steals - stats_before.steals,
+            dc_cache_hits: after.dc_cache_hits - stats_before.dc_cache_hits,
+            replayed: after.replayed - stats_before.replayed,
+            retries: after.retries - stats_before.retries,
+        },
     }
 }
 
@@ -282,6 +329,21 @@ impl SweepResult {
             suite.push(("total_wall_s", Json::from(self.total_wall_s)));
         }
         let mut manifest_lines = vec![Json::obj(suite)];
+        if !deterministic {
+            // Executor counters for this sweep. Scheduling-dependent, so
+            // they never enter deterministic (golden) manifests — and the
+            // golden byte-diff skips manifest files entirely, so growing
+            // this line is schema-safe.
+            manifest_lines.push(Json::obj([
+                ("type", Json::from("run_stats")),
+                ("scenario_tasks", Json::from(self.stats.scenario_tasks)),
+                ("steals", Json::from(self.stats.steals)),
+                ("dc_cache_hits", Json::from(self.stats.dc_cache_hits)),
+                ("replayed", Json::from(self.stats.replayed)),
+                ("retries", Json::from(self.stats.retries)),
+                ("quarantined", Json::from(self.quarantined.len() as u64)),
+            ]));
+        }
         for run in &self.runs {
             let mut line = vec![
                 ("type", Json::from("experiment")),
@@ -339,12 +401,26 @@ impl SweepResult {
 /// the write was torn.
 fn write_file(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<bool> {
     let path = dir.join(name);
-    if let Some(cut) = chaos::torn_write(name, bytes.len()) {
+    let span = obs::tracer().begin();
+    let torn = if let Some(cut) = chaos::torn_write(name, bytes.len()) {
         std::fs::write(&path, &bytes[..cut])?;
-        return Ok(true);
-    }
-    vs_telemetry::write_atomic(&path, bytes)?;
-    Ok(false)
+        true
+    } else {
+        vs_telemetry::write_atomic(&path, bytes)?;
+        false
+    };
+    obs::tracer().end_span(
+        obs::worker_track(),
+        "artifact",
+        "artifact_write",
+        span,
+        &[
+            ("file", name.to_string()),
+            ("bytes", bytes.len().to_string()),
+            ("torn", torn.to_string()),
+        ],
+    );
+    Ok(torn)
 }
 
 #[cfg(test)]

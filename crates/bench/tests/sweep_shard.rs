@@ -8,7 +8,7 @@
 
 use vs_bench::shard::{self, ShardStats};
 use vs_bench::sweep::{run_sweep, SweepOptions};
-use vs_bench::{benchmark_names, run_suite, ExperimentId, RunSettings};
+use vs_bench::{benchmark_names, obs, run_suite, ExperimentId, RunSettings};
 use vs_core::PdsKind;
 
 /// Small enough for debug-mode CI: fig8 runs 4 suites x 12 scenarios.
@@ -48,9 +48,16 @@ fn sweep(jobs: usize) -> (Vec<(String, String, String)>, ShardStats) {
 
 #[test]
 fn sharded_sweep_is_bit_identical_across_worker_counts() {
+    // Tracing on for the whole comparison: recording spans and executor
+    // metrics must never leak into artifact bytes (the acceptance bar for
+    // the observability layer being purely observational).
+    obs::reset_observability_for_tests();
+    obs::set_tracing(true);
     let (a1, s1) = sweep(1);
     let (a2, s2) = sweep(2);
     let (a8, s8) = sweep(8);
+    obs::set_tracing(false);
+    assert!(!obs::drain_trace().is_empty(), "traced sweeps must record spans");
 
     // The determinism contract: text and artifacts depend only on the
     // settings, never on worker count, claim order, or stealing.

@@ -73,7 +73,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// One completion record in `journal.jsonl`, appended after the artifact it
 /// describes has fully landed on disk. Resume trusts a record only when the
 /// named file still hashes to `checksum`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JournalRecord {
     /// One (suite, scenario) co-simulation finished and its report was
     /// cached.
@@ -88,6 +88,13 @@ pub enum JournalRecord {
         file: String,
         /// [`checksum_hex`] of the cache file's bytes.
         checksum: String,
+        /// Attempts the task spent (schema v2; `None` on records written by
+        /// pre-v2 journals, which carried no execution metadata).
+        attempts: Option<u64>,
+        /// Wall seconds per attempt, oldest first (schema v2; `None` on
+        /// pre-v2 records). Observational — resume verification never
+        /// consults it; the `report` tooling aggregates it.
+        attempt_wall_s: Option<Vec<f64>>,
     },
     /// One experiment's artifact was written.
     ExperimentDone {
@@ -113,13 +120,37 @@ impl JournalRecord {
     #[must_use]
     pub fn to_json(&self) -> Json {
         match self {
-            JournalRecord::ScenarioDone { suite, scenario, file, checksum } => Json::obj([
-                ("type", Json::from("scenario_done")),
-                ("suite", Json::from(suite.as_str())),
-                ("scenario", Json::from(scenario.as_str())),
-                ("file", Json::from(file.as_str())),
-                ("checksum", Json::from(checksum.as_str())),
-            ]),
+            JournalRecord::ScenarioDone {
+                suite,
+                scenario,
+                file,
+                checksum,
+                attempts,
+                attempt_wall_s,
+            } => {
+                let mut pairs = vec![
+                    ("type".to_string(), Json::from("scenario_done")),
+                    ("suite".to_string(), Json::from(suite.as_str())),
+                    ("scenario".to_string(), Json::from(scenario.as_str())),
+                    ("file".to_string(), Json::from(file.as_str())),
+                    ("checksum".to_string(), Json::from(checksum.as_str())),
+                ];
+                // v2 execution metadata: written only when present, so a
+                // metadata-free record serializes exactly as v1 did.
+                if attempts.is_some() || attempt_wall_s.is_some() {
+                    pairs.push(("v".to_string(), Json::from(2u64)));
+                }
+                if let Some(n) = attempts {
+                    pairs.push(("attempts".to_string(), Json::from(*n)));
+                }
+                if let Some(walls) = attempt_wall_s {
+                    pairs.push((
+                        "attempt_wall_s".to_string(),
+                        Json::Arr(walls.iter().map(|w| Json::from(*w)).collect()),
+                    ));
+                }
+                Json::Obj(pairs)
+            }
             JournalRecord::ExperimentDone { id, file, checksum } => Json::obj([
                 ("type", Json::from("experiment_done")),
                 ("id", Json::from(id.as_str())),
@@ -146,6 +177,13 @@ impl JournalRecord {
                 scenario: field("scenario")?,
                 file: field("file")?,
                 checksum: field("checksum")?,
+                // Lenient v2 metadata: absent on v1 records, ignored when
+                // malformed — timing metadata must never invalidate a
+                // completion record.
+                attempts: v.get("attempts").and_then(Json::as_u64),
+                attempt_wall_s: v.get("attempt_wall_s").and_then(|w| {
+                    w.as_arr()?.iter().map(Json::as_f64).collect::<Option<Vec<_>>>()
+                }),
             }),
             "experiment_done" => Some(JournalRecord::ExperimentDone {
                 id: field("id")?,
@@ -295,6 +333,16 @@ mod tests {
                 scenario: "bfs".to_string(),
                 file: "scenarios/12ab/bfs.json".to_string(),
                 checksum: "85944171f73967e8".to_string(),
+                attempts: None,
+                attempt_wall_s: None,
+            },
+            JournalRecord::ScenarioDone {
+                suite: "00000000000000aa.3fc999999999999a".to_string(),
+                scenario: "dnn".to_string(),
+                file: "scenarios/12ab/dnn.json".to_string(),
+                checksum: "85944171f73967e9".to_string(),
+                attempts: Some(3),
+                attempt_wall_s: Some(vec![0.25, 1.5, 12.0625]),
             },
             JournalRecord::ExperimentDone {
                 id: "fig17".to_string(),
@@ -310,6 +358,44 @@ mod tests {
             let parsed = JournalRecord::from_json(&rec.to_json()).unwrap();
             assert_eq!(&parsed, rec);
         }
+    }
+
+    #[test]
+    fn scenario_done_schema_versioning() {
+        // A metadata-free record serializes exactly as a v1 journal wrote it:
+        // no "v" key, no metadata keys. Old readers keep working.
+        let v1 = JournalRecord::ScenarioDone {
+            suite: "aa".to_string(),
+            scenario: "bfs".to_string(),
+            file: "f.json".to_string(),
+            checksum: "00".to_string(),
+            attempts: None,
+            attempt_wall_s: None,
+        };
+        let line = v1.to_json().to_string_compact();
+        assert!(!line.contains("\"v\""), "v1 form must omit the version tag: {line}");
+        assert!(!line.contains("attempt"), "v1 form must omit metadata: {line}");
+
+        // A metadata-bearing record is tagged v2 and round-trips the walls.
+        let v2 = JournalRecord::ScenarioDone {
+            suite: "aa".to_string(),
+            scenario: "bfs".to_string(),
+            file: "f.json".to_string(),
+            checksum: "00".to_string(),
+            attempts: Some(2),
+            attempt_wall_s: Some(vec![0.5, 0.125]),
+        };
+        let line = v2.to_json().to_string_compact();
+        assert!(line.contains("\"v\":2"), "v2 form must carry the version tag: {line}");
+        assert_eq!(JournalRecord::from_json(&v2.to_json()).unwrap(), v2);
+
+        // Malformed metadata (wrong types) degrades to None rather than
+        // invalidating the completion record.
+        let text = "{\"type\":\"scenario_done\",\"suite\":\"aa\",\"scenario\":\"bfs\",\
+                    \"file\":\"f.json\",\"checksum\":\"00\",\
+                    \"attempts\":\"three\",\"attempt_wall_s\":[0.5,\"fast\"]}";
+        let parsed = JournalRecord::from_json(&crate::json::parse(text).unwrap()).unwrap();
+        assert_eq!(parsed, v1);
     }
 
     #[test]

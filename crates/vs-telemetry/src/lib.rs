@@ -18,6 +18,11 @@
 //!   artifact plumbing: atomic tmp-file + rename writes, hand-rolled
 //!   FNV-1a content checksums, and the append-only completion journal the
 //!   sweep's `--resume` replays (see the `journal` module docs).
+//! * [`Tracer`] / [`chrome_trace_json`] — executor-level span/instant
+//!   tracing of the sweep's task lifecycle (claims, attempts, retries,
+//!   quarantine, replay) with Chrome/Perfetto `trace.json` export; wall
+//!   times are recorded but excluded from event identity, mirroring the
+//!   diff schema's wall-time exclusion.
 //! * [`Telemetry`] — the per-run handle bundling all three, with a
 //!   [`Telemetry::disabled`] mode that reduces every instrumentation point
 //!   to a branch (the perf benchmark guards this stays under the noise
@@ -49,6 +54,7 @@ mod journal;
 pub mod json;
 mod metrics;
 mod profile;
+mod trace;
 
 pub use diff::{
     base_name, canonical_key, diff_artifacts, diff_snapshots, DiffEntry, DiffOutcome, DiffReport,
@@ -62,8 +68,13 @@ pub use journal::{
     append_journal, checksum_hex, fnv1a_64, read_journal, write_atomic, DegradedEntry,
     JournalRecord,
 };
-pub use metrics::{labeled, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use metrics::{
+    bucket_quantile, labeled, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
 pub use profile::{Stage, StageProfiler};
+pub use trace::{
+    chrome_trace_json, lifecycle_json, parse_chrome_trace, TraceEvent, TracePhase, Tracer,
+};
 
 /// This crate's version (recorded in run manifests).
 pub fn crate_version() -> &'static str {

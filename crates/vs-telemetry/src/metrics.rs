@@ -124,6 +124,50 @@ impl Histogram {
     pub fn max(&self) -> Option<f64> {
         (self.min <= self.max).then_some(self.max)
     }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation within the bucket the target rank falls in — the
+    /// Prometheus `histogram_quantile` convention — then clamps the result
+    /// to the observed `[min, max]` range, so a single-bucket histogram
+    /// cannot report a value no sample ever reached. A rank landing in the
+    /// overflow bucket yields the largest finite sample (or the last bound
+    /// when every sample was non-finite). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let v = bucket_quantile(&self.bounds, &self.counts, self.total, q)?;
+        Some(match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => v.clamp(lo, hi),
+            // No finite samples at all: the interpolation already fell
+            // back to bucket bounds.
+            _ => v,
+        })
+    }
+}
+
+/// Shared bucket-interpolation core for [`Histogram::quantile`] and
+/// [`HistogramSnapshot::quantile`]. The first bucket interpolates from
+/// `min(0, bounds[0])` (durations and counts start at zero; a genuinely
+/// negative-bounded histogram starts at its own bound) and the overflow
+/// bucket reports the last bound.
+pub fn bucket_quantile(bounds: &[f64], counts: &[u64], total: u64, q: f64) -> Option<f64> {
+    if total == 0 || bounds.is_empty() || counts.len() != bounds.len() + 1 {
+        return None;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if c > 0 && cum as f64 >= rank {
+            let Some(&upper) = bounds.get(i) else {
+                // Overflow bucket: no finite upper edge to interpolate to.
+                return Some(*bounds.last().expect("non-empty bounds"));
+            };
+            let lower = if i == 0 { 0.0f64.min(upper) } else { bounds[i - 1] };
+            let into = (rank - (cum - c) as f64).max(0.0);
+            let frac = (into / c as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * frac);
+        }
+    }
+    Some(*bounds.last().expect("non-empty bounds"))
 }
 
 /// A serializable snapshot of one histogram.
@@ -139,6 +183,27 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Total samples observed.
     pub total: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile from the serialized buckets (the
+    /// [`Histogram::quantile`] interpolation without the min/max clamp —
+    /// snapshots do not carry the exact extremes). `None` when empty or
+    /// structurally inconsistent.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.bounds, &self.counts, self.total, q)
+    }
+
+    /// Mean of the recorded samples (`sum / total`); 0.0 when empty. The
+    /// snapshot does not distinguish finite from non-finite samples, so the
+    /// denominator is the full total.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
 }
 
 /// A point-in-time export of a [`Registry`].
@@ -451,5 +516,74 @@ mod tests {
     fn labeled_key_format() {
         assert_eq!(labeled("a", &[]), "a");
         assert_eq!(labeled("a", &[("sm", "0"), ("layer", "2")]), "a{sm=0,layer=2}");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        let snap = HistogramSnapshot {
+            name: "empty".to_string(),
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 0],
+            sum: 0.0,
+            total: 0,
+        };
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), 0.0);
+        // Out-of-range q values clamp rather than panic, even when empty.
+        assert_eq!(h.quantile(-1.0), None);
+        assert_eq!(h.quantile(2.0), None);
+        assert_eq!(bucket_quantile(&[1.0], &[0, 0], 0, 0.5), None);
+        // Malformed shapes (counts != bounds + 1) are refused, not read
+        // out of bounds.
+        assert_eq!(bucket_quantile(&[1.0, 2.0], &[3, 4], 7, 0.5), None);
+        assert_eq!(bucket_quantile(&[], &[5], 5, 0.5), None);
+    }
+
+    #[test]
+    fn single_bucket_saturation_keeps_quantiles_in_range() {
+        // Every sample lands in the one finite bucket: quantiles must
+        // interpolate inside it and stay within the observed range.
+        let mut h = Histogram::with_bounds(&[10.0]);
+        for _ in 0..1000 {
+            h.observe(4.0);
+        }
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert_eq!(v, 4.0, "q={q} must clamp to the only observed value");
+        }
+        // Saturating the overflow bucket instead: the estimate is pinned
+        // to the last finite bound, clamped into [min, max].
+        let mut over = Histogram::with_bounds(&[10.0]);
+        for _ in 0..1000 {
+            over.observe(50.0);
+        }
+        assert_eq!(over.quantile(0.5), Some(50.0), "clamped up to observed min");
+        // The raw bucket estimate (snapshot path, no min/max clamp)
+        // reports the last bound for overflow ranks.
+        assert_eq!(bucket_quantile(&[10.0], over.counts(), over.total(), 0.5), Some(10.0));
+    }
+
+    #[test]
+    fn labeled_key_order_is_stable_and_significant() {
+        // Same labels, same order: byte-identical keys every time — the
+        // registry and the diff layer treat the key as opaque text.
+        let a1 = labeled("exec.wall", &[("suite", "s1"), ("scenario", "bfs")]);
+        let a2 = labeled("exec.wall", &[("suite", "s1"), ("scenario", "bfs")]);
+        assert_eq!(a1, a2);
+        assert_eq!(a1, "exec.wall{suite=s1,scenario=bfs}");
+        // Caller-supplied order is preserved, not sorted: swapping label
+        // order produces a different key, so call sites must fix an order.
+        let swapped = labeled("exec.wall", &[("scenario", "bfs"), ("suite", "s1")]);
+        assert_ne!(a1, swapped);
+        let mut r = Registry::new();
+        r.inc(&a1, 1);
+        r.inc(&a2, 1);
+        r.inc(&swapped, 1);
+        assert_eq!(r.counter(&a1), 2);
+        assert_eq!(r.counter(&swapped), 1);
     }
 }

@@ -53,6 +53,25 @@ cargo test --release -q -p vs-bench --test chaos
 cargo test --release -q -p vs-bench --test resume
 cargo test --release -q -p vs-bench --test campaign_jobs
 
+echo "== observability: traced chaos sweep, run report, baseline diff =="
+cargo test --release -q -p vs-bench --test trace_report
+
+echo "== diff-baseline self-check =="
+# The regression gate must accept a store against itself and reject a
+# tolerance-violating perturbation with a nonzero exit.
+SWEEP=target/release/sweep
+"$SWEEP" diff-baseline goldens goldens > /dev/null \
+    && echo "diff-baseline goldens vs goldens: OK (exit 0)"
+PERTURBED=$(mktemp -d)
+trap 'rm -rf "$PERTURBED"' EXIT
+cp goldens/*.jsonl "$PERTURBED"/
+sed -i 's/"pde_avg{pds=ivr}":0\./"pde_avg{pds=ivr}":9./' "$PERTURBED/fig8.jsonl"
+if "$SWEEP" diff-baseline goldens "$PERTURBED" > /dev/null 2>&1; then
+    echo "diff-baseline accepted a perturbed candidate" >&2
+    exit 1
+fi
+echo "diff-baseline perturbed candidate: OK (nonzero exit)"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
