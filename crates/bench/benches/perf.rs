@@ -6,7 +6,9 @@
 //! `std::time::Instant`, report ns/iter, and calibrate iteration counts from
 //! a short warm-up. Run with `cargo bench -p vs-bench`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use vs_circuit::{AcAnalysis, Integration, Transient};
@@ -17,6 +19,32 @@ use vs_bench::obs;
 use vs_num::{eigenvalues, expm, LuFactors, Matrix};
 use vs_pds::{AreaModel, CrIvrConfig, PdnParams, StackedPdn};
 use vs_telemetry::{Stage, Telemetry};
+
+/// Counting wrapper over the system allocator, so the scalar hot-path guard
+/// below can assert a zero allocation delta (the same acceptance bar as the
+/// `vs-circuit` `zero_alloc` tests, applied one layer up at the rig).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Times `f` and prints a criterion-style `name ... ns/iter` line.
 fn bench(name: &str, mut f: impl FnMut()) {
@@ -133,6 +161,33 @@ fn bench_rig() {
     });
 }
 
+/// Guard: with batching disabled (the default), the scalar rig hot path must
+/// stay allocation-free per cycle. `PdsRig::step` is now the composition
+/// `stage_loads` → `step_with_recovery` → `finish_step` — the seams the
+/// batched SoA driver hooks into — and splitting it must not have introduced
+/// per-cycle heap traffic. Same bar as the `vs-circuit` `zero_alloc` tests:
+/// warm the rig, then a window of steady-state steps must leave the counting
+/// allocator untouched.
+fn bench_scalar_alloc_guard() {
+    let mut rig = PdsRig::new(PdsKind::VsCrossLayer { area_mult: 0.2 }, 1.0 / 700e6, 0.08);
+    let p = vec![8.0; 16];
+    let z = vec![0.0; 16];
+    for _ in 0..64 {
+        rig.step(&p, &z, &z).expect("warm-up step");
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        rig.step(black_box(&p), &z, &z).expect("guarded step");
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    println!("scalar_rig_step alloc guard: {delta} allocations over 1000 cycles (limit 0)");
+    assert_eq!(
+        delta, 0,
+        "batching-disabled scalar rig.step allocated {delta} times over 1000 cycles: \
+         the stage_loads/step/finish_step split is no longer allocation-free"
+    );
+}
+
 /// Guard: the disabled-telemetry instrumentation points threaded through the
 /// co-simulation hot loop must stay branch-cheap. Each cosim cycle pays five
 /// span start/stop pairs plus a couple of `is_enabled` checks; against a
@@ -227,6 +282,7 @@ fn main() {
     bench_gpu();
     bench_controller();
     bench_rig();
+    bench_scalar_alloc_guard();
     bench_telemetry_overhead();
     bench_trace_overhead();
 }

@@ -1,7 +1,7 @@
 //! The parallel experiment runner and golden-artifact diff tool.
 //!
 //! ```text
-//! sweep [run] [--jobs N] [--out DIR] [--only id,...]
+//! sweep [run] [--jobs N] [--batch-lanes N] [--out DIR] [--only id,...]
 //!             [--profile env|golden|tiny] [--seed N] [--deterministic]
 //!             [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE]
 //!             [--trace] [--progress plain|json|off]
@@ -59,7 +59,7 @@ const DEFAULT_TOLERANCES: &str = "goldens/tolerances.json";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [run] [--jobs N] [--out DIR] [--only id,...] \
+        "usage: sweep [run] [--jobs N] [--batch-lanes N] [--out DIR] [--only id,...] \
          [--profile env|golden|tiny] [--seed N] [--deterministic] \
          [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE] \
          [--trace] [--progress plain|json|off]\n\
@@ -139,6 +139,7 @@ fn set_progress(mode: &str) {
 
 fn run_main(args: &[String]) -> ExitCode {
     let mut jobs = 0usize;
+    let mut batch_lanes = 0usize;
     let mut out = PathBuf::from("target/sweep");
     let mut only: Option<Vec<ExperimentId>> = None;
     let mut profile = "env".to_string();
@@ -160,6 +161,11 @@ fn run_main(args: &[String]) -> ExitCode {
                 jobs = value("--jobs")
                     .parse()
                     .unwrap_or_else(|_| fail("--jobs must be an integer"));
+            }
+            "--batch-lanes" => {
+                batch_lanes = value("--batch-lanes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--batch-lanes must be an integer"));
             }
             "--out" => out = PathBuf::from(value("--out")),
             "--only" => only = Some(parse_only(&value("--only"))),
@@ -221,6 +227,7 @@ fn run_main(args: &[String]) -> ExitCode {
     }
     let result = run_sweep(&SweepOptions {
         jobs,
+        batch_lanes,
         only,
         settings,
         journal_dir,

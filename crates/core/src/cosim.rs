@@ -8,11 +8,20 @@
 //! detectors sample the resulting layer voltages, and the voltage-smoothing
 //! controller's (latency-delayed) commands feed back into the next cycle's
 //! issue widths, fake-instruction rates, and DCC ballast currents.
+//!
+//! The run loop is factored into explicit phases ([`Cosim::run_begin`],
+//! [`Cosim::cycle_pre`], [`Cosim::scalar_solve`], [`Cosim::cycle_post`],
+//! [`Cosim::run_finish`]) around a [`RunState`] so the batched driver in
+//! [`crate::CosimPool::try_run_batch_with_pm`] can interleave several runs
+//! and advance their circuit solves through one SoA kernel;
+//! [`Cosim::run_supervised`] is exactly the scalar composition of those
+//! phases, so the factoring cannot change scalar results.
 
-use vs_circuit::{SolverWorkspace, StepReport};
-use vs_control::{ControllerConfig, SmCommand, VoltageController};
+use vs_circuit::{RecoveryPolicy, SolverError, SolverWorkspace, StepReport, Transient};
+use vs_control::{ControllerConfig, DccDac, SmCommand, VoltageController};
 use vs_gpu::{build_kernel, Gpu, GpuConfig, GpuCycleEvents, SchedulerKind, SmStats, WorkloadProfile};
 use vs_hypervisor::{DfsConfig, DfsGovernor, GatingAccountant, PgConfig, VsAwareHypervisor};
+use vs_num::Rng;
 use vs_power::{PowerModel, SmPower};
 use vs_telemetry::{
     labeled, ActuatorDuty, CycleSample, Event, GpuCounters, GuardbandStats, RunManifest,
@@ -277,6 +286,58 @@ pub struct Cosim {
 /// the `voltage.layer_min_v` metric (volts).
 const LAYER_MIN_V_BOUNDS: [f64; 9] = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10];
 
+/// Where one supervised run stands after [`Cosim::cycle_pre`].
+pub(crate) enum CyclePhase {
+    /// The run loop is over: kernel retired, cycle cap reached, watchdog
+    /// tripped, or a fault-application error was recorded in the state.
+    Finished,
+    /// This cycle's (possibly faulted) loads are computed and the circuit
+    /// solve is next.
+    Solve,
+}
+
+/// All loop-carried state of one supervised run, factored out of
+/// [`Cosim::run_supervised`] so the batched driver can interleave the cycle
+/// phases of several runs (lanes) and advance their staged circuit solves
+/// through one SoA kernel. Construct with [`Cosim::run_begin`], consume with
+/// [`Cosim::run_finish`], and always pass the same `sup`/`plan` to every
+/// phase of one run.
+pub(crate) struct RunState {
+    n_sms: usize,
+    dt: f64,
+    v_nominal: f64,
+    layer_columns: usize,
+    streams: Vec<Rng>,
+    held_sample: Vec<f64>,
+    dac: DccDac,
+    below_guard_cycles: Vec<u64>,
+    recovery: StepReport,
+    error: Option<CosimError>,
+    crivr_applied: Vec<bool>,
+    dcc_power: Vec<f64>,
+    min_v: f64,
+    max_v: f64,
+    traces: Vec<vs_circuit::Trace>,
+    histogram: ImbalanceHistogram,
+    freq_scale_acc: f64,
+    epoch_instr_base: Vec<u64>,
+    epoch_cycles: u64,
+    powers: Vec<SmPower>,
+    sm_watts: Vec<f64>,
+    fake_watts: Vec<f64>,
+    table_fake: f64,
+    events: GpuCycleEvents,
+    voltages: Vec<f64>,
+    sensed: Vec<f64>,
+    commands: Vec<SmCommand>,
+    stride: u64,
+    layer_min: Vec<f64>,
+    issue_max: f64,
+    /// The cycle number captured by the latest [`Cosim::cycle_pre`], used by
+    /// the solve and post phases of the same cycle.
+    cycle: u64,
+}
+
 impl Cosim {
     /// Starts a [`CosimBuilder`] for running `profile` under `cfg`.
     pub fn builder<'a>(cfg: &'a CosimConfig, profile: &'a WorkloadProfile) -> CosimBuilder<'a> {
@@ -331,40 +392,42 @@ impl Cosim {
     /// CR-IVR, and load faults), tracks per-layer time below the voltage
     /// guardband, and classifies the finished run into a
     /// [`crate::RunVerdict`] instead of panicking on solver failure.
-    #[allow(clippy::too_many_lines)]
     pub fn run_supervised(&mut self, sup: &SupervisorConfig, plan: &FaultPlan) -> SupervisedReport {
+        let mut st = self.run_begin(sup, plan);
+        while let CyclePhase::Solve = self.cycle_pre(&mut st, plan) {
+            if !self.scalar_solve(&mut st) {
+                break;
+            }
+            self.cycle_post(&mut st, sup, plan);
+        }
+        self.run_finish(st, sup)
+    }
+
+    /// Sets up one supervised run: installs the recovery policy, allocates
+    /// every loop-carried buffer, enables gating if requested, and emits the
+    /// telemetry manifest.
+    pub(crate) fn run_begin(&mut self, sup: &SupervisorConfig, plan: &FaultPlan) -> RunState {
         let n_sms = self.rig.n_sms();
         let dt = 1.0 / self.power.clock_hz();
         let v_nominal = self.power.v_nominal();
         let (n_layers, layer_columns) = self.rig.topology();
         self.rig.set_recovery_policy(sup.recovery);
-        let mut streams = plan.event_streams();
+        let streams = plan.event_streams();
         // Last sample actually delivered to the controller per SM, for
         // dropout's sample-and-hold semantics.
-        let mut held_sample = vec![v_nominal; n_sms];
+        let held_sample = vec![v_nominal; n_sms];
         let dac = self
             .controller
             .as_ref()
             .map_or(ControllerConfig::default().dcc, |c| c.config().dcc);
-        let mut below_guard_cycles = vec![0u64; n_layers];
-        let mut recovery = StepReport::default();
-        let mut error: Option<CosimError> = None;
-        // Whether each CR-IVR fault event currently has its scale applied
-        // (so window edges retune the circuit exactly once per transition).
-        let mut crivr_applied = vec![false; plan.events().len()];
-        let mut dcc_power = vec![0.0; n_sms];
-        let mut min_v = f64::INFINITY;
-        let mut max_v = f64::NEG_INFINITY;
-        let mut traces: Vec<vs_circuit::Trace> = if self.cfg.record_traces {
+        let traces: Vec<vs_circuit::Trace> = if self.cfg.record_traces {
             (0..n_sms)
                 .map(|i| vs_circuit::Trace::new(format!("v(sm{i})")))
                 .collect()
         } else {
             Vec::new()
         };
-        let mut histogram = ImbalanceHistogram::new(self.rig.topology());
-        let mut freq_scale_acc = 0.0f64;
-        let mut epoch_instr_base: Vec<u64> = vec![0; n_sms];
+        let histogram = ImbalanceHistogram::new(self.rig.topology());
         let epoch_cycles = self.pm.dfs.map_or(4096, |d| d.epoch_cycles);
 
         // Enable gating up front if requested.
@@ -376,19 +439,7 @@ impl Cosim {
             }
         }
 
-        let mut powers: Vec<SmPower> = vec![SmPower::default(); n_sms];
-        let mut sm_watts = vec![0.0; n_sms];
-        let mut fake_watts = vec![0.0; n_sms];
-        let table_fake = self.power.table().e_fake;
-        // Reusable hot-loop buffers: the steady-state cycle below allocates
-        // nothing (see DESIGN.md, "The zero-allocation hot path").
-        let mut events = GpuCycleEvents::new();
-        let mut voltages: Vec<f64> = Vec::with_capacity(n_sms);
-        let mut sensed: Vec<f64> = Vec::with_capacity(n_sms);
-        let mut commands: Vec<SmCommand> = Vec::with_capacity(n_sms);
-
         let stride = u64::from(self.cfg.trace_stride.max(1));
-        let mut layer_min = vec![f64::INFINITY; n_layers];
         let issue_max = self
             .controller
             .as_ref()
@@ -415,210 +466,340 @@ impl Cosim {
             self.telemetry.emit(|| Event::Manifest(manifest));
         }
 
-        while !self.gpu.done() && self.gpu.cycle() < self.cfg.max_cycles {
-            if self.budget.exceeded(self.gpu.cycle()) {
-                error = Some(CosimError::DeadlineExceeded {
-                    cycle: self.gpu.cycle(),
-                });
-                break;
-            }
-            let span = self.telemetry.stages.start();
-            self.gpu.tick_into(&mut events);
-            self.telemetry.stages.stop(Stage::GpuStep, span);
-            self.rig.sm_voltages_into(&mut voltages);
+        RunState {
+            n_sms,
+            dt,
+            v_nominal,
+            layer_columns,
+            streams,
+            held_sample,
+            dac,
+            below_guard_cycles: vec![0u64; n_layers],
+            recovery: StepReport::default(),
+            error: None,
+            // Whether each CR-IVR fault event currently has its scale
+            // applied (so window edges retune the circuit exactly once per
+            // transition).
+            crivr_applied: vec![false; plan.events().len()],
+            dcc_power: vec![0.0; n_sms],
+            min_v: f64::INFINITY,
+            max_v: f64::NEG_INFINITY,
+            traces,
+            histogram,
+            freq_scale_acc: 0.0,
+            epoch_instr_base: vec![0; n_sms],
+            epoch_cycles,
+            powers: vec![SmPower::default(); n_sms],
+            sm_watts: vec![0.0; n_sms],
+            fake_watts: vec![0.0; n_sms],
+            table_fake: self.power.table().e_fake,
+            // Reusable hot-loop buffers: the steady-state cycle allocates
+            // nothing (see DESIGN.md, "The zero-allocation hot path").
+            events: GpuCycleEvents::new(),
+            voltages: Vec::with_capacity(n_sms),
+            sensed: Vec::with_capacity(n_sms),
+            commands: Vec::with_capacity(n_sms),
+            stride,
+            layer_min: vec![f64::INFINITY; n_layers],
+            issue_max,
+            cycle: 0,
+        }
+    }
 
-            let span = self.telemetry.stages.start();
-            for sm in 0..n_sms {
-                let s = &events.per_sm[sm];
-                let mut p = self.power.sm_power_w(s);
-                if self.cfg.voltage_scaled_power {
-                    p = self.power.voltage_scaled(p, voltages[sm]);
-                }
-                powers[sm] = p;
-                sm_watts[sm] = p.total();
-                fake_watts[sm] = table_fake * f64::from(s.issued_fake) * self.power.clock_hz();
-                if self.pm.pg.is_some() {
-                    self.gating_acc.record(s);
-                }
-            }
-            self.telemetry.stages.stop(Stage::PowerModel, span);
+    /// One cycle's pre-solve phase: loop condition, watchdog, GPU tick,
+    /// power model, and circuit-boundary fault application. On
+    /// [`CyclePhase::Solve`] the cycle's loads sit in the state, ready to
+    /// stage onto the solver.
+    pub(crate) fn cycle_pre(&mut self, st: &mut RunState, plan: &FaultPlan) -> CyclePhase {
+        if self.gpu.done() || self.gpu.cycle() >= self.cfg.max_cycles {
+            return CyclePhase::Finished;
+        }
+        if self.budget.exceeded(self.gpu.cycle()) {
+            st.error = Some(CosimError::DeadlineExceeded {
+                cycle: self.gpu.cycle(),
+            });
+            return CyclePhase::Finished;
+        }
+        let span = self.telemetry.stages.start();
+        self.gpu.tick_into(&mut st.events);
+        self.telemetry.stages.stop(Stage::GpuStep, span);
+        self.rig.sm_voltages_into(&mut st.voltages);
 
-            // Scheduled faults at the circuit boundary: CR-IVR degradation
-            // retunes the netlist on window edges; load glitches corrupt the
-            // power telemetry the solver is about to consume.
-            let cycle = self.gpu.cycle();
-            for (i, ev) in plan.events().iter().enumerate() {
-                match ev.kind {
-                    FaultKind::CrIvr { column, fault } => {
-                        let want = ev.window.active(cycle);
-                        if want != crivr_applied[i] {
-                            let scale = if want { fault.scale() } else { 1.0 };
-                            match self.rig.scale_column_recyclers(column, scale) {
-                                Ok(_) => crivr_applied[i] = want,
-                                Err(e) => {
-                                    error = Some(CosimError::Solver { cycle, source: e });
-                                }
+        let span = self.telemetry.stages.start();
+        for sm in 0..st.n_sms {
+            let s = &st.events.per_sm[sm];
+            let mut p = self.power.sm_power_w(s);
+            if self.cfg.voltage_scaled_power {
+                p = self.power.voltage_scaled(p, st.voltages[sm]);
+            }
+            st.powers[sm] = p;
+            st.sm_watts[sm] = p.total();
+            st.fake_watts[sm] = st.table_fake * f64::from(s.issued_fake) * self.power.clock_hz();
+            if self.pm.pg.is_some() {
+                self.gating_acc.record(s);
+            }
+        }
+        self.telemetry.stages.stop(Stage::PowerModel, span);
+
+        // Scheduled faults at the circuit boundary: CR-IVR degradation
+        // retunes the netlist on window edges; load glitches corrupt the
+        // power telemetry the solver is about to consume.
+        let cycle = self.gpu.cycle();
+        st.cycle = cycle;
+        for (i, ev) in plan.events().iter().enumerate() {
+            match ev.kind {
+                FaultKind::CrIvr { column, fault } => {
+                    let want = ev.window.active(cycle);
+                    if want != st.crivr_applied[i] {
+                        let scale = if want { fault.scale() } else { 1.0 };
+                        match self.rig.scale_column_recyclers(column, scale) {
+                            Ok(_) => st.crivr_applied[i] = want,
+                            Err(e) => {
+                                st.error = Some(CosimError::Solver { cycle, source: e });
                             }
                         }
                     }
-                    FaultKind::LoadGlitch { sm, glitch } if ev.window.active(cycle) => {
-                        match glitch {
-                            LoadGlitch::NonFinite => sm_watts[sm] = f64::NAN,
-                            LoadGlitch::Surge { watts } => sm_watts[sm] += watts,
-                        }
+                }
+                FaultKind::LoadGlitch { sm, glitch } if ev.window.active(cycle) => {
+                    match glitch {
+                        LoadGlitch::NonFinite => st.sm_watts[sm] = f64::NAN,
+                        LoadGlitch::Surge { watts } => st.sm_watts[sm] += watts,
                     }
-                    _ => {}
                 }
+                _ => {}
             }
-            if error.is_some() {
-                break;
-            }
+        }
+        if st.error.is_some() {
+            return CyclePhase::Finished;
+        }
+        CyclePhase::Solve
+    }
 
-            let span = self.telemetry.stages.start();
-            let step = self.rig.step(&sm_watts, &dcc_power, &fake_watts);
-            self.telemetry.stages.stop(Stage::CircuitSolve, span);
-            match step {
-                Ok(r) => recovery.absorb(&r),
-                Err(e) => {
-                    error = Some(CosimError::Solver { cycle, source: e });
-                    break;
-                }
-            }
-            self.rig.sm_voltages_into(&mut voltages);
-            for (sm, v) in voltages.iter().enumerate() {
-                min_v = min_v.min(*v);
-                max_v = max_v.max(*v);
-                if self.cfg.record_traces && self.gpu.cycle().is_multiple_of(stride) {
-                    traces[sm].push(self.rig.time(), *v);
-                }
-            }
-            for (layer, slot) in layer_min.iter_mut().enumerate() {
-                let lo = voltages[layer * layer_columns..(layer + 1) * layer_columns]
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
-                *slot = lo;
-                if lo < sup.v_guardband {
-                    below_guard_cycles[layer] += 1;
-                }
-            }
-            histogram.record(&sm_watts, &voltages, v_nominal);
+    /// One cycle's circuit solve, scalar path: stage loads, advance the rig
+    /// one timestep under its recovery policy, absorb the result. Returns
+    /// `false` when the solver gave up and the run loop must stop.
+    pub(crate) fn scalar_solve(&mut self, st: &mut RunState) -> bool {
+        let span = self.telemetry.stages.start();
+        let step = self.rig.step(&st.sm_watts, &st.dcc_power, &st.fake_watts);
+        self.telemetry.stages.stop(Stage::CircuitSolve, span);
+        self.absorb_solve(st, step)
+    }
 
-            // Decimated telemetry sample: the physical state this cycle plus
-            // the smoothing commands currently in effect (the ones the GPU
-            // tick above just ran under).
-            if self.telemetry.is_enabled() && cycle.is_multiple_of(stride) {
-                let cycle_min = voltages.iter().copied().fold(f64::INFINITY, f64::min);
-                let cycle_max = voltages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let throttled = self.controller.as_ref().map_or(0, |c| {
-                    c.active_commands()
-                        .iter()
-                        .filter(|cmd| !cmd.is_neutral(issue_max))
-                        .count()
+    /// Books one cycle's solve result: recovery activity accumulates on
+    /// success, the first error is recorded and stops the run.
+    fn absorb_solve(
+        &mut self,
+        st: &mut RunState,
+        step: Result<StepReport, SolverError>,
+    ) -> bool {
+        match step {
+            Ok(r) => {
+                st.recovery.absorb(&r);
+                true
+            }
+            Err(e) => {
+                st.error = Some(CosimError::Solver {
+                    cycle: st.cycle,
+                    source: e,
                 });
-                for &lo in &layer_min {
-                    self.telemetry
-                        .registry
-                        .observe("voltage.layer_min_v", &LAYER_MIN_V_BOUNDS, lo);
-                }
-                let sample = CycleSample {
-                    cycle,
-                    time_s: self.rig.time(),
-                    min_sm_v: cycle_min,
-                    max_sm_v: cycle_max,
-                    layer_min_v: layer_min.clone(),
-                    throttled_sms: throttled as u32,
-                };
-                self.telemetry.emit(|| Event::Sample(sample));
+                false
             }
+        }
+    }
 
-            // Architecture-level voltage smoothing, through the (possibly
-            // faulted) sensing and actuation chains. Physical statistics
-            // above use the true voltages; the controller sees the sensed
-            // ones.
-            if let Some(ctrl) = self.controller.as_mut() {
-                let span = self.telemetry.stages.start();
-                sensed.clear();
-                sensed.extend_from_slice(&voltages);
-                for (i, ev) in plan.events().iter().enumerate() {
-                    if let FaultKind::Detector { sm, fault } = ev.kind {
-                        if ev.window.active(cycle) {
-                            sensed[sm] = fault.apply(sensed[sm], held_sample[sm], &mut streams[i]);
-                        }
-                    }
-                }
-                held_sample.copy_from_slice(&sensed);
-                commands.clear();
-                commands.extend_from_slice(ctrl.update(&sensed));
-                for ev in plan.events() {
-                    if let FaultKind::Actuator { sm, fault } = ev.kind {
-                        if ev.window.active(cycle) {
-                            fault.apply(&mut commands[sm], &dac);
-                        }
-                    }
-                }
-                for (sm, cmd) in commands.iter().enumerate() {
-                    let mut c = self.gpu.sm_control(sm);
-                    c.issue_width = cmd.issue_width;
-                    c.fake_rate = cmd.fake_rate;
-                    self.gpu.set_sm_control(sm, c);
-                    dcc_power[sm] = cmd.dcc_power_w;
-                }
-                self.telemetry.stages.stop(Stage::ControllerUpdate, span);
+    /// Stages this cycle's loads onto the rig's solver controls without
+    /// stepping — the batched driver's replacement for the staging half of
+    /// [`Cosim::scalar_solve`].
+    pub(crate) fn batch_stage(&mut self, st: &RunState) {
+        self.rig
+            .stage_loads(&st.sm_watts, &st.dcc_power, &st.fake_watts);
+    }
+
+    /// The rig's transient solver, lent to the batched SoA kernel as one
+    /// lane.
+    pub(crate) fn batch_solver(&mut self) -> &mut Transient {
+        self.rig.solver_mut()
+    }
+
+    /// The rig's active recovery policy (installed by [`Cosim::run_begin`]
+    /// from the supervisor), which the batched kernel applies to this lane.
+    pub(crate) fn batch_policy(&self) -> RecoveryPolicy {
+        self.rig.recovery_policy()
+    }
+
+    /// Settles one batched solve result for this lane: on success books the
+    /// rig's per-step energy (the tail of [`crate::rig::PdsRig::step`]) and
+    /// absorbs the report; on error records it. Returns `false` when the
+    /// lane's run loop must stop.
+    pub(crate) fn batch_finish_solve(
+        &mut self,
+        st: &mut RunState,
+        step: Result<StepReport, SolverError>,
+    ) -> bool {
+        if step.is_ok() {
+            self.rig.finish_step(&st.fake_watts);
+        }
+        self.absorb_solve(st, step)
+    }
+
+    /// One cycle's post-solve phase: voltage statistics, guardband tracking,
+    /// decimated telemetry, the voltage-smoothing controller, epoch power
+    /// management, and the frequency-scale accumulator.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn cycle_post(&mut self, st: &mut RunState, sup: &SupervisorConfig, plan: &FaultPlan) {
+        let cycle = st.cycle;
+        self.rig.sm_voltages_into(&mut st.voltages);
+        for (sm, v) in st.voltages.iter().enumerate() {
+            st.min_v = st.min_v.min(*v);
+            st.max_v = st.max_v.max(*v);
+            if self.cfg.record_traces && self.gpu.cycle().is_multiple_of(st.stride) {
+                st.traces[sm].push(self.rig.time(), *v);
             }
+        }
+        for (layer, slot) in st.layer_min.iter_mut().enumerate() {
+            let lo = st.voltages[layer * st.layer_columns..(layer + 1) * st.layer_columns]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            *slot = lo;
+            if lo < sup.v_guardband {
+                st.below_guard_cycles[layer] += 1;
+            }
+        }
+        st.histogram.record(&st.sm_watts, &st.voltages, st.v_nominal);
 
-            // Higher-level power management on epoch boundaries.
-            if self.gpu.cycle().is_multiple_of(epoch_cycles) {
-                let span = self.telemetry.stages.start();
-                if let Some(gov) = self.dfs.as_mut() {
-                    let stats = self.gpu.sm_stats();
-                    let instr: Vec<u64> = (0..n_sms)
-                        .map(|i| stats[i].instructions - epoch_instr_base[i])
-                        .collect();
-                    for (base, s) in epoch_instr_base.iter_mut().zip(&stats) {
-                        *base = s.instructions;
+        // Decimated telemetry sample: the physical state this cycle plus
+        // the smoothing commands currently in effect (the ones the GPU
+        // tick above just ran under).
+        if self.telemetry.is_enabled() && cycle.is_multiple_of(st.stride) {
+            let cycle_min = st.voltages.iter().copied().fold(f64::INFINITY, f64::min);
+            let cycle_max = st.voltages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let throttled = self.controller.as_ref().map_or(0, |c| {
+                c.active_commands()
+                    .iter()
+                    .filter(|cmd| !cmd.is_neutral(st.issue_max))
+                    .count()
+            });
+            for &lo in &st.layer_min {
+                self.telemetry
+                    .registry
+                    .observe("voltage.layer_min_v", &LAYER_MIN_V_BOUNDS, lo);
+            }
+            let sample = CycleSample {
+                cycle,
+                time_s: self.rig.time(),
+                min_sm_v: cycle_min,
+                max_sm_v: cycle_max,
+                layer_min_v: st.layer_min.clone(),
+                throttled_sms: throttled as u32,
+            };
+            self.telemetry.emit(|| Event::Sample(sample));
+        }
+
+        // Architecture-level voltage smoothing, through the (possibly
+        // faulted) sensing and actuation chains. Physical statistics
+        // above use the true voltages; the controller sees the sensed
+        // ones.
+        if let Some(ctrl) = self.controller.as_mut() {
+            let span = self.telemetry.stages.start();
+            st.sensed.clear();
+            st.sensed.extend_from_slice(&st.voltages);
+            for (i, ev) in plan.events().iter().enumerate() {
+                if let FaultKind::Detector { sm, fault } = ev.kind {
+                    if ev.window.active(cycle) {
+                        st.sensed[sm] =
+                            fault.apply(st.sensed[sm], st.held_sample[sm], &mut st.streams[i]);
                     }
-                    gov.on_epoch(&instr);
-                    let mut freqs: Vec<f64> = gov.frequencies_hz().to_vec();
-                    let mut gates = vec![self.pm.pg.is_some_and(|p| p.enabled); n_sms];
-                    if let Some(hv) = self.hypervisor.as_mut() {
-                        if let Some(ctrl) = self.controller.as_ref() {
-                            hv.observe_throttle_fraction(ctrl.throttle_fraction());
-                        }
-                        if self.rig.is_stacked() {
-                            hv.map_commands(&mut freqs, &mut gates);
-                        }
+                }
+            }
+            st.held_sample.copy_from_slice(&st.sensed);
+            st.commands.clear();
+            st.commands.extend_from_slice(ctrl.update(&st.sensed));
+            for ev in plan.events() {
+                if let FaultKind::Actuator { sm, fault } = ev.kind {
+                    if ev.window.active(cycle) {
+                        fault.apply(&mut st.commands[sm], &st.dac);
                     }
-                    for sm in 0..n_sms {
-                        gov.set_frequency(sm, freqs[sm]);
-                        let mut c = self.gpu.sm_control(sm);
-                        c.freq_scale = freqs[sm] / gov.config().base_hz;
-                        c.unit_gating = gates[sm];
-                        self.gpu.set_sm_control(sm, c);
-                    }
-                } else if let Some(hv) = self.hypervisor.as_mut() {
+                }
+            }
+            for (sm, cmd) in st.commands.iter().enumerate() {
+                let mut c = self.gpu.sm_control(sm);
+                c.issue_width = cmd.issue_width;
+                c.fake_rate = cmd.fake_rate;
+                self.gpu.set_sm_control(sm, c);
+                st.dcc_power[sm] = cmd.dcc_power_w;
+            }
+            self.telemetry.stages.stop(Stage::ControllerUpdate, span);
+        }
+
+        // Higher-level power management on epoch boundaries.
+        if self.gpu.cycle().is_multiple_of(st.epoch_cycles) {
+            let span = self.telemetry.stages.start();
+            if let Some(gov) = self.dfs.as_mut() {
+                let stats = self.gpu.sm_stats();
+                let instr: Vec<u64> = (0..st.n_sms)
+                    .map(|i| stats[i].instructions - st.epoch_instr_base[i])
+                    .collect();
+                for (base, s) in st.epoch_instr_base.iter_mut().zip(&stats) {
+                    *base = s.instructions;
+                }
+                gov.on_epoch(&instr);
+                let mut freqs: Vec<f64> = gov.frequencies_hz().to_vec();
+                let mut gates = vec![self.pm.pg.is_some_and(|p| p.enabled); st.n_sms];
+                if let Some(hv) = self.hypervisor.as_mut() {
                     if let Some(ctrl) = self.controller.as_ref() {
                         hv.observe_throttle_fraction(ctrl.throttle_fraction());
                     }
-                    if self.rig.is_stacked() && self.pm.pg.is_some_and(|p| p.enabled) {
-                        let mut freqs = vec![700e6; n_sms];
-                        let mut gates = vec![true; n_sms];
+                    if self.rig.is_stacked() {
                         hv.map_commands(&mut freqs, &mut gates);
-                        for (sm, gate) in gates.iter().enumerate() {
-                            let mut c = self.gpu.sm_control(sm);
-                            c.unit_gating = *gate;
-                            self.gpu.set_sm_control(sm, c);
-                        }
                     }
                 }
-                self.telemetry.stages.stop(Stage::HypervisorRemap, span);
+                for sm in 0..st.n_sms {
+                    gov.set_frequency(sm, freqs[sm]);
+                    let mut c = self.gpu.sm_control(sm);
+                    c.freq_scale = freqs[sm] / gov.config().base_hz;
+                    c.unit_gating = gates[sm];
+                    self.gpu.set_sm_control(sm, c);
+                }
+            } else if let Some(hv) = self.hypervisor.as_mut() {
+                if let Some(ctrl) = self.controller.as_ref() {
+                    hv.observe_throttle_fraction(ctrl.throttle_fraction());
+                }
+                if self.rig.is_stacked() && self.pm.pg.is_some_and(|p| p.enabled) {
+                    let mut freqs = vec![700e6; st.n_sms];
+                    let mut gates = vec![true; st.n_sms];
+                    hv.map_commands(&mut freqs, &mut gates);
+                    for (sm, gate) in gates.iter().enumerate() {
+                        let mut c = self.gpu.sm_control(sm);
+                        c.unit_gating = *gate;
+                        self.gpu.set_sm_control(sm, c);
+                    }
+                }
             }
-            freq_scale_acc += (0..n_sms)
-                .map(|i| self.gpu.sm_control(i).freq_scale)
-                .sum::<f64>()
-                / n_sms as f64;
+            self.telemetry.stages.stop(Stage::HypervisorRemap, span);
         }
+        st.freq_scale_acc += (0..st.n_sms)
+            .map(|i| self.gpu.sm_control(i).freq_scale)
+            .sum::<f64>()
+            / st.n_sms as f64;
+    }
 
+    /// Closes one supervised run: final statistics, telemetry flush, verdict
+    /// classification, and report assembly.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn run_finish(&mut self, st: RunState, sup: &SupervisorConfig) -> SupervisedReport {
+        let RunState {
+            dt,
+            below_guard_cycles,
+            recovery,
+            error,
+            min_v,
+            max_v,
+            traces,
+            histogram,
+            freq_scale_acc,
+            ..
+        } = st;
         let cycles = self.gpu.cycle();
         let completed = self.gpu.done();
         let ledger = self.rig.ledger();

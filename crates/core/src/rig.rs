@@ -248,6 +248,28 @@ impl PdsRig {
         dcc_power_w: &[f64],
         fake_power_w: &[f64],
     ) -> Result<StepReport, SolverError> {
+        self.stage_loads(sm_power_w, dcc_power_w, fake_power_w);
+        let report = self.sim.step_with_recovery(&self.recovery)?;
+        self.finish_step(fake_power_w);
+        Ok(report)
+    }
+
+    /// First phase of [`PdsRig::step`]: validates the slices and stages this
+    /// cycle's loads onto the solver's control inputs without stepping.
+    /// The batched co-simulation driver stages every lane, advances all of
+    /// them through one SoA solve, then settles each with
+    /// [`PdsRig::finish_step`]; `step` is exactly this composition, so the
+    /// split cannot change scalar results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the SM count.
+    pub(crate) fn stage_loads(
+        &mut self,
+        sm_power_w: &[f64],
+        dcc_power_w: &[f64],
+        fake_power_w: &[f64],
+    ) {
         assert_eq!(sm_power_w.len(), self.n_sms);
         assert_eq!(dcc_power_w.len(), self.n_sms);
         assert_eq!(fake_power_w.len(), self.n_sms);
@@ -278,10 +300,20 @@ impl PdsRig {
             }
         }
         self.dcc_power_w.copy_from_slice(dcc_power_w);
-        let report = self.sim.step_with_recovery(&self.recovery)?;
+    }
+
+    /// Last phase of [`PdsRig::step`]: books the accepted step's fake and
+    /// controller energy. Call only after the staged step was accepted (the
+    /// scalar path skips it on error, and so must batch drivers).
+    pub(crate) fn finish_step(&mut self, fake_power_w: &[f64]) {
         self.fake_j += fake_power_w.iter().sum::<f64>() * self.dt;
         self.elapsed_controller_j += self.controller_power_w * self.dt;
-        Ok(report)
+    }
+
+    /// The underlying transient solver, for the batched driver that advances
+    /// several rigs' staged steps through one SoA kernel.
+    pub(crate) fn solver_mut(&mut self) -> &mut Transient {
+        &mut self.sim
     }
 
     /// Replaces the adaptive solver-recovery policy (default:

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 mod ac;
+mod batched;
 mod dc;
 mod error;
 mod netlist;
@@ -62,6 +63,9 @@ mod trace;
 mod transient;
 
 pub use ac::{log_space, AcAnalysis, AcSolution, AcStimulus};
+pub use batched::{
+    step_lanes_with_recovery, BatchScratch, BatchStats, BatchedTransient, LaneOutcome,
+};
 pub use dc::DcSolution;
 pub use error::SolverError;
 pub use netlist::{ControlId, Element, ElementId, Netlist, NetlistError, NodeId, Waveform};

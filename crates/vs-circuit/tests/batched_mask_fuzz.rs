@@ -1,0 +1,194 @@
+//! Seeded fuzz of the active-lane mask: random batches under random
+//! divergence schedules (same `derive_seed` construction as the diff-engine
+//! fuzzers), asserting the mask invariants directly:
+//!
+//! * a lane is never advanced while masked out — a retired lane's
+//!   observables stay bit-frozen forever,
+//! * every masked lane rejoins within its recovery budget — a recoverable
+//!   fault always yields `Stepped` with a recovery report in the same
+//!   shared step,
+//! * the stats ledger balances: every mask exit either rejoined or retired.
+
+mod common;
+
+use common::{build_rig, control_value, derive_seed, splitmix, unit, VariantSpec};
+use vs_circuit::{BatchedTransient, LaneOutcome, RecoveryPolicy, Transient};
+
+const ROUNDS: u64 = 24;
+const STEPS: u64 = 40;
+
+/// One fuzzed divergence schedule: recoverable NaN injections plus at most
+/// one fatal overload.
+struct Schedule {
+    /// `nan[lane][step]`
+    nan: Vec<Vec<bool>>,
+    fatal: Option<(usize, u64)>,
+}
+
+impl Schedule {
+    fn draw(seed: u64, n_lanes: usize) -> Self {
+        let mut nan = vec![vec![false; STEPS as usize]; n_lanes];
+        for (lane, row) in nan.iter_mut().enumerate() {
+            for (step, slot) in row.iter_mut().enumerate() {
+                let s = derive_seed(seed, "nan")
+                    .wrapping_add((lane as u64) << 32)
+                    .wrapping_add(step as u64);
+                // Leave the first steps clean so recovery starts from a
+                // settled state, then ~6% fault density.
+                *slot = step >= 4 && unit(s) < 0.06;
+            }
+        }
+        let fatal = if seed.is_multiple_of(3) {
+            let lane = (splitmix(seed ^ 0xF417) % n_lanes as u64) as usize;
+            let step = 8 + splitmix(seed ^ 0x57E9) % (STEPS - 10);
+            nan[lane][step as usize] = false;
+            Some((lane, step))
+        } else {
+            None
+        };
+        Schedule { nan, fatal }
+    }
+
+    fn injection(&self, lane: usize, step: u64) -> Option<f64> {
+        if self.fatal == Some((lane, step)) {
+            return Some(1e9);
+        }
+        if self.nan[lane][step as usize] {
+            return Some(f64::NAN);
+        }
+        None
+    }
+}
+
+fn fuzz_round(round: u64) {
+    let seed = derive_seed(0xBA7C_4ED0, "mask-fuzz").wrapping_add(round);
+    let n_lanes = 2 + (splitmix(seed) % 7) as usize; // 2..=8
+    let specs: Vec<VariantSpec> = (0..n_lanes as u64)
+        .map(|i| match splitmix(seed.wrapping_add(i)) % 3 {
+            0 => VariantSpec::control_only(seed, i),
+            1 => VariantSpec::value_variant(seed, i),
+            _ => VariantSpec::topology_variant(seed, i),
+        })
+        .collect();
+    let schedule = Schedule::draw(seed, n_lanes);
+    let policy = RecoveryPolicy::default();
+
+    let mut handles = Vec::new();
+    let mut lanes: Vec<Transient> = Vec::new();
+    for spec in &specs {
+        let rig = build_rig(spec);
+        handles.push((rig.controls, rig.top, rig.mid));
+        lanes.push(rig.sim);
+    }
+    let mut batch = BatchedTransient::new(lanes);
+
+    let observe = |sim: &Transient, top, mid| -> [u64; 3] {
+        [sim.time().to_bits(), sim.voltage(top).to_bits(), sim.voltage(mid).to_bits()]
+    };
+
+    let mut frozen: Vec<Option<[u64; 3]>> = vec![None; n_lanes];
+    let mut expected_lane_steps = 0u64;
+    let mut expected_retired = 0u64;
+    let mut nan_hits = 0u64;
+
+    for step in 0..STEPS {
+        let mut injected_nan = vec![false; n_lanes];
+        for (i, spec) in specs.iter().enumerate() {
+            if !batch.is_active(i) {
+                continue;
+            }
+            expected_lane_steps += 1;
+            let (controls, _, _) = &handles[i];
+            for (k, &c) in controls.iter().enumerate() {
+                batch.lane_mut(i).set_control(c, control_value(spec, k, step));
+            }
+            if let Some(x) = schedule.injection(i, step) {
+                batch.lane_mut(i).set_control(controls[0], x);
+                if x.is_nan() {
+                    injected_nan[i] = true;
+                    nan_hits += 1;
+                }
+            }
+        }
+        let before: Vec<[u64; 3]> = (0..n_lanes)
+            .map(|i| observe(batch.lane(i), handles[i].1, handles[i].2))
+            .collect();
+
+        // Summarize outcomes into owned values so the batch can be
+        // re-borrowed for observation below.
+        let outcomes: Vec<Option<Option<vs_circuit::StepReport>>> = batch
+            .step_all(&policy)
+            .iter()
+            .map(|o| match o {
+                LaneOutcome::Stepped(r) => Some(Some(*r)),
+                LaneOutcome::Faulted(_) => Some(None),
+                LaneOutcome::Retired => None,
+            })
+            .collect();
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                Some(Some(r)) => {
+                    let now = f64::from_bits(before[i][0]);
+                    assert!(
+                        batch.lane(i).time() > now,
+                        "round {round}: stepped lane {i} did not advance at step {step}"
+                    );
+                    if injected_nan[i] {
+                        // The masked lane rejoined within its budget, in the
+                        // same shared step, after sanitizing the bad input.
+                        assert!(
+                            r.recovered(),
+                            "round {round}: NaN injection on lane {i} at step \
+                             {step} did not trigger recovery"
+                        );
+                        assert!(r.retries <= policy.max_attempts);
+                        assert!(r.sanitized_controls >= 1);
+                    }
+                }
+                Some(None) => {
+                    assert_eq!(
+                        schedule.fatal,
+                        Some((i, step)),
+                        "round {round}: lane {i} faulted without a fatal injection"
+                    );
+                    // Exhausted recovery restores the last accepted state.
+                    let now = observe(batch.lane(i), handles[i].1, handles[i].2);
+                    assert_eq!(now, before[i], "faulted lane moved off its last state");
+                    frozen[i] = Some(now);
+                    expected_retired += 1;
+                }
+                None => {
+                    let want = frozen[i].expect("Retired implies an earlier fault");
+                    let now = observe(batch.lane(i), handles[i].1, handles[i].2);
+                    assert_eq!(
+                        now, want,
+                        "round {round}: retired lane {i} was advanced at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    let stats = batch.stats();
+    assert_eq!(stats.shared_steps, STEPS);
+    assert_eq!(stats.lane_steps, expected_lane_steps);
+    assert_eq!(stats.retired, expected_retired);
+    // Every mask exit is accounted for: it either rejoined or retired.
+    assert_eq!(
+        stats.mask_exits,
+        stats.rejoins + stats.retired,
+        "round {round}: mask ledger does not balance: {stats:?}"
+    );
+    // Every recoverable fault actually exercised the mask.
+    assert_eq!(
+        stats.rejoins, nan_hits,
+        "round {round}: NaN injections vs rejoins mismatch: {stats:?}"
+    );
+}
+
+#[test]
+fn random_divergence_schedules_preserve_mask_invariants() {
+    for round in 0..ROUNDS {
+        fuzz_round(round);
+    }
+}

@@ -280,6 +280,9 @@ pub struct LuFactors<T> {
     /// Strictly-upper nonzero columns, same layout.
     upper_cols: Vec<u32>,
     upper_start: Vec<u32>,
+    /// FNV-1a hash of the symbolic structure (dimension, pivot sequence and
+    /// the recorded L/U sparsity patterns), refreshed on every refactor.
+    structure_key: u64,
 }
 
 impl<T: Scalar> Default for LuFactors<T> {
@@ -293,6 +296,7 @@ impl<T: Scalar> Default for LuFactors<T> {
             lower_start: Vec::new(),
             upper_cols: Vec::new(),
             upper_start: Vec::new(),
+            structure_key: 0,
         }
     }
 }
@@ -396,6 +400,36 @@ impl<T: Scalar> LuFactors<T> {
             }
             self.upper_start.push(self.upper_cols.len() as u32);
         }
+        self.structure_key = self.compute_structure_key();
+    }
+
+    /// FNV-1a over the symbolic structure; cached so per-step lane grouping
+    /// costs one integer compare instead of an O(nnz) sweep.
+    fn compute_structure_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |w: u64| {
+            for byte in w.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.lu.n_rows() as u64);
+        for &p in &self.pivots {
+            eat(p as u64);
+        }
+        for arr in [
+            &self.lower_cols,
+            &self.lower_start,
+            &self.upper_cols,
+            &self.upper_start,
+        ] {
+            eat(arr.len() as u64);
+            for &c in arr.iter() {
+                eat(u64::from(c));
+            }
+        }
+        h
     }
 
     /// Dimension of the factored system.
@@ -443,6 +477,228 @@ impl<T: Scalar> LuFactors<T> {
         }
     }
 
+    /// Solves `A*x = b` for `n_lanes` right-hand sides held in one
+    /// structure-of-arrays buffer, all sharing this factorization.
+    ///
+    /// `soa` is interleaved index-major: the `n_lanes` values of unknown `i`
+    /// are contiguous at `soa[i * n_lanes..(i + 1) * n_lanes]`, so the inner
+    /// lane loops are unit-stride. Per lane, the arithmetic — permutation
+    /// swaps, forward/backward substitution over the recorded nonzero
+    /// columns, final pivot division — runs in exactly the order of
+    /// [`LuFactors::solve_in_place`], so each lane's result is bit-identical
+    /// to an independent scalar solve; the lanes only amortize the factor-row
+    /// loads and loop bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_lanes == 0` or `soa.len() != dim * n_lanes`.
+    pub fn solve_multi_in_place(&self, soa: &mut [T], n_lanes: usize) {
+        let n = self.dim();
+        assert!(n_lanes > 0, "solve_multi_in_place needs at least one lane");
+        assert_eq!(
+            soa.len(),
+            n * n_lanes,
+            "dimension mismatch in solve_multi_in_place"
+        );
+        // The common lane counts get monomorphized kernels whose inner lane
+        // loops have a compile-time trip count: the lane block lives in
+        // registers across a row's nonzeros instead of round-tripping memory
+        // per term, which is what makes small batches (especially M = 2)
+        // cheaper per lane than the scalar kernel.
+        match n_lanes {
+            1 => self.solve_in_place(soa), // degenerates to the scalar kernel
+            2 => self.solve_multi_fixed::<2>(soa),
+            4 => self.solve_multi_fixed::<4>(soa),
+            8 => self.solve_multi_fixed::<8>(soa),
+            _ => self.solve_multi_dyn(soa, n_lanes),
+        }
+    }
+
+    /// [`LuFactors::solve_multi_in_place`] for a compile-time lane count.
+    /// Per lane the op order is exactly the scalar kernel's; lanes are
+    /// independent, so blocking them into a register array changes no
+    /// floating-point result.
+    fn solve_multi_fixed<const M: usize>(&self, soa: &mut [T]) {
+        let n = self.dim();
+        for (col, &piv) in self.pivots.iter().enumerate() {
+            if piv != col {
+                for l in 0..M {
+                    soa.swap(col * M + l, piv * M + l);
+                }
+            }
+        }
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let s = self.lower_start[i] as usize;
+            let e = self.lower_start[i + 1] as usize;
+            let mut acc: [T; M] =
+                soa[i * M..(i + 1) * M].try_into().expect("lane block");
+            for &j in &self.lower_cols[s..e] {
+                let j = j as usize;
+                let c = row[j];
+                let bj: [T; M] = soa[j * M..(j + 1) * M].try_into().expect("lane block");
+                for l in 0..M {
+                    acc[l] -= c * bj[l];
+                }
+            }
+            soa[i * M..(i + 1) * M].copy_from_slice(&acc);
+        }
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let s = self.upper_start[i] as usize;
+            let e = self.upper_start[i + 1] as usize;
+            let mut acc: [T; M] =
+                soa[i * M..(i + 1) * M].try_into().expect("lane block");
+            for &j in &self.upper_cols[s..e] {
+                let j = j as usize;
+                let c = row[j];
+                let bj: [T; M] = soa[j * M..(j + 1) * M].try_into().expect("lane block");
+                for l in 0..M {
+                    acc[l] -= c * bj[l];
+                }
+            }
+            let d = row[i];
+            for x in &mut acc {
+                *x = *x / d;
+            }
+            soa[i * M..(i + 1) * M].copy_from_slice(&acc);
+        }
+    }
+
+    /// [`LuFactors::solve_multi_in_place`] for an arbitrary lane count.
+    fn solve_multi_dyn(&self, soa: &mut [T], n_lanes: usize) {
+        let n = self.dim();
+        for (col, &piv) in self.pivots.iter().enumerate() {
+            if piv != col {
+                for l in 0..n_lanes {
+                    soa.swap(col * n_lanes + l, piv * n_lanes + l);
+                }
+            }
+        }
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let s = self.lower_start[i] as usize;
+            let e = self.lower_start[i + 1] as usize;
+            // Rows j < i are finished; split keeps the borrows disjoint.
+            let (done, rest) = soa.split_at_mut(i * n_lanes);
+            let bi = &mut rest[..n_lanes];
+            for &j in &self.lower_cols[s..e] {
+                let c = row[j as usize];
+                let bj = &done[j as usize * n_lanes..(j as usize + 1) * n_lanes];
+                for (x, &y) in bi.iter_mut().zip(bj) {
+                    *x -= c * y;
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let s = self.upper_start[i] as usize;
+            let e = self.upper_start[i + 1] as usize;
+            // Rows j > i are finished here; they live above the split.
+            let (head, done) = soa.split_at_mut((i + 1) * n_lanes);
+            let bi = &mut head[i * n_lanes..];
+            for &j in &self.upper_cols[s..e] {
+                let c = row[j as usize];
+                let off = (j as usize - i - 1) * n_lanes;
+                let bj = &done[off..off + n_lanes];
+                for (x, &y) in bi.iter_mut().zip(bj) {
+                    *x -= c * y;
+                }
+            }
+            let d = row[i];
+            for x in bi.iter_mut() {
+                *x = *x / d;
+            }
+        }
+    }
+
+    /// Solves one SoA buffer of right-hand sides where every lane has its
+    /// **own numeric factorization** but all lanes share one symbolic
+    /// structure (identical pivot sequence and L/U sparsity patterns —
+    /// see [`LuFactors::same_structure`]).
+    ///
+    /// `soa` uses the same interleaved index-major layout as
+    /// [`LuFactors::solve_multi_in_place`], with `factors.len()` lanes. Lane
+    /// `l` is solved against `factors[l]`; per lane the operation sequence is
+    /// exactly the scalar kernel's, so results are bit-identical to
+    /// independent [`LuFactors::solve_in_place`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty or `soa.len() != dim * factors.len()`.
+    /// Debug builds also assert the shared-structure precondition.
+    pub fn solve_lanes_in_place(factors: &[&Self], soa: &mut [T]) {
+        let m = factors.len();
+        assert!(m > 0, "solve_lanes_in_place needs at least one lane");
+        let lead = factors[0];
+        let n = lead.dim();
+        assert_eq!(
+            soa.len(),
+            n * m,
+            "dimension mismatch in solve_lanes_in_place"
+        );
+        debug_assert!(
+            factors.iter().all(|f| lead.same_structure(f)),
+            "solve_lanes_in_place requires a shared symbolic structure"
+        );
+        for (col, &piv) in lead.pivots.iter().enumerate() {
+            if piv != col {
+                for l in 0..m {
+                    soa.swap(col * m + l, piv * m + l);
+                }
+            }
+        }
+        for i in 1..n {
+            let s = lead.lower_start[i] as usize;
+            let e = lead.lower_start[i + 1] as usize;
+            let (done, rest) = soa.split_at_mut(i * m);
+            let bi = &mut rest[..m];
+            for &j in &lead.lower_cols[s..e] {
+                let j = j as usize;
+                let bj = &done[j * m..(j + 1) * m];
+                for (l, x) in bi.iter_mut().enumerate() {
+                    *x -= factors[l].lu.row(i)[j] * bj[l];
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            let s = lead.upper_start[i] as usize;
+            let e = lead.upper_start[i + 1] as usize;
+            let (head, done) = soa.split_at_mut((i + 1) * m);
+            let bi = &mut head[i * m..];
+            for &j in &lead.upper_cols[s..e] {
+                let j = j as usize;
+                let off = (j - i - 1) * m;
+                let bj = &done[off..off + m];
+                for (l, x) in bi.iter_mut().enumerate() {
+                    *x -= factors[l].lu.row(i)[j] * bj[l];
+                }
+            }
+            for (l, x) in bi.iter_mut().enumerate() {
+                *x = *x / factors[l].lu.row(i)[i];
+            }
+        }
+    }
+
+    /// Cached FNV-1a key of the symbolic structure (dimension, pivots,
+    /// sparsity patterns). Two factorizations with equal keys are grouped
+    /// into one multi-lane solve; [`LuFactors::same_structure`] is the exact
+    /// (collision-free) check used in debug assertions.
+    pub fn structure_key(&self) -> u64 {
+        self.structure_key
+    }
+
+    /// Exact comparison of the symbolic structure: dimension, pivot
+    /// sequence, and the recorded L/U nonzero patterns.
+    pub fn same_structure(&self, other: &Self) -> bool {
+        self.lu.n_rows() == other.lu.n_rows()
+            && self.pivots == other.pivots
+            && self.lower_cols == other.lower_cols
+            && self.lower_start == other.lower_start
+            && self.upper_cols == other.upper_cols
+            && self.upper_start == other.upper_start
+    }
+
     /// Convenience wrapper returning the solution as a new vector.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         let mut x = b.to_vec();
@@ -464,6 +720,23 @@ impl<T: Scalar> LuFactors<T> {
             }
         }
         inv
+    }
+}
+
+impl LuFactors<f64> {
+    /// Bitwise equality of two real factorizations: same structure and every
+    /// stored factor entry identical down to the sign of zero. Lanes whose
+    /// factors pass this check can share one representative factorization in
+    /// a multi-lane solve without perturbing any lane's result bits.
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.same_structure(other)
+            && (0..self.lu.n_rows()).all(|i| {
+                self.lu
+                    .row(i)
+                    .iter()
+                    .zip(other.lu.row(i))
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            })
     }
 }
 
@@ -575,6 +848,116 @@ mod tests {
         for i in 0..n {
             assert!((r[i] - b[i]).abs() < 1e-10);
         }
+    }
+
+    /// The banded diagonally dominant system used by the sparse-pattern test,
+    /// optionally value-perturbed without changing the nonzero structure or
+    /// the pivot choices.
+    fn banded_system(n: usize, perturb: f64) -> Matrix<f64> {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 4.0 + i as f64 * 0.125 + perturb;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0 - 0.25 * perturb;
+                a[(i + 1, i)] = -0.5 + 0.125 * perturb;
+            }
+            if i + 5 < n {
+                a[(i, i + 5)] = 0.25 + 0.0625 * perturb;
+            }
+        }
+        a
+    }
+
+    fn lane_rhs(n: usize, lane: u64) -> Vec<f64> {
+        let mut seed = 0x243f_6a88_85a3_08d3u64 ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        (0..n).map(|_| next()).collect()
+    }
+
+    #[test]
+    fn multi_lane_solve_is_bit_identical_to_scalar() {
+        let n = 16;
+        let a = banded_system(n, 0.0);
+        let lu = LuFactors::factor(&a).unwrap();
+        for n_lanes in [1usize, 2, 3, 4, 8] {
+            let rhs: Vec<Vec<f64>> = (0..n_lanes).map(|l| lane_rhs(n, l as u64)).collect();
+            // Interleave index-major, solve batched.
+            let mut soa = vec![0.0f64; n * n_lanes];
+            for (l, b) in rhs.iter().enumerate() {
+                for i in 0..n {
+                    soa[i * n_lanes + l] = b[i];
+                }
+            }
+            lu.solve_multi_in_place(&mut soa, n_lanes);
+            // Every lane must match an independent scalar solve bit-for-bit.
+            for (l, b) in rhs.iter().enumerate() {
+                let mut x = b.clone();
+                lu.solve_in_place(&mut x);
+                for i in 0..n {
+                    assert_eq!(
+                        soa[i * n_lanes + l].to_bits(),
+                        x[i].to_bits(),
+                        "lane {l} of {n_lanes} diverged at row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_lane_factor_solve_is_bit_identical_to_scalar() {
+        let n = 16;
+        let n_lanes = 4;
+        // Parameter-variant systems: same sparsity and pivots, different
+        // numeric values per lane.
+        let lus: Vec<LuFactors<f64>> = (0..n_lanes)
+            .map(|l| LuFactors::factor(&banded_system(n, 0.03 * l as f64)).unwrap())
+            .collect();
+        let lead_key = lus[0].structure_key();
+        for lu in &lus {
+            assert_eq!(lu.structure_key(), lead_key);
+            assert!(lus[0].same_structure(lu));
+        }
+        assert!(lus[0].bitwise_eq(&lus[0]));
+        assert!(!lus[0].bitwise_eq(&lus[1]));
+
+        let rhs: Vec<Vec<f64>> = (0..n_lanes).map(|l| lane_rhs(n, 100 + l as u64)).collect();
+        let mut soa = vec![0.0f64; n * n_lanes];
+        for (l, b) in rhs.iter().enumerate() {
+            for i in 0..n {
+                soa[i * n_lanes + l] = b[i];
+            }
+        }
+        let refs: Vec<&LuFactors<f64>> = lus.iter().collect();
+        LuFactors::solve_lanes_in_place(&refs, &mut soa);
+        for (l, b) in rhs.iter().enumerate() {
+            let mut x = b.clone();
+            lus[l].solve_in_place(&mut x);
+            for i in 0..n {
+                assert_eq!(
+                    soa[i * n_lanes + l].to_bits(),
+                    x[i].to_bits(),
+                    "lane {l} diverged at row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structure_key_distinguishes_different_patterns() {
+        let banded = LuFactors::factor(&banded_system(16, 0.0)).unwrap();
+        let dense = {
+            let mut a = banded_system(16, 0.0);
+            a[(15, 0)] = 0.125; // extra fill changes the symbolic structure
+            LuFactors::factor(&a).unwrap()
+        };
+        assert_ne!(banded.structure_key(), dense.structure_key());
+        assert!(!banded.same_structure(&dense));
     }
 
     #[test]
