@@ -33,68 +33,36 @@
 use std::process::ExitCode;
 
 use vs_bench::campaign::run_campaign;
-use vs_bench::{obs, print_table, volts, BenchEnv};
+use vs_bench::cli::{ArgSpec, CommandSpec};
+use vs_bench::{print_table, volts, BenchEnv};
 use vs_core::{ScenarioId, SupervisorConfig};
 use vs_telemetry::{write_atomic, Event, RunArtifact, RunManifest, SCHEMA_VERSION};
 
-/// Where the JSONL artifact should go, if anywhere: `--json <path>` wins
-/// over `VS_FAULT_JSON`; `-` means stdout.
-fn json_sink(env: &BenchEnv) -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            return Some(args.next().unwrap_or_else(|| "-".to_string()));
-        }
-    }
-    env.fault_json.clone()
-}
-
-/// Worker count from `--jobs N` (0 or absent = one per core).
-fn jobs_arg() -> usize {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--jobs" {
-            return args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("error: --jobs must be an integer");
-                    std::process::exit(2);
-                });
-        }
-    }
-    0
-}
-
-/// Applies `--progress plain|json|off` (or `--progress=MODE`) to the
-/// process-wide progress sink; shares the mode vocabulary with `sweep`.
-fn apply_progress_arg() {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mode = match a.strip_prefix("--progress=") {
-            Some(m) => Some(m.to_string()),
-            None if a == "--progress" => Some(args.next().unwrap_or_default()),
-            None => None,
-        };
-        if let Some(mode) = mode {
-            match mode.parse() {
-                Ok(m) => obs::set_progress(m),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                }
-            }
-            return;
-        }
-    }
-}
+const SPEC: CommandSpec = CommandSpec {
+    prog: "fault_campaign",
+    about: "Sweep fault mechanism x severity x PDS and print the resilience table",
+    common: &["--jobs", "--progress"],
+    extras: &[ArgSpec {
+        name: "--json",
+        value: Some("PATH"),
+        help: "also emit the table as a JSONL artifact (- = stdout; wins over VS_FAULT_JSON)",
+    }],
+    positionals: &[],
+};
 
 fn main() -> ExitCode {
     vs_bench::install_panic_hook("fault_campaign");
     let env = BenchEnv::from_env_or_exit();
     let settings = env.settings;
-    let jobs = jobs_arg();
-    apply_progress_arg();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = SPEC.parse_or_exit(&args);
+    parsed.common.apply_observability();
+    let jobs = parsed.common.jobs;
+    // `--json PATH` wins over `VS_FAULT_JSON`; `-` means stdout.
+    let json_sink = parsed
+        .extra("--json")
+        .map(str::to_string)
+        .or_else(|| env.fault_json.clone());
     let supervisor = SupervisorConfig::default();
     let benchmark = ScenarioId::Heartwall.profile();
 
@@ -144,7 +112,7 @@ fn main() -> ExitCode {
         volts(supervisor.v_guardband),
     );
 
-    if let Some(sink) = json_sink(&env) {
+    if let Some(sink) = json_sink {
         let artifact = RunArtifact { events };
         if sink == "-" {
             print!("{}", artifact.to_jsonl());

@@ -50,6 +50,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vs_bench::claims::{check_claims, ClaimResult};
+use vs_bench::cli::{ArgSpec, CommandSpec};
 use vs_bench::report::{diff_baseline, RunReport, TRACE_FILE};
 use vs_bench::sweep::{run_sweep, SweepOptions};
 use vs_bench::{journal, obs, shard, ExperimentId, RunSettings};
@@ -57,19 +58,50 @@ use vs_telemetry::{chrome_trace_json, diff_artifacts, write_atomic, RunArtifact,
 
 const DEFAULT_TOLERANCES: &str = "goldens/tolerances.json";
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: sweep [run] [--jobs N] [--batch-lanes N] [--out DIR] [--only id,...] \
-         [--profile env|golden|tiny] [--seed N] [--deterministic] \
-         [--resume DIR] [--diff GOLDEN_DIR] [--tolerances FILE] \
-         [--trace] [--progress plain|json|off]\n\
-         \x20      sweep diff <golden dir|file> <candidate dir|file> [--tolerances FILE]\n\
-         \x20      sweep diff-baseline <baseline dir> <candidate dir> [--tolerances FILE]\n\
-         \x20      sweep report <dir>\n\
-         \x20      sweep list"
-    );
-    std::process::exit(2);
-}
+const TOLERANCES_FLAG: ArgSpec = ArgSpec {
+    name: "--tolerances",
+    value: Some("FILE"),
+    help: "per-metric tolerance spec for diffs (default goldens/tolerances.json)",
+};
+
+const RUN_SPEC: CommandSpec = CommandSpec {
+    prog: "sweep run",
+    about: "Run the experiment catalogue across a worker pool and check headline claims",
+    common: &["--jobs", "--batch-lanes", "--out", "--resume", "--trace", "--progress"],
+    extras: &[
+        ArgSpec { name: "--only", value: Some("id,..."), help: "run only the named experiments (see `sweep list`)" },
+        ArgSpec { name: "--profile", value: Some("env|golden|tiny"), help: "run-settings profile (default env)" },
+        ArgSpec { name: "--seed", value: Some("N"), help: "override the workload seed" },
+        ArgSpec { name: "--deterministic", value: None, help: "wall-time-free artifacts, no journal (golden mode)" },
+        ArgSpec { name: "--diff", value: Some("GOLDEN"), help: "diff every artifact against a blessed tree" },
+        TOLERANCES_FLAG,
+    ],
+    positionals: &[],
+};
+
+const DIFF_SPEC: CommandSpec = CommandSpec {
+    prog: "sweep diff",
+    about: "Diff a candidate artifact (or tree) against a golden one",
+    common: &[],
+    extras: &[TOLERANCES_FLAG],
+    positionals: &["GOLDEN", "CANDIDATE"],
+};
+
+const DIFF_BASELINE_SPEC: CommandSpec = CommandSpec {
+    prog: "sweep diff-baseline",
+    about: "Regression gate: compare two artifact stores, machine-readable verdict on stdout",
+    common: &[],
+    extras: &[TOLERANCES_FLAG],
+    positionals: &["BASELINE", "CANDIDATE"],
+};
+
+const REPORT_SPEC: CommandSpec = CommandSpec {
+    prog: "sweep report",
+    about: "Join a finished run's manifest, journal, and trace into a wall-time report",
+    common: &[],
+    extras: &[],
+    positionals: &["DIR"],
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -130,66 +162,23 @@ fn load_tolerances(path: Option<&str>) -> ToleranceSpec {
     }
 }
 
-fn set_progress(mode: &str) {
-    match mode.parse() {
-        Ok(m) => obs::set_progress(m),
-        Err(e) => fail(&e),
-    }
-}
-
 fn run_main(args: &[String]) -> ExitCode {
-    let mut jobs = 0usize;
-    let mut batch_lanes = 0usize;
-    let mut out = PathBuf::from("target/sweep");
-    let mut only: Option<Vec<ExperimentId>> = None;
-    let mut profile = "env".to_string();
-    let mut seed: Option<u64> = None;
-    let mut diff_dir: Option<PathBuf> = None;
-    let mut tolerances: Option<String> = None;
-    let mut deterministic = false;
-    let mut resume: Option<PathBuf> = None;
-    let mut trace = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
-                .clone()
-        };
-        match arg.as_str() {
-            "--jobs" => {
-                jobs = value("--jobs")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--jobs must be an integer"));
-            }
-            "--batch-lanes" => {
-                batch_lanes = value("--batch-lanes")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--batch-lanes must be an integer"));
-            }
-            "--out" => out = PathBuf::from(value("--out")),
-            "--only" => only = Some(parse_only(&value("--only"))),
-            "--profile" => profile = value("--profile"),
-            "--seed" => {
-                seed = Some(
-                    value("--seed")
-                        .parse()
-                        .unwrap_or_else(|_| fail("--seed must be an integer")),
-                );
-            }
-            "--diff" => diff_dir = Some(PathBuf::from(value("--diff"))),
-            "--tolerances" => tolerances = Some(value("--tolerances")),
-            "--deterministic" => deterministic = true,
-            "--resume" => resume = Some(PathBuf::from(value("--resume"))),
-            "--trace" => trace = true,
-            "--progress" => set_progress(&value("--progress")),
-            other => match other.strip_prefix("--progress=") {
-                Some(mode) => set_progress(mode),
-                None => usage(),
-            },
-        }
-    }
-    let mut settings = match profile.as_str() {
+    let parsed = RUN_SPEC.parse_or_exit(args);
+    parsed.common.apply_observability();
+    let jobs = parsed.common.jobs;
+    let batch_lanes = parsed.common.batch_lanes;
+    let mut out = parsed
+        .common
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/sweep"));
+    let only: Option<Vec<ExperimentId>> = parsed.extra("--only").map(parse_only);
+    let diff_dir: Option<PathBuf> = parsed.extra("--diff").map(PathBuf::from);
+    let tolerances = parsed.extra("--tolerances");
+    let deterministic = parsed.has("--deterministic");
+    let trace = parsed.common.trace;
+
+    let mut settings = match parsed.extra("--profile").unwrap_or("env") {
         "env" => match RunSettings::try_from_env() {
             Ok(s) => s,
             Err(e) => fail(&e.to_string()),
@@ -198,11 +187,13 @@ fn run_main(args: &[String]) -> ExitCode {
         "tiny" => RunSettings::tiny_profile(),
         other => fail(&format!("unknown profile {other:?} (env|golden|tiny)")),
     };
-    if let Some(seed) = seed {
-        settings.seed = seed;
+    if let Some(seed) = parsed.extra("--seed") {
+        settings.seed = seed
+            .parse()
+            .unwrap_or_else(|_| fail("--seed must be an integer"));
     }
 
-    if let Some(dir) = &resume {
+    if let Some(dir) = &parsed.common.resume {
         // Resume targets the journaled directory itself: artifacts land
         // where the interrupted run left its verified work.
         out = dir.clone();
@@ -222,9 +213,6 @@ fn run_main(args: &[String]) -> ExitCode {
     // Golden (deterministic) trees carry no journal; every other run
     // journals completed work into the output directory for --resume.
     let journal_dir = (!deterministic).then(|| out.clone());
-    if trace {
-        obs::set_tracing(true);
-    }
     let result = run_sweep(&SweepOptions {
         jobs,
         batch_lanes,
@@ -292,7 +280,7 @@ fn run_main(args: &[String]) -> ExitCode {
     }
 
     if let Some(golden) = diff_dir {
-        let spec = load_tolerances(tolerances.as_deref());
+        let spec = load_tolerances(tolerances);
         ok &= diff_trees(&golden, &out, &spec);
     }
     if result.is_degraded() {
@@ -317,27 +305,14 @@ fn run_main(args: &[String]) -> ExitCode {
 }
 
 fn diff_main(args: &[String]) -> ExitCode {
-    let mut paths = Vec::new();
-    let mut tolerances: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--tolerances" => {
-                tolerances = Some(
-                    it.next()
-                        .unwrap_or_else(|| fail("--tolerances needs a value"))
-                        .clone(),
-                );
-            }
-            other if other.starts_with("--") => usage(),
-            other => paths.push(PathBuf::from(other)),
-        }
-    }
-    if paths.len() != 2 {
-        usage();
-    }
-    let spec = load_tolerances(tolerances.as_deref());
-    if diff_trees(&paths[0], &paths[1], &spec) {
+    let parsed = DIFF_SPEC.parse_or_exit(args);
+    let [golden, candidate] = parsed.positionals.as_slice() else {
+        eprintln!("error: expected two paths");
+        eprintln!("{}", DIFF_SPEC.usage());
+        return ExitCode::from(2);
+    };
+    let spec = load_tolerances(parsed.extra("--tolerances"));
+    if diff_trees(Path::new(golden), Path::new(candidate), &spec) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -346,7 +321,12 @@ fn diff_main(args: &[String]) -> ExitCode {
 
 /// `sweep report <dir>`: the joined run report.
 fn report_main(args: &[String]) -> ExitCode {
-    let [dir] = args else { usage() };
+    let parsed = REPORT_SPEC.parse_or_exit(args);
+    let [dir] = parsed.positionals.as_slice() else {
+        eprintln!("error: expected a run directory");
+        eprintln!("{}", REPORT_SPEC.usage());
+        return ExitCode::from(2);
+    };
     match RunReport::load(Path::new(dir)) {
         Ok(report) => {
             print!("{report}");
@@ -360,25 +340,15 @@ fn report_main(args: &[String]) -> ExitCode {
 /// Machine-readable verdict on stdout, human rendering on stderr;
 /// exit 0 on pass, 1 on drift, 2 on environment errors.
 fn diff_baseline_main(args: &[String]) -> ExitCode {
-    let mut paths = Vec::new();
-    let mut tolerances: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--tolerances" => {
-                tolerances = Some(
-                    it.next()
-                        .unwrap_or_else(|| fail("--tolerances needs a value"))
-                        .clone(),
-                );
-            }
-            other if other.starts_with("--") => usage(),
-            other => paths.push(PathBuf::from(other)),
-        }
-    }
-    let [baseline, candidate] = paths.as_slice() else { usage() };
-    let spec = load_tolerances(tolerances.as_deref());
-    let verdict = diff_baseline(baseline, candidate, &spec).unwrap_or_else(|e| fail(&e));
+    let parsed = DIFF_BASELINE_SPEC.parse_or_exit(args);
+    let [baseline, candidate] = parsed.positionals.as_slice() else {
+        eprintln!("error: expected two paths");
+        eprintln!("{}", DIFF_BASELINE_SPEC.usage());
+        return ExitCode::from(2);
+    };
+    let (baseline, candidate) = (PathBuf::from(baseline), PathBuf::from(candidate));
+    let spec = load_tolerances(parsed.extra("--tolerances"));
+    let verdict = diff_baseline(&baseline, &candidate, &spec).unwrap_or_else(|e| fail(&e));
     println!("{}", verdict.to_json().to_string_compact());
     eprint!("{}", verdict.render());
     if verdict.is_pass() {
@@ -408,10 +378,14 @@ fn diff_trees(golden: &Path, candidate: &Path, spec: &ToleranceSpec) -> bool {
                 let name = entry.ok()?.file_name().into_string().ok()?;
                 let stem = name.strip_suffix(".jsonl")?;
                 // The suite manifest carries wall time, not metrics; the
-                // fault-campaign artifact is not produced by the sweep and
-                // is diffed byte-for-byte by `scripts/ci.sh --golden`; the
-                // completion journal is bookkeeping, not an artifact.
-                (stem != "manifest" && stem != "fault_campaign" && stem != "journal")
+                // fault-campaign and dse artifacts are not produced by the
+                // sweep and are diffed separately by `scripts/ci.sh
+                // --golden`; the completion journal is bookkeeping, not an
+                // artifact.
+                (stem != "manifest"
+                    && stem != "fault_campaign"
+                    && stem != "dse_frontier"
+                    && stem != "journal")
                     .then(|| stem.to_string())
             })
             .collect();

@@ -149,6 +149,38 @@ impl ExperimentId {
     }
 }
 
+impl std::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for a name outside the experiment catalogue (the
+/// [`std::str::FromStr`] counterpart of `vs_core::UnknownScenario`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The rejected name.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown experiment {:?} (see `sweep list`)", self.name)
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+impl std::str::FromStr for ExperimentId {
+    type Err = UnknownExperiment;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentId::from_name(s).ok_or_else(|| UnknownExperiment {
+            name: s.to_string(),
+        })
+    }
+}
+
 /// What one experiment produced: the exact stdout text and the structured
 /// artifact the regression tooling consumes.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +272,43 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), ExperimentId::ALL.len());
         assert_eq!(ExperimentId::from_name("fig999"), None);
+    }
+
+    /// The `Display`/`FromStr` round-trip contract, shared with
+    /// `vs_core::ScenarioId`: `to_string` emits exactly the canonical name
+    /// and `parse` inverts it, with a typed error for unknown names.
+    #[test]
+    fn display_fromstr_roundtrip_contract() {
+        for id in ExperimentId::ALL {
+            assert_eq!(id.to_string(), id.name());
+            assert_eq!(id.to_string().parse::<ExperimentId>(), Ok(id));
+        }
+        for id in vs_core::ScenarioId::ALL {
+            assert_eq!(id.to_string(), id.name());
+            assert_eq!(id.to_string().parse::<vs_core::ScenarioId>(), Ok(id));
+        }
+        let e = "fig999".parse::<ExperimentId>().unwrap_err();
+        assert_eq!(e.name, "fig999");
+        assert!(e.to_string().contains("fig999"));
+    }
+
+    /// Experiment and scenario names stay inside the `ConfigPoint` grammar's
+    /// word alphabet (lowercase + digits + underscore, no commas/equals/
+    /// pipes), so either can serve verbatim as a `k=v` word or a metric
+    /// label value (see [`crate::space`]).
+    #[test]
+    fn names_align_with_the_sweep_grammar() {
+        let ok = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        };
+        for id in ExperimentId::ALL {
+            assert!(ok(id.name()), "experiment name breaks the grammar: {id}");
+        }
+        for id in vs_core::ScenarioId::ALL {
+            assert!(ok(id.name()), "scenario name breaks the grammar: {id}");
+        }
     }
 
     #[test]

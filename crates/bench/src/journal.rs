@@ -37,6 +37,7 @@ use vs_telemetry::{
 };
 
 use crate::chaos;
+use crate::dse::PointMetrics;
 use crate::shard::SuiteKey;
 
 /// The completion journal's file name inside a sweep directory.
@@ -128,6 +129,139 @@ pub fn record_experiment(dir: &Path, id: &str, file: &str, bytes: &[u8]) -> io::
     append_journal(&dir.join(JOURNAL_FILE), &record)
 }
 
+/// The cache path for one dse point's metrics, relative to the dse
+/// directory: `points/<key-digest>.json`.
+pub fn point_cache_rel(key: &SuiteKey) -> String {
+    format!("points/{}.json", key.cache_dir())
+}
+
+/// The one-line point-cache payload: the full suite key and the point's
+/// grammar string (both for identity verification on replay) plus the
+/// measured objectives.
+fn point_payload(key: &SuiteKey, point: &str, m: &PointMetrics) -> String {
+    let mut line = Json::obj([
+        ("key", Json::from(key.to_hex().as_str())),
+        ("point", Json::from(point)),
+        ("pde", Json::from(m.pde)),
+        ("worst_v", Json::from(m.worst_v)),
+        ("final_v", Json::from(m.final_v)),
+    ])
+    .to_string_compact();
+    line.push('\n');
+    line
+}
+
+/// Persists one evaluated dse point with the same crash-safety order as
+/// [`record_scenario`]: atomic cache write first, journal append second.
+/// A scheduled chaos tear (keyed by the cache file's name) writes a
+/// truncated file directly and skips the journal line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the dse executor treats them as
+/// best-effort (a lost record costs a recompute on resume, not the run).
+pub fn record_point(
+    dir: &Path,
+    key: &SuiteKey,
+    point: &str,
+    metrics: &PointMetrics,
+) -> io::Result<()> {
+    let rel = point_cache_rel(key);
+    let path = dir.join(&rel);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let bytes = point_payload(key, point, metrics).into_bytes();
+    let file_name = format!("{}.json", key.cache_dir());
+    if let Some(cut) = chaos::torn_write(&file_name, bytes.len()) {
+        return std::fs::write(&path, &bytes[..cut]);
+    }
+    write_atomic(&path, &bytes)?;
+    let record = JournalRecord::PointDone {
+        key: key.to_hex(),
+        point: point.to_string(),
+        file: rel,
+        checksum: checksum_hex(&bytes),
+    };
+    let _guard = APPEND_LOCK.lock().expect("journal append lock poisoned");
+    append_journal(&dir.join(JOURNAL_FILE), &record)
+}
+
+/// What a dse journal replay recovered.
+#[derive(Debug, Default)]
+pub struct DseResumeState {
+    /// Verified point metrics keyed by [`SuiteKey::to_hex`], ready for
+    /// [`crate::dse::DseOptions::preloaded`].
+    pub verified: HashMap<String, PointMetrics>,
+    /// Point records whose files were missing, torn, mismatched, or
+    /// unparseable — their points recompute.
+    pub damaged: usize,
+    /// Journal lines skipped by the lenient reader (torn tail, corruption).
+    pub skipped_lines: usize,
+}
+
+/// Replays `dir`'s completion journal for dse point records, verifying
+/// each against the bytes on disk (checksum, parse, and key/point identity
+/// agreement). Mirrors [`load_resume`]: a missing journal is an empty
+/// state, duplicates keep the last occurrence, and damage means recompute,
+/// never error. Points journaled under different settings key differently,
+/// so stale caches simply miss.
+///
+/// # Errors
+///
+/// Propagates only filesystem errors from reading the journal itself.
+pub fn load_dse_resume(dir: &Path) -> io::Result<DseResumeState> {
+    let mut state = DseResumeState::default();
+    let text = match std::fs::read_to_string(dir.join(JOURNAL_FILE)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(state),
+        Err(e) => return Err(e),
+    };
+    let (records, skipped) = read_journal(&text);
+    state.skipped_lines = skipped;
+    let mut points: HashMap<String, (String, String, String)> = HashMap::new();
+    for rec in records {
+        if let JournalRecord::PointDone { key, point, file, checksum } = rec {
+            points.insert(key, (point, file, checksum));
+        }
+    }
+    for (key_hex, (point, file, checksum)) in points {
+        match verify_point(dir, &key_hex, &point, &file, &checksum) {
+            Some(metrics) => {
+                state.verified.insert(key_hex, metrics);
+            }
+            None => state.damaged += 1,
+        }
+    }
+    Ok(state)
+}
+
+/// Full verification of one point record: the named file must exist, hash
+/// to the journaled checksum, parse, and agree with the record's key and
+/// point identity.
+fn verify_point(
+    dir: &Path,
+    key_hex: &str,
+    point: &str,
+    file: &str,
+    checksum: &str,
+) -> Option<PointMetrics> {
+    SuiteKey::from_hex(key_hex)?;
+    let bytes = std::fs::read(dir.join(file)).ok()?;
+    if checksum_hex(&bytes) != checksum {
+        return None;
+    }
+    let parsed = json::parse(std::str::from_utf8(&bytes).ok()?.trim()).ok()?;
+    if parsed.get("key")?.as_str()? != key_hex || parsed.get("point")?.as_str()? != point {
+        return None;
+    }
+    Some(PointMetrics {
+        pde: parsed.get("pde")?.as_f64()?,
+        worst_v: parsed.get("worst_v")?.as_f64()?,
+        final_v: parsed.get("final_v")?.as_f64()?,
+    })
+}
+
 /// What a journal replay recovered from a sweep directory.
 #[derive(Debug, Default)]
 pub struct ResumeState {
@@ -179,7 +313,9 @@ pub fn load_resume(dir: &Path) -> io::Result<ResumeState> {
             JournalRecord::ExperimentDone { id, file, checksum } => {
                 experiments.insert(id, (file, checksum));
             }
-            JournalRecord::InternalError { .. } => {}
+            // Point records belong to the dse resume path
+            // ([`load_dse_resume`]); the sweep reader ignores them.
+            JournalRecord::InternalError { .. } | JournalRecord::PointDone { .. } => {}
         }
     }
 
@@ -303,6 +439,51 @@ mod tests {
         let state = load_resume(&dir).unwrap();
         assert_eq!(state.verified_experiments, 0);
         assert_eq!(state.damaged, 2, "torn cache + mismatched artifact");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn point_records_roundtrip_bitexact_and_flag_damage() {
+        let dir = tmp_dir("points");
+        assert!(load_dse_resume(&dir).unwrap().verified.is_empty());
+
+        let settings = crate::RunSettings::tiny_profile();
+        let a: crate::space::ConfigPoint = "area=0.2".parse().unwrap();
+        let b: crate::space::ConfigPoint = "area=0.4,pds=circuit".parse().unwrap();
+        let ka = a.suite_key(&settings);
+        let kb = b.suite_key(&settings);
+        let ma = PointMetrics { pde: 0.912345678901234, worst_v: 0.87, final_v: 0.99 };
+        let mb = PointMetrics { pde: 0.93, worst_v: 0.81, final_v: 0.98 };
+        record_point(&dir, &ka, &a.to_string(), &ma).unwrap();
+        record_point(&dir, &kb, &b.to_string(), &mb).unwrap();
+        // Re-journaling dedupes (last record wins).
+        record_point(&dir, &ka, &a.to_string(), &ma).unwrap();
+
+        let state = load_dse_resume(&dir).unwrap();
+        assert_eq!(state.verified.len(), 2);
+        assert_eq!(state.damaged, 0);
+        let ra = &state.verified[&ka.to_hex()];
+        // Metrics survive the JSON round-trip bit-exactly (shortest
+        // round-trip float formatting), so resumed artifacts can be
+        // byte-identical to undisturbed ones.
+        assert_eq!(ra.pde.to_bits(), ma.pde.to_bits());
+        assert_eq!(ra.worst_v.to_bits(), ma.worst_v.to_bits());
+        assert_eq!(ra.final_v.to_bits(), ma.final_v.to_bits());
+
+        // Tamper with one cache file: only that record turns damaged.
+        let rel = point_cache_rel(&ka);
+        let bytes = std::fs::read(dir.join(&rel)).unwrap();
+        std::fs::write(dir.join(&rel), &bytes[..bytes.len() / 2]).unwrap();
+        let state = load_dse_resume(&dir).unwrap();
+        assert_eq!(state.verified.len(), 1);
+        assert_eq!(state.damaged, 1);
+        assert!(state.verified.contains_key(&kb.to_hex()));
+
+        // Scenario and point records coexist in one journal: the sweep
+        // reader ignores point records and vice versa.
+        let sweep_state = load_resume(&dir).unwrap();
+        assert_eq!(sweep_state.verified_scenarios, 0);
+        assert_eq!(sweep_state.damaged, 0, "point records are not sweep damage");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -35,11 +35,14 @@ use vs_gpu::all_benchmarks;
 pub mod campaign;
 pub mod chaos;
 pub mod claims;
+pub mod cli;
+pub mod dse;
 pub mod experiments;
 pub mod journal;
 pub mod obs;
 pub mod report;
 pub mod shard;
+pub mod space;
 pub mod sweep;
 
 pub use experiments::{ExperimentId, ExperimentOutput, Recorder};

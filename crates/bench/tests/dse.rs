@@ -1,0 +1,135 @@
+//! Tier-1: the dse driver's determinism matrix and crash recovery. A
+//! 64-point grid produces bit-identical frontier artifacts whatever the
+//! worker count or batch-lane setting, and `--resume` after an injected
+//! torn write (plus a tampered point cache) recomputes exactly the lost
+//! points and converges to the undisturbed bytes.
+//!
+//! One `#[test]` on purpose: the chaos plan is process-wide and the
+//! harness runs a binary's `#[test]` functions concurrently — splitting
+//! the phases up would race the global state.
+
+use std::path::PathBuf;
+
+use vs_bench::chaos::{clear_chaos_plan, install_chaos_plan, ChaosPlan};
+use vs_bench::dse::{run_dse, DseOptions};
+use vs_bench::journal::{load_dse_resume, point_cache_rel};
+use vs_bench::space::AxisSpace;
+use vs_bench::RunSettings;
+
+/// Small enough for debug-mode CI: every point runs at the step clamps.
+fn micro() -> RunSettings {
+    RunSettings {
+        workload_scale: 0.02,
+        max_cycles: 20_000,
+        seed: 42,
+    }
+}
+
+/// 4 areas x 4 latencies x 2 families x 2 thresholds = 64 points.
+fn grid() -> AxisSpace {
+    "area=0.1|0.2|0.4|1.72,latency=30|60|90|120,pds=cross|circuit,vth=0.88|0.9"
+        .parse()
+        .expect("grid spec")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vs-bench-dse-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dse_artifacts_are_schedule_invariant_and_resume_converges() {
+    assert_eq!(grid().len(), 64);
+
+    // Phase 1 — undisturbed reference: one worker, single-point claims.
+    clear_chaos_plan();
+    let reference = run_dse(&DseOptions {
+        jobs: 1,
+        settings: micro(),
+        space: grid(),
+        ..DseOptions::default()
+    });
+    assert_eq!(reference.enumerated, 64);
+    assert_eq!(reference.rows.len(), 64, "all 64 points are SuiteKey-unique");
+    assert_eq!(reference.evaluated, 64);
+    assert!(reference.rows.iter().any(|r| r.on_frontier));
+    let ref_bytes = reference.artifact(true).to_jsonl();
+
+    // Phase 2 — determinism matrix: more workers, batched lanes, or both
+    // reorder the schedule but never the bytes.
+    for (jobs, batch_lanes) in [(2, 0), (8, 0), (1, 4), (8, 4)] {
+        let run = run_dse(&DseOptions {
+            jobs,
+            batch_lanes,
+            settings: micro(),
+            space: grid(),
+            ..DseOptions::default()
+        });
+        assert_eq!(
+            run.artifact(true).to_jsonl(),
+            ref_bytes,
+            "artifact drifted at jobs={jobs} batch_lanes={batch_lanes}"
+        );
+    }
+
+    // Phase 3 — a journaled run with one point-cache write torn mid-byte
+    // (simulated SIGKILL between cache write and journal append).
+    let dir = tmp("resume");
+    let settings = micro();
+    let points = grid().points();
+    let torn_key = points[17].suite_key(&settings);
+    install_chaos_plan(ChaosPlan {
+        seed: 7,
+        tasks: vec![],
+        torn_writes: vec![format!("{}.json", torn_key.cache_dir())],
+    });
+    let chaos_run = run_dse(&DseOptions {
+        jobs: 2,
+        settings,
+        space: grid(),
+        journal_dir: Some(dir.clone()),
+        ..DseOptions::default()
+    });
+    clear_chaos_plan();
+    assert_eq!(chaos_run.artifact(true).to_jsonl(), ref_bytes);
+
+    // Tamper a second, successfully journaled cache: its checksum must
+    // flag it damaged on replay.
+    let tampered_key = points[3].suite_key(&settings);
+    assert_ne!(torn_key.to_hex(), tampered_key.to_hex());
+    let tampered_path = dir.join(point_cache_rel(&tampered_key));
+    let mut bytes = std::fs::read(&tampered_path).expect("tampered cache exists");
+    bytes[0] ^= 0x01;
+    std::fs::write(&tampered_path, &bytes).unwrap();
+
+    // The torn point was never journaled (write-then-journal order), so it
+    // is missing rather than damaged; the tampered point is damaged.
+    let state = load_dse_resume(&dir).expect("journal replays");
+    assert_eq!(state.damaged, 1, "exactly the tampered cache is damaged");
+    assert_eq!(state.skipped_lines, 0);
+    assert_eq!(state.verified.len(), 62);
+    assert!(!state.verified.contains_key(&torn_key.to_hex()));
+    assert!(!state.verified.contains_key(&tampered_key.to_hex()));
+
+    // Phase 4 — resume: exactly the two lost points recompute, and the
+    // artifact converges to the undisturbed bytes.
+    let resumed = run_dse(&DseOptions {
+        jobs: 2,
+        settings,
+        space: grid(),
+        journal_dir: Some(dir.clone()),
+        preloaded: state.verified,
+        ..DseOptions::default()
+    });
+    assert_eq!(resumed.replayed, 62);
+    assert_eq!(resumed.evaluated, 2, "only the torn and tampered points rerun");
+    assert_eq!(resumed.artifact(true).to_jsonl(), ref_bytes);
+
+    // The healed journal now verifies everything.
+    let healed = load_dse_resume(&dir).expect("journal replays");
+    assert_eq!(healed.verified.len(), 64);
+    assert_eq!(healed.damaged, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

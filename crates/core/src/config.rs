@@ -1,7 +1,108 @@
 //! Co-simulation configuration: which PDS is under test and how the
 //! cross-layer machinery is parameterized.
 
+use std::fmt;
+use std::str::FromStr;
+
 use vs_control::{ActuatorWeights, DetectorKind};
+use vs_pds::PdnParams;
+
+/// Stack geometry: how the SMs are arranged as series layers × parallel
+/// columns. The paper evaluates 4×4; the design-space sweeps also cover the
+/// shallower 2×8 and deeper 8×2 arrangements of the same 16 SMs.
+///
+/// Parses from / displays as the compact `LxC` form (`4x4`, `2x8`), the
+/// vocabulary the `ConfigPoint` sweep grammar shares with CLIs and
+/// artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StackGeometry {
+    /// Number of stacked layers in series.
+    pub n_layers: u32,
+    /// SM columns per layer.
+    pub n_columns: u32,
+}
+
+impl StackGeometry {
+    /// The paper's 4-layer × 4-column arrangement.
+    pub const PAPER: StackGeometry = StackGeometry { n_layers: 4, n_columns: 4 };
+
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate arrangement (< 2 layers or < 1 column):
+    /// voltage stacking needs at least two series layers.
+    pub fn new(n_layers: u32, n_columns: u32) -> Self {
+        assert!(n_layers >= 2, "voltage stacking needs >= 2 series layers");
+        assert!(n_columns >= 1, "need >= 1 column");
+        StackGeometry { n_layers, n_columns }
+    }
+
+    /// Total SM count.
+    pub fn n_sms(&self) -> u32 {
+        self.n_layers * self.n_columns
+    }
+
+    /// The electrical parameters for this arrangement: calibrated defaults
+    /// with the board supply scaled so each layer sees the nominal 1.025 V
+    /// share (bit-identical to [`PdnParams::default`] at 4×4).
+    pub fn pdn_params(&self) -> PdnParams {
+        PdnParams::with_geometry(self.n_layers as usize, self.n_columns as usize)
+    }
+
+    /// Appends this value's stable identity key (both fields, in order).
+    pub fn stable_key_into(&self, out: &mut Vec<u64>) {
+        let StackGeometry { n_layers, n_columns } = *self;
+        out.extend([u64::from(n_layers), u64::from(n_columns)]);
+    }
+}
+
+impl Default for StackGeometry {
+    fn default() -> Self {
+        StackGeometry::PAPER
+    }
+}
+
+impl fmt::Display for StackGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.n_layers, self.n_columns)
+    }
+}
+
+/// Error for a malformed [`StackGeometry`] word (expected `LxC`, L ≥ 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGeometryError {
+    /// The rejected input.
+    pub text: String,
+}
+
+impl fmt::Display for ParseGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad stack geometry {:?}: expected LxC with L >= 2 layers and C >= 1 \
+             columns (e.g. 4x4, 2x8, 8x2)",
+            self.text
+        )
+    }
+}
+
+impl std::error::Error for ParseGeometryError {}
+
+impl FromStr for StackGeometry {
+    type Err = ParseGeometryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseGeometryError { text: s.to_string() };
+        let (l, c) = s.split_once('x').ok_or_else(err)?;
+        let n_layers: u32 = l.parse().map_err(|_| err())?;
+        let n_columns: u32 = c.parse().map_err(|_| err())?;
+        if n_layers < 2 || n_columns < 1 {
+            return Err(err());
+        }
+        Ok(StackGeometry { n_layers, n_columns })
+    }
+}
 
 /// The four power-delivery-subsystem configurations compared in the paper
 /// (Table III / Fig. 8).
@@ -65,6 +166,9 @@ impl PdsKind {
 pub struct CosimConfig {
     /// PDS configuration under test.
     pub pds: PdsKind,
+    /// Stack geometry (series layers × columns). Single-layer PDS kinds
+    /// keep the same SM count and column layout on one layer.
+    pub geometry: StackGeometry,
     /// Voltage-smoothing trigger threshold, volts (Fig. 12 sweeps this).
     pub v_threshold: f64,
     /// Actuator weight vector (Fig. 13 sweeps this).
@@ -94,6 +198,7 @@ impl Default for CosimConfig {
     fn default() -> Self {
         CosimConfig {
             pds: PdsKind::VsCrossLayer { area_mult: 0.2 },
+            geometry: StackGeometry::PAPER,
             v_threshold: 0.9,
             weights: ActuatorWeights::DIWS_ONLY,
             latency_cycles: 60,
@@ -127,6 +232,7 @@ impl CosimConfig {
     pub fn stable_key_into(&self, out: &mut Vec<u64>) {
         let CosimConfig {
             pds,
+            geometry,
             v_threshold,
             weights,
             latency_cycles,
@@ -139,6 +245,7 @@ impl CosimConfig {
             trace_stride,
         } = *self;
         pds.stable_key_into(out);
+        geometry.stable_key_into(out);
         out.push(v_threshold.to_bits());
         weights.stable_key_into(out);
         out.push(u64::from(latency_cycles));
@@ -179,6 +286,8 @@ mod tests {
         let variants = [
             CosimConfig { pds: PdsKind::ConventionalVrm, ..base.clone() },
             CosimConfig { pds: PdsKind::VsCrossLayer { area_mult: 0.21 }, ..base.clone() },
+            CosimConfig { geometry: StackGeometry::new(2, 8), ..base.clone() },
+            CosimConfig { geometry: StackGeometry::new(8, 2), ..base.clone() },
             CosimConfig { v_threshold: 0.91, ..base.clone() },
             CosimConfig { latency_cycles: 61, ..base.clone() },
             CosimConfig { seed: 43, ..base.clone() },
@@ -193,6 +302,35 @@ mod tests {
         }
         // And an identical config reproduces the key exactly.
         assert_eq!(key(&base.clone()), base_key);
+    }
+
+    #[test]
+    fn geometry_round_trips_through_strings() {
+        for g in [
+            StackGeometry::new(2, 8),
+            StackGeometry::PAPER,
+            StackGeometry::new(8, 2),
+            StackGeometry::new(3, 5),
+        ] {
+            assert_eq!(g.to_string().parse::<StackGeometry>(), Ok(g));
+        }
+        for bad in ["", "4", "4x", "x4", "4x0", "1x16", "4x4x4", "fourxfour"] {
+            let err = bad.parse::<StackGeometry>().unwrap_err();
+            assert_eq!(err.text, bad);
+            assert!(err.to_string().contains("LxC"), "{err}");
+        }
+    }
+
+    #[test]
+    fn geometry_keys_distinguish_transposed_arrangements() {
+        // 2x8 and 8x2 have the same SM count; the key must still differ.
+        let key = |g: StackGeometry| {
+            let mut k = Vec::new();
+            g.stable_key_into(&mut k);
+            k
+        };
+        assert_ne!(key(StackGeometry::new(2, 8)), key(StackGeometry::new(8, 2)));
+        assert_eq!(StackGeometry::new(2, 8).n_sms(), StackGeometry::new(8, 2).n_sms());
     }
 
     #[test]

@@ -145,8 +145,17 @@ impl<'a> CosimBuilder<'a> {
         };
         let overhead_w = controller_cfg.controller_power_w
             + cfg.detector.power_w() * gpu_config.n_sms as f64;
-        let rig = PdsRig::new_in(
+        let params = cfg.geometry.pdn_params();
+        assert_eq!(
+            params.n_sms(),
+            gpu_config.n_sms,
+            "stack geometry {} must arrange exactly the GPU's {} SMs",
+            cfg.geometry,
+            gpu_config.n_sms,
+        );
+        let rig = PdsRig::with_params_in(
             cfg.pds,
+            &params,
             gpu_config.clock_period_s(),
             overhead_w,
             self.workspace,

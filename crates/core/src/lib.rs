@@ -59,14 +59,14 @@ mod seed;
 mod supervisor;
 
 pub use batch::CosimPool;
-pub use config::{CosimConfig, PdsKind};
+pub use config::{CosimConfig, ParseGeometryError, PdsKind, StackGeometry};
 pub use cosim::{run_scenario, Cosim, CosimBuilder, CosimReport, PowerManagement};
 pub use fault::{CrIvrFault, FaultEvent, FaultKind, FaultPlan, FaultWindow, LoadGlitch};
 pub use imbalance::ImbalanceHistogram;
 pub use rig::{EnergyLedger, PdsRig};
 pub use scenarios::{
-    run_worst_case, worst_voltage_for, ScenarioId, UnknownScenario, WorstCaseConfig,
-    WorstCaseResult,
+    run_worst_case, run_worst_case_in, worst_voltage_for, ScenarioId, UnknownScenario,
+    WorstCaseConfig, WorstCaseResult,
 };
 pub use seed::derive_seed;
 pub use supervisor::{CosimError, CycleBudget, RunVerdict, SupervisedReport, SupervisorConfig};

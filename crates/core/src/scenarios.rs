@@ -15,7 +15,9 @@ use vs_circuit::Trace;
 use vs_control::{ActuatorWeights, ControllerConfig, DetectorKind, VoltageController};
 use vs_gpu::WorkloadProfile;
 
-use crate::config::PdsKind;
+use vs_circuit::SolverWorkspace;
+
+use crate::config::{PdsKind, StackGeometry};
 use crate::rig::PdsRig;
 
 /// Typed identifier for the twelve benchmark scenarios of the paper's
@@ -149,6 +151,8 @@ impl FromStr for ScenarioId {
 pub struct WorstCaseConfig {
     /// CR-IVR area as a multiple of the GPU die.
     pub area_mult: f64,
+    /// Stack geometry (series layers × columns).
+    pub geometry: StackGeometry,
     /// Use the cross-layer controller (false = circuit-only).
     pub cross_layer: bool,
     /// Control-loop latency, cycles.
@@ -176,6 +180,7 @@ impl Default for WorstCaseConfig {
     fn default() -> Self {
         WorstCaseConfig {
             area_mult: 0.2,
+            geometry: StackGeometry::PAPER,
             cross_layer: true,
             latency_cycles: 60,
             weights: ActuatorWeights::new(0.6, 0.0, 0.4),
@@ -205,8 +210,23 @@ pub struct WorstCaseResult {
 ///
 /// # Panics
 ///
-/// Panics if `gated_layer` is out of range for the 4-layer stack.
+/// Panics if `gated_layer` is out of range for the configured stack.
 pub fn run_worst_case(cfg: &WorstCaseConfig) -> WorstCaseResult {
+    run_worst_case_in(cfg, SolverWorkspace::new()).0
+}
+
+/// [`run_worst_case`] on a reusable [`SolverWorkspace`], returning the
+/// workspace when the run finishes so callers sweeping many configurations
+/// (the `dse` driver) skip the solver's warm-up allocations on every run
+/// after the first. Reuse never changes results.
+///
+/// # Panics
+///
+/// Panics if `gated_layer` is out of range for the configured stack.
+pub fn run_worst_case_in(
+    cfg: &WorstCaseConfig,
+    workspace: SolverWorkspace,
+) -> (WorstCaseResult, SolverWorkspace) {
     let clock_hz = 700e6;
     let dt = 1.0 / clock_hz;
     let pds = if cfg.cross_layer {
@@ -218,7 +238,7 @@ pub fn run_worst_case(cfg: &WorstCaseConfig) -> WorstCaseResult {
             area_mult: cfg.area_mult,
         }
     };
-    let mut rig = PdsRig::new(pds, dt, 0.08);
+    let mut rig = PdsRig::with_params_in(pds, &cfg.geometry.pdn_params(), dt, 0.08, workspace);
     let (n_layers, n_columns) = rig.topology();
     assert!(cfg.gated_layer < n_layers);
     let n_sms = rig.n_sms();
@@ -300,11 +320,12 @@ pub fn run_worst_case(cfg: &WorstCaseConfig) -> WorstCaseResult {
         }
     }
 
-    WorstCaseResult {
+    let result = WorstCaseResult {
         final_voltage: trace.last().unwrap_or(0.0),
         trace,
         worst_voltage: worst_after_event,
-    }
+    };
+    (result, rig.into_workspace())
 }
 
 /// Fig. 10 sweep point: worst-case voltage for an (area, latency) pair.

@@ -76,6 +76,23 @@ impl Default for PdnParams {
 }
 
 impl PdnParams {
+    /// Default parameters for an `n_layers` × `n_columns` stack. The board
+    /// supply scales with the stack depth so every layer still sees the
+    /// nominal per-layer voltage (`vdd_stack / n_layers` is held at the
+    /// 4-layer default's 4.1 V / 4 = 1.025 V); all parasitics keep their
+    /// calibrated defaults. `with_geometry(4, 4)` is bit-identical to
+    /// [`PdnParams::default`].
+    pub fn with_geometry(n_layers: usize, n_columns: usize) -> Self {
+        let base = PdnParams::default();
+        let per_layer_v = base.vdd_stack / base.n_layers as f64;
+        PdnParams {
+            n_layers,
+            n_columns,
+            vdd_stack: per_layer_v * n_layers as f64,
+            ..base
+        }
+    }
+
     /// Total SM count.
     pub fn n_sms(&self) -> usize {
         self.n_layers * self.n_columns
@@ -141,6 +158,23 @@ mod tests {
     fn defaults_validate() {
         PdnParams::default().validate();
         assert_eq!(PdnParams::default().n_sms(), 16);
+    }
+
+    #[test]
+    fn geometry_constructor_matches_defaults_at_4x4() {
+        assert_eq!(PdnParams::with_geometry(4, 4), PdnParams::default());
+    }
+
+    #[test]
+    fn geometry_constructor_scales_supply_with_depth() {
+        for (nl, nc) in [(2usize, 8usize), (8, 2), (4, 4)] {
+            let p = PdnParams::with_geometry(nl, nc);
+            p.validate();
+            assert_eq!(p.n_sms(), nl * nc);
+            // Per-layer supply share is geometry-invariant.
+            let per_layer = p.vdd_stack / nl as f64;
+            assert!((per_layer - 1.025).abs() < 1e-12, "per-layer {per_layer}");
+        }
     }
 
     #[test]

@@ -176,6 +176,27 @@ pub struct FaultCampaignRow {
     pub error: Option<String>,
 }
 
+/// One evaluated design-space configuration in a `dse` frontier artifact:
+/// the point's sweep-grammar spec plus its objective values and frontier
+/// membership under the (PDE ↑, CR-IVR area ↓, worst-case droop voltage ↑)
+/// dominance rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePointRow {
+    /// The point in the canonical sweep grammar
+    /// (`stack=4x4,area=0.2,...` — also the metric-label vocabulary).
+    pub point: String,
+    /// Power delivery efficiency under the point's balanced load (0..1).
+    pub pde: f64,
+    /// CR-IVR area as a multiple of the GPU die.
+    pub area_mult: f64,
+    /// Worst loaded-SM voltage after the worst-case gating event, volts.
+    pub worst_v: f64,
+    /// Loaded-SM voltage at the end of the worst-case run, volts.
+    pub final_v: f64,
+    /// Whether the point is a member of the Pareto frontier.
+    pub on_frontier: bool,
+}
+
 /// One line of the JSONL stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -199,6 +220,8 @@ pub enum Event {
     Summary(RunSummary),
     /// Fault-campaign table row.
     FaultRow(FaultCampaignRow),
+    /// Design-space exploration point row (frontier artifacts).
+    DsePoint(DsePointRow),
 }
 
 fn f64s(items: &[f64]) -> Json {
@@ -239,6 +262,7 @@ impl Event {
             Event::Metrics(_) => "metrics",
             Event::Summary(_) => "summary",
             Event::FaultRow(_) => "fault_row",
+            Event::DsePoint(_) => "dse_point",
         }
     }
 
@@ -344,6 +368,14 @@ impl Event {
                     r.error.clone().map_or(Json::Null, Json::from),
                 ),
             ]),
+            Event::DsePoint(p) => pairs.extend([
+                ("point".to_string(), Json::from(p.point.clone())),
+                ("pde".to_string(), Json::from(p.pde)),
+                ("area_mult".to_string(), Json::from(p.area_mult)),
+                ("worst_v".to_string(), Json::from(p.worst_v)),
+                ("final_v".to_string(), Json::from(p.final_v)),
+                ("on_frontier".to_string(), Json::from(p.on_frontier)),
+            ]),
         }
         Json::Obj(pairs)
     }
@@ -441,6 +473,14 @@ impl Event {
                     Json::Null => None,
                     other => Some(other.as_str()?.to_string()),
                 },
+            })),
+            "dse_point" => Some(Event::DsePoint(DsePointRow {
+                point: v.get("point")?.as_str()?.to_string(),
+                pde: v.get("pde")?.as_f64()?,
+                area_mult: v.get("area_mult")?.as_f64()?,
+                worst_v: v.get("worst_v")?.as_f64()?,
+                final_v: v.get("final_v")?.as_f64()?,
+                on_frontier: v.get("on_frontier")?.as_bool()?,
             })),
             _ => None,
         }
@@ -615,6 +655,14 @@ impl RunArtifact {
             _ => None,
         })
     }
+
+    /// Design-space exploration point rows, in order.
+    pub fn dse_points(&self) -> impl Iterator<Item = &DsePointRow> {
+        self.events.iter().filter_map(|e| match e {
+            Event::DsePoint(p) => Some(p),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -691,6 +739,16 @@ mod tests {
                     sanitized: 0,
                     error: None,
                 }),
+                Event::DsePoint(DsePointRow {
+                    point: "stack=4x4,area=0.2,pds=cross,vth=0.9,latency=60,\
+                            weights=0.6:0:0.4,detector=oddd,workload=1"
+                        .to_string(),
+                    pde: 0.94,
+                    area_mult: 0.2,
+                    worst_v: 0.78,
+                    final_v: 0.97,
+                    on_frontier: true,
+                }),
             ],
         }
     }
@@ -716,6 +774,8 @@ mod tests {
         assert_eq!(a.gpu().unwrap().instructions, 123_456);
         assert_eq!(a.summary().unwrap().verdict, "degraded");
         assert_eq!(a.fault_rows().count(), 1);
+        let p = a.dse_points().next().unwrap();
+        assert!(p.on_frontier && p.point.contains("stack=4x4"));
     }
 
     #[test]

@@ -105,6 +105,19 @@ pub enum JournalRecord {
         /// [`checksum_hex`] of the artifact's bytes.
         checksum: String,
     },
+    /// One design-space configuration point finished and its metrics were
+    /// cached (the `dse` driver's unit of resumable work).
+    PointDone {
+        /// The point's stable key, as dot-separated 16-hex-digit words
+        /// (same encoding as `ScenarioDone::suite`).
+        key: String,
+        /// The point in the canonical sweep grammar (`stack=4x4,...`).
+        point: String,
+        /// Cache file path, relative to the dse output directory.
+        file: String,
+        /// [`checksum_hex`] of the cache file's bytes.
+        checksum: String,
+    },
     /// A process-level failure (the structured form the binaries' panic
     /// hook emits before exiting with the internal-error code).
     InternalError {
@@ -157,6 +170,13 @@ impl JournalRecord {
                 ("file", Json::from(file.as_str())),
                 ("checksum", Json::from(checksum.as_str())),
             ]),
+            JournalRecord::PointDone { key, point, file, checksum } => Json::obj([
+                ("type", Json::from("point_done")),
+                ("key", Json::from(key.as_str())),
+                ("point", Json::from(point.as_str())),
+                ("file", Json::from(file.as_str())),
+                ("checksum", Json::from(checksum.as_str())),
+            ]),
             JournalRecord::InternalError { component, message } => Json::obj([
                 ("type", Json::from("internal_error")),
                 ("component", Json::from(component.as_str())),
@@ -187,6 +207,12 @@ impl JournalRecord {
             }),
             "experiment_done" => Some(JournalRecord::ExperimentDone {
                 id: field("id")?,
+                file: field("file")?,
+                checksum: field("checksum")?,
+            }),
+            "point_done" => Some(JournalRecord::PointDone {
+                key: field("key")?,
+                point: field("point")?,
                 file: field("file")?,
                 checksum: field("checksum")?,
             }),

@@ -61,8 +61,8 @@ pub use diff::{
     Tolerance, ToleranceSpec,
 };
 pub use events::{
-    ActuatorDuty, CycleSample, Event, FaultCampaignRow, GpuCounters, GuardbandStats, ParseError,
-    RunArtifact, RunManifest, RunSummary, SolverHealth, StageSample, SCHEMA_VERSION,
+    ActuatorDuty, CycleSample, DsePointRow, Event, FaultCampaignRow, GpuCounters, GuardbandStats,
+    ParseError, RunArtifact, RunManifest, RunSummary, SolverHealth, StageSample, SCHEMA_VERSION,
 };
 pub use journal::{
     append_journal, checksum_hex, fnv1a_64, read_journal, write_atomic, DegradedEntry,

@@ -7,7 +7,7 @@
 
 use vs_num::Rng;
 use vs_telemetry::{
-    ActuatorDuty, CycleSample, Event, FaultCampaignRow, GpuCounters, GuardbandStats,
+    ActuatorDuty, CycleSample, DsePointRow, Event, FaultCampaignRow, GpuCounters, GuardbandStats,
     HistogramSnapshot, MetricsSnapshot, RunArtifact, RunManifest, RunSummary, SolverHealth,
     StageSample,
 };
@@ -37,7 +37,7 @@ fn f64s(rng: &mut Rng, n: usize) -> Vec<f64> {
 }
 
 fn random_event(rng: &mut Rng) -> Event {
-    match rng.below(10) {
+    match rng.below(11) {
         0 => Event::Manifest(RunManifest {
             schema_version: rng.below(10) as u32,
             benchmark: word(rng, "bench"),
@@ -127,7 +127,7 @@ fn random_event(rng: &mut Rng) -> Event {
             max_sm_v: finite(rng),
             board_input_j: finite(rng),
         }),
-        _ => Event::FaultRow(FaultCampaignRow {
+        9 => Event::FaultRow(FaultCampaignRow {
             pds: word(rng, "pds"),
             fault: word(rng, "fault"),
             verdict: word(rng, "verdict"),
@@ -137,6 +137,14 @@ fn random_event(rng: &mut Rng) -> Event {
             retries: small_u64(rng),
             sanitized: small_u64(rng),
             error: rng.chance(0.5).then(|| word(rng, "err")),
+        }),
+        _ => Event::DsePoint(DsePointRow {
+            point: word(rng, "point"),
+            pde: finite(rng),
+            area_mult: finite(rng),
+            worst_v: finite(rng),
+            final_v: finite(rng),
+            on_frontier: rng.chance(0.5),
         }),
     }
 }
@@ -163,7 +171,7 @@ fn random_artifacts_roundtrip() {
 #[test]
 fn every_variant_roundtrips() {
     let mut rng = rng_for(0xeeee);
-    let mut seen = [false; 10];
+    let mut seen = [false; 11];
     for _ in 0..2000 {
         let event = random_event(&mut rng);
         let idx = match &event {
@@ -177,6 +185,7 @@ fn every_variant_roundtrips() {
             Event::Metrics(_) => 7,
             Event::Summary(_) => 8,
             Event::FaultRow(_) => 9,
+            Event::DsePoint(_) => 10,
         };
         seen[idx] = true;
         let artifact = RunArtifact { events: vec![event] };

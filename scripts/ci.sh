@@ -9,8 +9,10 @@
 #              goldens/tolerances.json, asserts every EXPERIMENTS.md
 #              headline claim, checks sweep determinism across worker
 #              counts, round-trips `sweep --resume` through the real binary
-#              against injected damage, and diffs the fault-injection
+#              against injected damage, diffs the fault-injection
 #              campaign byte-for-byte against goldens/fault_campaign.jsonl,
+#              diffs the dse Pareto frontier against
+#              goldens/dse_frontier.jsonl under the shared tolerances,
 #              and refreshes the batched lane-scaling row in
 #              BENCH_hotpath.json. Leaves the suite manifest at target/sweep/
 #              as the uploadable artifact.
@@ -26,6 +28,14 @@ if [[ "${1:-}" == "--golden" ]]; then
     echo "== sweep artifact =="
     cargo run --release -q -p vs-bench --bin sweep -- \
         run --profile golden --out target/sweep --diff goldens
+    echo "== dse frontier artifact =="
+    # Deterministic tiny-grid frontier at the golden profile, diffed
+    # against the blessed artifact under the shared tolerances.
+    cargo run --release -q -p vs-bench --bin dse -- \
+        --profile golden --deterministic --out target/dse-golden \
+        --progress off --diff goldens/dse_frontier.jsonl \
+        --tolerances goldens/tolerances.json > /dev/null
+    echo "dse frontier golden: OK"
     echo "== fault-campaign artifact =="
     # The campaign artifact carries no wall-time events, so the golden is
     # compared byte-for-byte at the golden profile.
@@ -68,6 +78,17 @@ cargo test --release -q -p vs-bench --test campaign_jobs
 
 echo "== observability: traced chaos sweep, run report, baseline diff =="
 cargo test --release -q -p vs-bench --test trace_report
+
+echo "== dse: determinism matrix + torn-write resume, frontier claims =="
+cargo test --release -q -p vs-bench --test dse
+# Tiny grid: the frontier claims (paper cell non-dominated) must pass.
+cargo run --release -q -p vs-bench --bin dse -- \
+    --profile tiny --out target/dse-smoke --progress off > /dev/null
+# Full 1728-point grid through the sharded queue at the tiny profile.
+cargo run --release -q -p vs-bench --bin dse -- \
+    --grid full --profile tiny --jobs 0 --batch-lanes 4 \
+    --out target/dse-full --progress off > /dev/null
+echo "dse smoke (tiny + full grid): OK"
 
 echo "== diff-baseline self-check =="
 # The regression gate must accept a store against itself and reject a
