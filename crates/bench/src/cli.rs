@@ -10,9 +10,13 @@
 //! the parser accepts.
 //!
 //! Contract (shared exit codes): `--help`/`-h` prints the generated help
-//! and exits 0; an unknown flag, a missing value, or a malformed value
-//! prints an error plus the usage line and exits 2. Every value flag
-//! accepts both `--flag VALUE` and `--flag=VALUE`.
+//! and exits 0; an unknown flag, a missing value, a malformed value, an
+//! empty value (`--flag=`), or a repeated flag prints an error naming the
+//! flag plus the usage line and exits 2. Every value flag accepts both
+//! `--flag VALUE` and `--flag=VALUE`. Repeats are rejected rather than
+//! last-wins: a command line that says `--jobs 2 --jobs 8` is ambiguous
+//! about intent, and the server's request log must never record an
+//! argument the run ignored.
 
 use std::fmt;
 use std::path::PathBuf;
@@ -104,11 +108,11 @@ pub struct Parsed {
 }
 
 impl Parsed {
-    /// Last value given for an extra value-flag.
+    /// The value given for an extra value-flag (flags are unique: a repeat
+    /// is a parse error, so there is no "last wins" to resolve).
     pub fn extra(&self, name: &str) -> Option<&str> {
         self.extras
             .iter()
-            .rev()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
     }
@@ -183,6 +187,7 @@ impl CommandSpec {
     /// Parses `args` (without the program name) against this spec.
     pub fn parse(&self, args: &[String]) -> Result<Parsed, CliError> {
         let mut parsed = Parsed::default();
+        let mut seen: Vec<&'static str> = Vec::new();
         let mut it = args.iter();
         while let Some(raw) = it.next() {
             if raw == "--help" || raw == "-h" {
@@ -205,6 +210,10 @@ impl CommandSpec {
                 .chain(self.extras.iter())
                 .find(|s| s.name == name)
                 .ok_or_else(|| CliError::Usage(format!("unknown flag {name:?}")))?;
+            if seen.contains(&spec.name) {
+                return Err(CliError::Usage(format!("{name} given more than once")));
+            }
+            seen.push(spec.name);
             let value = match (spec.value, inline) {
                 (Some(_), Some(v)) => Some(v),
                 (Some(_), None) => Some(
@@ -217,6 +226,9 @@ impl CommandSpec {
                 }
                 (None, None) => None,
             };
+            if value.as_deref() == Some("") {
+                return Err(CliError::Usage(format!("{name} needs a non-empty value")));
+            }
             if self.common.contains(&name) {
                 self.set_common(&mut parsed.common, name, value)?;
             } else {
@@ -310,10 +322,10 @@ mod tests {
     #[test]
     fn extras_and_positionals() {
         let p = spec()
-            .parse(&s(&["gold", "--seed", "7", "--deterministic", "cand", "--seed=9"]))
+            .parse(&s(&["gold", "--seed", "7", "--deterministic", "cand"]))
             .unwrap();
         assert_eq!(p.positionals, vec!["gold", "cand"]);
-        assert_eq!(p.extra("--seed"), Some("9"), "last value wins");
+        assert_eq!(p.extra("--seed"), Some("7"));
         assert!(p.has("--deterministic"));
         assert!(!p.has("--resume"));
     }
@@ -339,6 +351,16 @@ mod tests {
             (s(&["--trace=1"]), "--trace takes no value"),
             (s(&["--progress", "loud"]), "invalid progress mode"),
             (s(&["a", "b", "c"]), "unexpected argument \"c\""),
+            // Repeated flags are ambiguous, not last-wins — common, extra,
+            // boolean, and mixed-style (`--flag v` then `--flag=v`) alike.
+            (s(&["--jobs", "2", "--jobs", "8"]), "--jobs given more than once"),
+            (s(&["--seed", "7", "--seed=9"]), "--seed given more than once"),
+            (s(&["--trace", "--trace"]), "--trace given more than once"),
+            // Empty values are rejected for every value flag, both styles.
+            (s(&["--out="]), "--out needs a non-empty value"),
+            (s(&["--seed", ""]), "--seed needs a non-empty value"),
+            (s(&["--resume="]), "--resume needs a non-empty value"),
+            (s(&["--jobs="]), "--jobs needs a non-empty value"),
         ] {
             match spec().parse(&args) {
                 Err(CliError::Usage(msg)) => assert!(msg.contains(needle), "{args:?}: {msg}"),

@@ -41,6 +41,7 @@ pub mod experiments;
 pub mod journal;
 pub mod obs;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod space;
 pub mod sweep;

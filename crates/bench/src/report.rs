@@ -122,17 +122,22 @@ pub struct RunReport {
     pub trace: Option<TraceSummary>,
 }
 
-/// Exact `q`-quantile of an ascending-sorted, non-empty sample set, with
-/// linear interpolation between order statistics.
-fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// Exact `q`-quantile of an ascending-sorted sample set, with linear
+/// interpolation between order statistics. `None` for an empty set: a
+/// degraded journal must yield no quantile rather than a fabricated one
+/// (and `(n - 1)` underflows at n = 0).
+fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     let n = sorted.len();
+    if n == 0 {
+        return None;
+    }
     if n == 1 {
-        return sorted[0];
+        return Some(sorted[0]);
     }
     let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64))
 }
 
 impl RunReport {
@@ -228,6 +233,12 @@ impl RunReport {
         let mut by_scenario: HashMap<String, (u64, u64, Vec<f64>)> = HashMap::new();
         for ((_suite, scenario), (attempts, walls)) in last {
             let Some(walls) = walls else { continue };
+            // A degraded journal can carry `attempt_wall_s: []` (metadata
+            // lost, work done). Treat it like a v1 record — contribute
+            // nothing — instead of fabricating a 0-second wall sample.
+            if walls.is_empty() {
+                continue;
+            }
             let entry = by_scenario.entry(scenario).or_default();
             entry.0 += 1;
             entry.1 += attempts.unwrap_or(walls.len() as u64).saturating_sub(1);
@@ -236,14 +247,21 @@ impl RunReport {
         let mut all_walls: Vec<f64> = Vec::new();
         for (scenario, (tasks, retries, mut walls)) in by_scenario {
             walls.sort_by(f64::total_cmp);
+            let (Some(p50_s), Some(p95_s), Some(&max_s)) = (
+                quantile_sorted(&walls, 0.50),
+                quantile_sorted(&walls, 0.95),
+                walls.last(),
+            ) else {
+                continue;
+            };
             all_walls.extend_from_slice(&walls);
             self.scenarios.push(ScenarioTiming {
                 scenario,
                 tasks,
                 retries,
-                p50_s: quantile_sorted(&walls, 0.50),
-                p95_s: quantile_sorted(&walls, 0.95),
-                max_s: *walls.last().expect("non-empty walls"),
+                p50_s,
+                p95_s,
+                max_s,
             });
         }
         // Slowest first; ties broken by name for a stable report.
@@ -674,10 +692,54 @@ mod tests {
     #[test]
     fn quantiles_interpolate_between_order_statistics() {
         let sorted = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
-        assert_eq!(quantile_sorted(&sorted, 1.0), 4.0);
-        assert_eq!(quantile_sorted(&sorted, 0.5), 2.5);
-        assert_eq!(quantile_sorted(&[7.5], 0.95), 7.5);
+        assert_eq!(quantile_sorted(&sorted, 0.0), Some(1.0));
+        assert_eq!(quantile_sorted(&sorted, 1.0), Some(4.0));
+        assert_eq!(quantile_sorted(&sorted, 0.5), Some(2.5));
+        // A single sample is every quantile of itself; an empty set has
+        // none (rather than a panic or a fabricated value).
+        assert_eq!(quantile_sorted(&[7.5], 0.95), Some(7.5));
+        assert_eq!(quantile_sorted(&[], 0.95), None);
+        assert_eq!(quantile_sorted(&[], 0.0), None);
+    }
+
+    /// A degraded journal — records with empty `attempt_wall_s`, v1 records
+    /// without metadata, and a lone single-attempt record — must neither
+    /// panic nor fabricate quantiles: the empty/v1 records contribute no
+    /// timing row, and the single sample is its own p50/p95/max.
+    #[test]
+    fn degraded_journal_timing_rows_are_pinned() {
+        let dir = std::env::temp_dir().join(format!("vs-report-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            b"{\"type\":\"suite\",\"workload_scale\":0.02,\"max_cycles\":1000,\"seed\":42}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(JOURNAL_FILE),
+            concat!(
+                // Metadata lost mid-degradation: walls recorded as empty.
+                "{\"type\":\"scenario_done\",\"suite\":\"a1\",\"scenario\":\"bfs\",\
+                 \"file\":\"f\",\"checksum\":\"c\",\"attempts\":1,\"attempt_wall_s\":[]}\n",
+                // v1 record: no metadata at all.
+                "{\"type\":\"scenario_done\",\"suite\":\"a1\",\"scenario\":\"hotspot\",\
+                 \"file\":\"f\",\"checksum\":\"c\"}\n",
+                // One healthy single-attempt record.
+                "{\"type\":\"scenario_done\",\"suite\":\"a1\",\"scenario\":\"srad\",\
+                 \"file\":\"f\",\"checksum\":\"c\",\"attempts\":1,\"attempt_wall_s\":[0.25]}\n",
+            ),
+        )
+        .unwrap();
+        let report = RunReport::load(&dir).unwrap();
+        assert_eq!(report.scenarios.len(), 1, "{:?}", report.scenarios);
+        let t = &report.scenarios[0];
+        assert_eq!(t.scenario, "srad");
+        assert_eq!((t.tasks, t.retries), (1, 0));
+        assert_eq!((t.p50_s, t.p95_s, t.max_s), (0.25, 0.25, 0.25));
+        // Rendering the report must also survive the degraded rows.
+        let _ = report.render();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

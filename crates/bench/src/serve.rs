@@ -1,0 +1,535 @@
+//! Sweep-as-a-service: a long-running request server over the sharded
+//! executor, backed by a content-addressed artifact store.
+//!
+//! The server accepts **line-delimited JSON requests** (one object per
+//! line) and streams back **request-lifecycle events** in the
+//! [`vs_telemetry::RequestEvent`] wire form — the same `lifecycle_json`
+//! vocabulary the `--progress json` sink already speaks. Framing is
+//! hand-rolled over `BufRead` lines, so the same handler serves a TCP
+//! socket (thread per connection) and stdio (tests, CI smoke).
+//!
+//! # Protocol
+//!
+//! Every request names work through the existing vocabularies — nothing
+//! here invents a new way to describe a configuration:
+//!
+//! ```text
+//! {"id":"r1","kind":"point","point":"stack=4x4,area=0.2"}
+//! {"id":"r2","kind":"space","space":"area=0.1|0.2,latency=60"}
+//! {"id":"r3","kind":"experiment","experiment":"fig8"}
+//! {"id":"r4","kind":"diff_baseline","baseline":"DIR","candidate":"DIR"}
+//! {"id":"r5","kind":"shutdown"}
+//! ```
+//!
+//! Responses are a stream of events per request, in order:
+//! `accepted` → (`cached` | `running`) → (`done` | `degraded`). The
+//! `done` line carries the result summary and **never** says whether it
+//! came from the store or from a fresh computation — byte-identity of
+//! repeated responses is part of the contract (provenance rides on the
+//! preceding `cached`/`running` event instead).
+//!
+//! # Cache key and invalidation
+//!
+//! The store root is `STORE/<code-fingerprint>/`, a PR-6 journal
+//! directory: scenario reports land under `scenarios/<suite-digest>/`,
+//! experiment artifacts under `experiments/`, all journaled with
+//! checksums. Work identity is the [`SuiteKey`] digest (for suites) or
+//! the experiment name plus a [`RunSettings`] digest (for experiments);
+//! the [`code_fingerprint`] folds in the crate versions plus the schema
+//! and protocol versions, so upgrading the code transparently invalidates
+//! the whole store without deleting anything.
+//!
+//! A cache hit is a checksum-verified file read — scenario hits replay
+//! through the journal preload (never constructing a worker pool), and
+//! experiment hits are served straight from the verified bytes on disk.
+//! Concurrent identical requests dedupe through the sharded executor's
+//! in-flight join: both connections claim tasks from the same suite job
+//! (see [`crate::shard::run_suite_sharded`]), and each scenario runs
+//! exactly once.
+//!
+//! The server owns the process-global journal sink and preload map
+//! ([`crate::shard::set_journal_dir`] /
+//! [`crate::shard::install_preloaded_suites`]); run one [`Server`] per
+//! process.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vs_core::{PowerManagement, ScenarioId};
+use vs_telemetry::json::{self, Json};
+use vs_telemetry::{checksum_hex, fnv1a_64, read_journal, write_atomic, JournalRecord, RequestEvent, ToleranceSpec, SCHEMA_VERSION};
+
+use crate::shard::{self, SuiteKey};
+use crate::space::{AxisSpace, ConfigPoint};
+use crate::{journal, obs, report, ExperimentId, RunSettings};
+
+/// Version of the request/response protocol. Part of the
+/// [`code_fingerprint`], so a protocol bump invalidates the store.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The 16-hex digest naming this build's store subdirectory: FNV-1a over
+/// the workspace crate versions, the artifact schema version, and the
+/// serve protocol version. Two processes share cache entries iff their
+/// fingerprints agree; a code upgrade lands in a fresh subdirectory and
+/// recomputes from scratch rather than trusting stale bytes.
+#[must_use]
+pub fn code_fingerprint() -> String {
+    let identity = format!(
+        "vs-bench={};vs-telemetry={};schema={};protocol={}",
+        env!("CARGO_PKG_VERSION"),
+        vs_telemetry::crate_version(),
+        SCHEMA_VERSION,
+        PROTOCOL_VERSION,
+    );
+    format!("{:016x}", fnv1a_64(identity.as_bytes()))
+}
+
+/// How to open a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Store root; the server works inside `store/<code-fingerprint>/`.
+    pub store: PathBuf,
+    /// Settings every request is evaluated under. Part of experiment
+    /// identity and (via the applied config) of every suite key.
+    pub settings: RunSettings,
+}
+
+/// What [`Server::open`] found in the store: the startup half of the
+/// resume contract, reported so operators can see cache health.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// The fingerprint subdirectory in use.
+    pub fingerprint: String,
+    /// Scenario reports that passed checksum + identity verification.
+    pub verified_scenarios: usize,
+    /// Experiment artifacts whose bytes still hash correctly.
+    pub verified_experiments: usize,
+    /// Journaled entries whose files were missing, torn, or unparseable —
+    /// the matching requests recompute exactly that work.
+    pub damaged: usize,
+    /// Journal lines skipped by the lenient reader.
+    pub skipped_lines: usize,
+}
+
+/// A persistent artifact server: shared by every connection thread, it
+/// owns the store directory and the experiment-artifact index. Suite
+/// state (memo, in-flight jobs, preloads) lives in the process-global
+/// sharded-executor registry, which is what makes concurrent duplicate
+/// requests join a single computation.
+#[derive(Debug)]
+pub struct Server {
+    root: PathBuf,
+    settings: RunSettings,
+    /// Experiment id → (relative file, checksum), last journal record
+    /// wins. Guarded so concurrent experiment requests publish atomically.
+    experiments: Mutex<HashMap<String, (String, String)>>,
+    /// Startup store health.
+    pub store_report: StoreReport,
+}
+
+impl Server {
+    /// Opens (or creates) the store, replays its journal into the suite
+    /// preload map, and indexes experiment artifacts. Installs the store
+    /// as the process-global journal sink — one server per process.
+    pub fn open(opts: &ServeOptions) -> io::Result<Server> {
+        let fingerprint = code_fingerprint();
+        let root = opts.store.join(&fingerprint);
+        std::fs::create_dir_all(&root)?;
+
+        let state = journal::load_resume(&root)?;
+        let store_report = StoreReport {
+            fingerprint,
+            verified_scenarios: state.verified_scenarios,
+            verified_experiments: state.verified_experiments,
+            damaged: state.damaged,
+            skipped_lines: state.skipped_lines,
+        };
+        shard::set_journal_dir(Some(root.clone()));
+        shard::install_preloaded_suites(state.preloaded);
+
+        // Index experiment artifacts (load_resume verifies but does not
+        // return them; requests re-verify the bytes on every hit anyway).
+        let mut experiments = HashMap::new();
+        match std::fs::read_to_string(root.join(journal::JOURNAL_FILE)) {
+            Ok(text) => {
+                let (records, _) = read_journal(&text);
+                for rec in records {
+                    if let JournalRecord::ExperimentDone { id, file, checksum } = rec {
+                        experiments.insert(id, (file, checksum));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        Ok(Server {
+            root,
+            settings: opts.settings,
+            experiments: Mutex::new(experiments),
+            store_report,
+        })
+    }
+
+    /// The fingerprinted store directory this server reads and writes.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Handles one request line, streaming response events to `out`.
+    /// Returns `Ok(false)` when the request asks the server to shut down;
+    /// I/O errors are the *writer's* (a vanished client), never the
+    /// request's — malformed requests answer with a `degraded` event.
+    pub fn handle_line(&self, line: &str, out: &mut dyn Write) -> io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                emit(out, "?", "degraded", &[("error", format!("bad request JSON: {e}"))])?;
+                return Ok(true);
+            }
+        };
+        let req = parsed
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let Some(kind) = parsed.get("kind").and_then(Json::as_str) else {
+            emit(out, &req, "degraded", &[("error", "request needs a \"kind\"".to_string())])?;
+            return Ok(true);
+        };
+        emit(out, &req, "accepted", &[("kind", kind.to_string())])?;
+        match kind {
+            "point" => self.handle_point(&req, &parsed, out)?,
+            "space" => self.handle_space(&req, &parsed, out)?,
+            "experiment" => self.handle_experiment(&req, &parsed, out)?,
+            "diff_baseline" => self.handle_diff(&req, &parsed, out)?,
+            "shutdown" => {
+                emit(out, &req, "done", &[])?;
+                return Ok(false);
+            }
+            other => {
+                emit(out, &req, "degraded", &[("error", format!("unknown request kind {other:?}"))])?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// One configuration point: evaluate (or replay) its full scenario
+    /// suite and answer with the suite summary.
+    fn handle_point(&self, req: &str, parsed: &Json, out: &mut dyn Write) -> io::Result<()> {
+        let Some(spec) = parsed.get("point").and_then(Json::as_str) else {
+            return emit(out, req, "degraded", &[("error", "point request needs a \"point\"".to_string())]);
+        };
+        let point: ConfigPoint = match spec.parse() {
+            Ok(p) => p,
+            Err(e) => return emit(out, req, "degraded", &[("error", e.to_string())]),
+        };
+        let (key, summary) = self.run_point(req, &point, out)?;
+        match summary {
+            Some(args) => {
+                let mut all = vec![("key", key.cache_dir()), ("point", point.to_string())];
+                all.extend(args);
+                emit(out, req, "done", &all)
+            }
+            None => Ok(()), // degraded already emitted
+        }
+    }
+
+    /// Runs (or replays) one point's suite, emitting the provenance event.
+    /// Returns the done-line summary args, or `None` after emitting
+    /// `degraded` for an incomplete (quarantined) suite.
+    #[allow(clippy::type_complexity)]
+    fn run_point(
+        &self,
+        req: &str,
+        point: &ConfigPoint,
+        out: &mut dyn Write,
+    ) -> io::Result<(SuiteKey, Option<Vec<(&'static str, String)>>)> {
+        let key = point.suite_key(&self.settings);
+        let warm = shard::suite_is_warm(&key);
+        let stage = if warm { "cached" } else { "running" };
+        emit(out, req, stage, &[("key", key.cache_dir()), ("point", point.to_string())])?;
+
+        let cfg = point.apply(&self.settings.config(point.pds.kind(point.area)));
+        let reports = shard::run_suite_sharded(&cfg, &PowerManagement::default());
+        if reports.len() != ScenarioId::ALL.len() {
+            emit(
+                out,
+                req,
+                "degraded",
+                &[
+                    ("key", key.cache_dir()),
+                    ("expected", ScenarioId::ALL.len().to_string()),
+                    ("got", reports.len().to_string()),
+                ],
+            )?;
+            return Ok((key, None));
+        }
+        let min_v = reports
+            .iter()
+            .map(|r| r.min_sm_voltage)
+            .fold(f64::INFINITY, f64::min);
+        let completed = reports.iter().filter(|r| r.completed).count();
+        Ok((
+            key,
+            Some(vec![
+                ("scenarios", reports.len().to_string()),
+                ("completed", completed.to_string()),
+                ("min_v", min_v.to_string()),
+            ]),
+        ))
+    }
+
+    /// An axis space: evaluate every unique point in the grid, streaming
+    /// per-point provenance, then answer with grid-level counts.
+    fn handle_space(&self, req: &str, parsed: &Json, out: &mut dyn Write) -> io::Result<()> {
+        let Some(spec) = parsed.get("space").and_then(Json::as_str) else {
+            return emit(out, req, "degraded", &[("error", "space request needs a \"space\"".to_string())]);
+        };
+        let space: AxisSpace = match spec.parse() {
+            Ok(s) => s,
+            Err(e) => return emit(out, req, "degraded", &[("error", e.to_string())]),
+        };
+        let points = space.points();
+        if points.is_empty() {
+            return emit(out, req, "degraded", &[("error", "the axis space is empty".to_string())]);
+        }
+        let (mut unique, mut degraded, mut min_v) = (HashMap::new(), 0usize, f64::INFINITY);
+        for point in &points {
+            let key = point.suite_key(&self.settings);
+            if unique.contains_key(&key) {
+                continue;
+            }
+            let (_, summary) = self.run_point(req, point, out)?;
+            match summary {
+                Some(args) => {
+                    if let Some((_, v)) = args.iter().find(|(k, _)| *k == "min_v") {
+                        if let Ok(v) = v.parse::<f64>() {
+                            min_v = min_v.min(v);
+                        }
+                    }
+                }
+                None => degraded += 1,
+            }
+            unique.insert(key, ());
+        }
+        if degraded > 0 {
+            return emit(
+                out,
+                req,
+                "degraded",
+                &[
+                    ("points", points.len().to_string()),
+                    ("unique", unique.len().to_string()),
+                    ("degraded_points", degraded.to_string()),
+                ],
+            );
+        }
+        emit(
+            out,
+            req,
+            "done",
+            &[
+                ("points", points.len().to_string()),
+                ("unique", unique.len().to_string()),
+                ("min_v", min_v.to_string()),
+            ],
+        )
+    }
+
+    /// The content-addressed identity of one experiment artifact under
+    /// this server's settings: `<name>-<digest>` where the digest folds in
+    /// every [`RunSettings`] field (bit-exact for the scale).
+    fn experiment_store_id(&self, id: ExperimentId) -> String {
+        let identity = format!(
+            "{};scale={:016x};max_cycles={};seed={}",
+            id.name(),
+            self.settings.workload_scale.to_bits(),
+            self.settings.max_cycles,
+            self.settings.seed,
+        );
+        format!("{}-{:016x}", id.name(), fnv1a_64(identity.as_bytes()))
+    }
+
+    /// One experiment: serve the artifact from the store when its bytes
+    /// still verify, otherwise run it, persist atomically, and journal.
+    fn handle_experiment(&self, req: &str, parsed: &Json, out: &mut dyn Write) -> io::Result<()> {
+        let Some(name) = parsed.get("experiment").and_then(Json::as_str) else {
+            return emit(out, req, "degraded", &[("error", "experiment request needs an \"experiment\"".to_string())]);
+        };
+        let Some(id) = ExperimentId::from_name(name) else {
+            return emit(out, req, "degraded", &[("error", format!("unknown experiment {name:?}"))]);
+        };
+        let store_id = self.experiment_store_id(id);
+
+        // Hit = checksum-verified read of the indexed bytes.
+        let indexed = self.experiments.lock().expect("experiment index poisoned").get(&store_id).cloned();
+        if let Some((file, checksum)) = indexed {
+            if let Ok(bytes) = std::fs::read(self.root.join(&file)) {
+                if checksum_hex(&bytes) == checksum {
+                    emit(out, req, "cached", &[("experiment", name.to_string()), ("file", file.clone())])?;
+                    return emit(
+                        out,
+                        req,
+                        "done",
+                        &[
+                            ("experiment", name.to_string()),
+                            ("file", file),
+                            ("checksum", checksum),
+                            ("bytes", bytes.len().to_string()),
+                        ],
+                    );
+                }
+            }
+            // Missing or torn entry: fall through and recompute it.
+        }
+
+        let file = format!("experiments/{store_id}.jsonl");
+        emit(out, req, "running", &[("experiment", name.to_string()), ("file", file.clone())])?;
+        let output = id.run(&self.settings);
+        let bytes = output.artifact.to_jsonl().into_bytes();
+        let path = self.root.join(&file);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        write_atomic(&path, &bytes)?;
+        journal::record_experiment(&self.root, &store_id, &file, &bytes)?;
+        let checksum = checksum_hex(&bytes);
+        self.experiments
+            .lock()
+            .expect("experiment index poisoned")
+            .insert(store_id, (file.clone(), checksum.clone()));
+        emit(
+            out,
+            req,
+            "done",
+            &[
+                ("experiment", name.to_string()),
+                ("file", file),
+                ("checksum", checksum),
+                ("bytes", bytes.len().to_string()),
+            ],
+        )
+    }
+
+    /// A baseline diff: compare two artifact trees through the tolerance
+    /// engine and answer with the verdict summary.
+    fn handle_diff(&self, req: &str, parsed: &Json, out: &mut dyn Write) -> io::Result<()> {
+        let (Some(baseline), Some(candidate)) = (
+            parsed.get("baseline").and_then(Json::as_str),
+            parsed.get("candidate").and_then(Json::as_str),
+        ) else {
+            return emit(out, req, "degraded", &[("error", "diff_baseline needs \"baseline\" and \"candidate\"".to_string())]);
+        };
+        let spec = match parsed.get("tolerances").and_then(Json::as_str) {
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return emit(out, req, "degraded", &[("error", format!("cannot read tolerance file {path}: {e}"))]);
+                    }
+                };
+                match ToleranceSpec::from_json_str(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return emit(out, req, "degraded", &[("error", format!("bad tolerance file {path}: {e}"))]);
+                    }
+                }
+            }
+            None => ToleranceSpec::exact(),
+        };
+        emit(out, req, "running", &[("baseline", baseline.to_string()), ("candidate", candidate.to_string())])?;
+        match report::diff_baseline(Path::new(baseline), Path::new(candidate), &spec) {
+            Ok(verdict) => emit(
+                out,
+                req,
+                "done",
+                &[
+                    ("pass", verdict.is_pass().to_string()),
+                    ("artifacts", verdict.artifacts.len().to_string()),
+                    ("extra_in_candidate", verdict.extra_in_candidate.len().to_string()),
+                ],
+            ),
+            Err(e) => emit(out, req, "degraded", &[("error", e)]),
+        }
+    }
+}
+
+/// Emits one response event: a [`RequestEvent`] line on `out` (flushed, so
+/// clients see progress promptly) mirrored to the stderr progress sink.
+fn emit(out: &mut dyn Write, req: &str, stage: &str, args: &[(&str, String)]) -> io::Result<()> {
+    let ev = RequestEvent::new(req, stage, args);
+    obs::progress("serve", stage, &wire_args(req, args), || {
+        let detail: Vec<String> = args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("[serve] {req} {stage} {}", detail.join(" "))
+    });
+    writeln!(out, "{}", ev.to_json().to_string_compact())?;
+    out.flush()
+}
+
+/// The full lifecycle arg list (`req` first), as the wire form carries it.
+fn wire_args<'a>(req: &'a str, args: &'a [(&'a str, String)]) -> Vec<(&'a str, String)> {
+    let mut all = Vec::with_capacity(args.len() + 1);
+    all.push(("req", req.to_string()));
+    all.extend(args.iter().map(|(k, v)| (*k, v.clone())));
+    all
+}
+
+/// Serves line-delimited requests from `input` until EOF or a `shutdown`
+/// request, writing response events to `output`. The stdio transport the
+/// CI smoke and tests drive; also the per-connection loop for TCP.
+pub fn serve_lines(server: &Server, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
+    for line in input.lines() {
+        if !server.handle_line(&line?, &mut output)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accepts TCP connections forever (thread per connection, all sharing
+/// `server`), until some connection sends `shutdown`. Responses go back
+/// on the same socket. Returns once the listener has been released.
+pub fn serve_tcp(server: &Arc<Server>, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn = conn?;
+        let server = Arc::clone(server);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let reader = match conn.try_clone() {
+                Ok(c) => BufReader::new(c),
+                Err(_) => return,
+            };
+            let mut writer = conn;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                match server.handle_line(&line, &mut writer) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        // Shutdown: flag the accept loop and poke it awake
+                        // with a throwaway connection.
+                        stop.store(true, Ordering::SeqCst);
+                        let _ = TcpStream::connect(addr);
+                        return;
+                    }
+                    Err(_) => break, // client hung up mid-response
+                }
+            }
+        });
+    }
+    Ok(())
+}

@@ -946,6 +946,31 @@ pub fn install_preloaded_suites(map: HashMap<SuiteKey, Vec<(ScenarioId, CosimRep
     *registry().preloaded.lock().expect("preload map poisoned") = map;
 }
 
+/// Whether `key`'s suite would resolve without running a single scenario
+/// task: its memoized job has already assembled, or the installed resume
+/// preload covers the full scenario catalogue (a fresh job would be born
+/// complete from journal replay). The serve layer consults this to answer
+/// `cached` instead of `running` *before* joining the suite; it is advisory
+/// — [`run_suite_sharded`] remains the authority on what actually runs.
+pub fn suite_is_warm(key: &SuiteKey) -> bool {
+    let reg = registry();
+    if let Some(job) = reg.memo.lock().expect("suite memo poisoned").get(key) {
+        if job.state.lock().expect("suite job state poisoned").done.is_some() {
+            return true;
+        }
+    }
+    let preloaded = reg.preloaded.lock().expect("preload map poisoned");
+    preloaded.get(key).is_some_and(|entries| {
+        let mut have = [false; N_TASKS];
+        for (id, _) in entries {
+            if let Some(i) = ScenarioId::ALL.iter().position(|s| s == id) {
+                have[i] = true;
+            }
+        }
+        have.iter().all(|&b| b)
+    })
+}
+
 /// Takes the quarantine records accumulated since the last drain (the
 /// sweep drains once per run, so records never leak across sweeps).
 pub fn drain_quarantined() -> Vec<QuarantineRecord> {

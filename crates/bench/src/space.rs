@@ -95,7 +95,11 @@ fn parse_weights(s: &str) -> Option<ActuatorWeights> {
         return None;
     }
     let finite = diws.is_finite() && fii.is_finite() && dcc.is_finite();
-    let valid = finite && diws >= 0.0 && fii >= 0.0 && dcc >= 0.0 && diws + fii + dcc > 0.0;
+    // The *sum* must be finite too: three representable components can
+    // still overflow to inf (`1e308:1e308:0`), which `normalized()` would
+    // quietly turn into an all-zero weight vector.
+    let sum = diws + fii + dcc;
+    let valid = finite && diws >= 0.0 && fii >= 0.0 && dcc >= 0.0 && sum > 0.0 && sum.is_finite();
     valid.then(|| ActuatorWeights::new(diws, fii, dcc))
 }
 
@@ -497,6 +501,77 @@ mod tests {
         // A multi-valued spec is a space, not a point.
         let e = "area=0.1|0.2".parse::<ConfigPoint>().unwrap_err();
         assert!(e.to_string().contains("2 points"), "{e}");
+    }
+
+    /// Parsing totality over hostile numeric strings: every float axis must
+    /// reject non-finite, zero, and negative inputs (including values like
+    /// `1e999` that *parse* as f64 but overflow to inf), because a point
+    /// that breaks the Display/FromStr round-trip would poison the
+    /// content-addressed cache — its canonical string could name a
+    /// different (or unparseable) configuration than the one that ran.
+    #[test]
+    fn hostile_numeric_strings_are_rejected_on_every_axis() {
+        let hostile_scalars =
+            ["inf", "+inf", "-inf", "infinity", "nan", "NaN", "1e999", "-1e999", "0", "-0",
+             "0.0", "-0.0", "1e-999", "-1", ""];
+        for axis in ["area", "vth", "workload"] {
+            for v in hostile_scalars {
+                let spec = format!("{axis}={v}");
+                assert!(
+                    spec.parse::<AxisSpace>().is_err(),
+                    "{spec:?} must be rejected"
+                );
+            }
+        }
+        for w in ["inf:0:0", "nan:1:1", "1e999:0:0", "1e308:1e308:0", "-1:2:0", "0:0:0",
+                  "1:2", "1:2:3:4", "::", "0.6:0:-0.4"] {
+            let spec = format!("weights={w}");
+            assert!(spec.parse::<AxisSpace>().is_err(), "{spec:?} must be rejected");
+        }
+        for l in ["0", "-1", "4294967296", "inf", "1e3", "60.5", ""] {
+            let spec = format!("latency={l}");
+            assert!(spec.parse::<AxisSpace>().is_err(), "{spec:?} must be rejected");
+        }
+        for d in ["adc0", "adc25", "adc-1", "adcinf", "adc", "odd"] {
+            let spec = format!("detector={d}");
+            assert!(spec.parse::<AxisSpace>().is_err(), "{spec:?} must be rejected");
+        }
+        for g in ["0x4", "1x4", "2x0", "infx4", "4x", "x4", "4x4x4"] {
+            let spec = format!("stack={g}");
+            assert!(spec.parse::<AxisSpace>().is_err(), "{spec:?} must be rejected");
+        }
+    }
+
+    /// The flip side of totality: every *accepted* spelling — canonical or
+    /// not (`+0.5`, `.5`, `1e3`, shortest-round-trip doubles, huge-but-
+    /// finite magnitudes) — must land on a point whose canonical string
+    /// re-parses to the bit-identical point, so the suite key (and with it
+    /// the cache identity) is stable across the round trip.
+    #[test]
+    fn accepted_hostile_spellings_round_trip_bit_exactly() {
+        let settings = RunSettings::tiny_profile();
+        for spec in [
+            "area=+0.5",
+            "area=.5",
+            "area=1e3",
+            "area=1e308",
+            "area=5e-324", // smallest subnormal: positive, finite, legal
+            "vth=0.30000000000000004",
+            "workload=2.2250738585072014e-308",
+            "weights=+0.6:0:0.4",
+            "weights=1e307:1e307:0",
+            "latency=+60",
+        ] {
+            let p: ConfigPoint = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let canon = p.to_string();
+            let q: ConfigPoint = canon.parse().unwrap_or_else(|e| panic!("{canon}: {e}"));
+            assert_eq!(p, q, "{spec} → {canon} must round-trip");
+            assert_eq!(
+                p.suite_key(&settings),
+                q.suite_key(&settings),
+                "{spec}: cache identity must survive the round trip"
+            );
+        }
     }
 
     #[test]

@@ -149,7 +149,14 @@ impl Histogram {
 /// negative-bounded histogram starts at its own bound) and the overflow
 /// bucket reports the last bound.
 pub fn bucket_quantile(bounds: &[f64], counts: &[u64], total: u64, q: f64) -> Option<f64> {
-    if total == 0 || bounds.is_empty() || counts.len() != bounds.len() + 1 {
+    // Structural consistency first: a snapshot read back from a degraded
+    // journal can claim samples its buckets never held (or vice versa);
+    // reporting `None` beats fabricating a quantile from the bounds alone.
+    if total == 0
+        || bounds.is_empty()
+        || counts.len() != bounds.len() + 1
+        || counts.iter().sum::<u64>() != total
+    {
         return None;
     }
     let rank = q.clamp(0.0, 1.0) * total as f64;
@@ -167,7 +174,9 @@ pub fn bucket_quantile(bounds: &[f64], counts: &[u64], total: u64, q: f64) -> Op
             return Some(lower + (upper - lower) * frac);
         }
     }
-    Some(*bounds.last().expect("non-empty bounds"))
+    // Unreachable once the counts sum to `total > 0`: the final cumulative
+    // count equals `total`, which is >= every clamped rank.
+    None
 }
 
 /// A serializable snapshot of one histogram.
@@ -541,6 +550,27 @@ mod tests {
         // out of bounds.
         assert_eq!(bucket_quantile(&[1.0, 2.0], &[3, 4], 7, 0.5), None);
         assert_eq!(bucket_quantile(&[], &[5], 5, 0.5), None);
+    }
+
+    /// A snapshot whose `total` disagrees with its bucket counts (a torn or
+    /// tampered journal read) yields `None` for every quantile — never a
+    /// value interpolated from bounds no sample ever reached.
+    #[test]
+    fn inconsistent_snapshot_counts_yield_no_quantile() {
+        // Claims 7 samples, buckets hold none.
+        assert_eq!(bucket_quantile(&[1.0, 2.0], &[0, 0, 0], 7, 0.95), None);
+        // Claims fewer samples than the buckets hold.
+        assert_eq!(bucket_quantile(&[1.0, 2.0], &[3, 3, 0], 2, 0.5), None);
+        let snap = HistogramSnapshot {
+            name: "torn".to_string(),
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 0],
+            sum: 0.0,
+            total: 7,
+        };
+        assert_eq!(snap.quantile(0.5), None);
+        // Consistent counts still interpolate as before.
+        assert_eq!(bucket_quantile(&[1.0, 2.0], &[2, 0, 0], 2, 1.0), Some(1.0));
     }
 
     #[test]

@@ -95,6 +95,83 @@ fn args_json(args: &[(String, String)]) -> Json {
     )
 }
 
+/// The sweep service's request-lifecycle stages, in protocol order: a
+/// request is `accepted`, then either `cached` (served from the
+/// content-addressed store) or `running` (computed), and ends `done` or
+/// `degraded`. Stage names double as [`lifecycle_json`] event names under
+/// the `"serve"` category, so a progress stream and a response stream
+/// parse identically.
+pub const REQUEST_STAGES: [&str; 5] = ["accepted", "cached", "running", "done", "degraded"];
+
+/// One line of the sweep service's response stream: a request-scoped
+/// lifecycle event. The wire form is exactly
+/// `lifecycle_json("serve", stage, [("req", req), ...args])` — one compact
+/// JSON object per line — so serve responses reuse the `--progress=json`
+/// vocabulary instead of inventing a second framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// The client-chosen request id this event answers.
+    pub req: String,
+    /// Lifecycle stage (one of [`REQUEST_STAGES`]).
+    pub stage: String,
+    /// Stage-specific context, order-preserving (order is part of the
+    /// byte-identity of a response line).
+    pub args: Vec<(String, String)>,
+}
+
+impl RequestEvent {
+    /// Builds an event for `req` at `stage` with `args` context.
+    #[must_use]
+    pub fn new(req: &str, stage: &str, args: &[(&str, String)]) -> RequestEvent {
+        RequestEvent {
+            req: req.to_string(),
+            stage: stage.to_string(),
+            args: args.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+        }
+    }
+
+    /// The one-line wire form (`"type":"lifecycle","cat":"serve"`, the
+    /// request id first in `args`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut args: Vec<(&str, String)> = Vec::with_capacity(self.args.len() + 1);
+        args.push(("req", self.req.clone()));
+        args.extend(self.args.iter().map(|(k, v)| (k.as_str(), v.clone())));
+        lifecycle_json("serve", &self.stage, &args)
+    }
+
+    /// Parses a wire-form line back; `None` for anything that is not a
+    /// serve lifecycle event (wrong type/category, missing `req`, or
+    /// non-string args).
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<RequestEvent> {
+        if v.get("type")?.as_str()? != "lifecycle" || v.get("cat")?.as_str()? != "serve" {
+            return None;
+        }
+        let stage = v.get("name")?.as_str()?.to_string();
+        let Json::Obj(pairs) = v.get("args")? else {
+            return None;
+        };
+        let mut req = None;
+        let mut args = Vec::new();
+        for (k, val) in pairs {
+            let val = val.as_str()?.to_string();
+            if k == "req" && req.is_none() {
+                req = Some(val);
+            } else {
+                args.push((k.clone(), val));
+            }
+        }
+        Some(RequestEvent { req: req?, stage, args })
+    }
+
+    /// Convenience: the value of a context arg by key.
+    #[must_use]
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
 /// A lifecycle event in the one-line JSON form the `--progress=json` sink
 /// prints: the identity fields of a [`TraceEvent`], tagged
 /// `"type":"lifecycle"`. Progress streams and traces share this vocabulary
@@ -406,6 +483,35 @@ mod tests {
             phase: TracePhase::Complete { start_ns, dur_ns },
             args: vec![("scenario".to_string(), "bfs".to_string())],
         }
+    }
+
+    /// The request-lifecycle schema: wire form is byte-stable and parses
+    /// back losslessly, and non-serve lifecycle lines are rejected rather
+    /// than misattributed to a request.
+    #[test]
+    fn request_events_round_trip_the_serve_wire_form() {
+        let ev = RequestEvent::new(
+            "r1",
+            "done",
+            &[("key", "00ab".to_string()), ("scenarios", "12".to_string())],
+        );
+        let line = ev.to_json().to_string_compact();
+        assert_eq!(
+            line,
+            "{\"type\":\"lifecycle\",\"cat\":\"serve\",\"name\":\"done\",\
+             \"args\":{\"req\":\"r1\",\"key\":\"00ab\",\"scenarios\":\"12\"}}"
+        );
+        let parsed = RequestEvent::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, ev);
+        assert_eq!(parsed.arg("scenarios"), Some("12"));
+        assert!(REQUEST_STAGES.contains(&parsed.stage.as_str()));
+
+        // Wrong category (an executor progress line) is not a serve event.
+        let other = lifecycle_json("sweep", "done", &[("req", "r1".to_string())]);
+        assert_eq!(RequestEvent::from_json(&other), None);
+        // Missing req: not attributable to any request.
+        let anon = lifecycle_json("serve", "done", &[("key", "00ab".to_string())]);
+        assert_eq!(RequestEvent::from_json(&anon), None);
     }
 
     #[test]

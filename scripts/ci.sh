@@ -106,6 +106,30 @@ if "$SWEEP" diff-baseline goldens "$PERTURBED" > /dev/null 2>&1; then
 fi
 echo "diff-baseline perturbed candidate: OK (nonzero exit)"
 
+echo "== serve smoke: stdio session, content-addressed cache hit =="
+# Two cold processes against one store: the first computes and journals,
+# the second must answer `cached` and a byte-identical `done` line (the
+# concurrency and torn-entry halves of the contract live in the serve and
+# cli_contract test suites above).
+cargo test --release -q -p vs-bench --test serve
+cargo test --release -q -p vs-bench --test cli_contract
+SERVE=target/release/serve
+SERVE_STORE=$(mktemp -d)
+SERVE_REQ='{"id":"s1","kind":"experiment","experiment":"table1"}
+{"id":"s2","kind":"shutdown"}'
+FIRST=$(printf '%s\n' "$SERVE_REQ" | "$SERVE" --stdio --profile tiny \
+    --store "$SERVE_STORE" --progress off 2> /dev/null)
+SECOND=$(printf '%s\n' "$SERVE_REQ" | "$SERVE" --stdio --profile tiny \
+    --store "$SERVE_STORE" --progress off 2> /dev/null)
+rm -rf "$SERVE_STORE"
+grep -q '"name":"running"' <<< "$FIRST" \
+    || { echo "serve smoke: first run did not compute" >&2; exit 1; }
+grep -q '"name":"cached"' <<< "$SECOND" \
+    || { echo "serve smoke: second run missed the store" >&2; exit 1; }
+diff <(grep '"name":"done"' <<< "$FIRST") <(grep '"name":"done"' <<< "$SECOND") \
+    || { echo "serve smoke: responses diverged" >&2; exit 1; }
+echo "serve smoke (cold-store cache hit, byte-identical response): OK"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
